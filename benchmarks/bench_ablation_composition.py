@@ -1,0 +1,99 @@
+"""Ablation -- design choices DESIGN.md calls out.
+
+* Basic vs. strong (Rogers-filter) per-block composition: how many small
+  queries one block can absorb under each accountant (Theorem 4.3 vs A.2).
+* Conserve vs. aggressive budget strategies head-to-head at high load.
+* Improved vs. classic RDP-to-DP conversion for DP-SGD budgets.
+"""
+
+from conftest import write_result
+
+from repro.core.accountant import BlockAccountant
+from repro.core.filters import BasicCompositionFilter, StrongCompositionFilter
+from repro.dp.budget import PrivacyBudget
+from repro.dp.rdp import DEFAULT_ORDERS, compute_rdp, rdp_to_epsilon
+from repro.workload.simulator import WorkloadConfig, WorkloadSimulator
+
+
+def _queries_absorbed(filter_factory, query_epsilon):
+    accountant = BlockAccountant(1.0, 1e-6, filter_factory=filter_factory)
+    accountant.register_block("b")
+    budget = PrivacyBudget(query_epsilon, 0.0)
+    count = 0
+    while accountant.can_charge(["b"], budget) and count < 100_000:
+        accountant.charge(["b"], budget)
+        count += 1
+    return count
+
+
+def bench_ablation_filters(benchmark):
+    def run():
+        rows = []
+        for eps_q in (0.05, 0.02, 0.01, 0.005, 0.002):
+            basic = _queries_absorbed(BasicCompositionFilter, eps_q)
+            strong = _queries_absorbed(StrongCompositionFilter, eps_q)
+            rows.append((eps_q, basic, strong))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: queries one block absorbs (eps_g=1, delta_g=1e-6)",
+        "-" * 60,
+        f"{'query eps':>10} {'basic':>8} {'strong':>8} {'gain':>6}",
+    ]
+    for eps_q, basic, strong in rows:
+        lines.append(f"{eps_q:>10g} {basic:>8} {strong:>8} {strong / basic:>6.2f}")
+    write_result("ablation_filters.txt", "\n".join(lines))
+    # Strong composition wins exactly in the many-small-queries regime.
+    smallest = rows[-1]
+    assert smallest[2] > smallest[1]
+
+
+def bench_ablation_conserve_vs_aggressive(benchmark):
+    def run():
+        out = {}
+        for strategy in ("block-conserve", "block-aggressive"):
+            cfg = WorkloadConfig(
+                strategy=strategy, arrival_rate=0.7, horizon_hours=300.0
+            )
+            out[strategy] = WorkloadSimulator(cfg, seed=11).run()
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: conserve vs aggressive at 0.7 pipelines/hour", "-" * 60]
+    for strategy, rep in reports.items():
+        lines.append(
+            f"{strategy:>18}: avg {rep.avg_release_time:6.1f}h, "
+            f"released {rep.release_fraction:4.2f} of {rep.submitted}"
+        )
+    lines.append(
+        "(paper: conserve 2-4x faster at 0.7/h; with our oracle workload's "
+        "linear data<->epsilon exchange the strategies trade places -- see "
+        "EXPERIMENTS.md's deviation note)"
+    )
+    write_result("ablation_conserve.txt", "\n".join(lines))
+    # Both strategies must sustain the workload far better than baselines do.
+    for rep in reports.values():
+        assert rep.release_fraction > 0.5
+
+
+def bench_ablation_rdp_conversion(benchmark):
+    def run():
+        rows = []
+        for steps in (100, 1_000, 10_000):
+            rdp = compute_rdp(0.01, 1.1, steps)
+            improved, _ = rdp_to_epsilon(rdp, DEFAULT_ORDERS, 1e-6, improved=True)
+            classic, _ = rdp_to_epsilon(rdp, DEFAULT_ORDERS, 1e-6, improved=False)
+            rows.append((steps, improved, classic))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: RDP->(eps,delta) conversion (q=0.01, sigma=1.1)",
+        "-" * 60,
+        f"{'steps':>8} {'improved':>10} {'classic':>10}",
+    ]
+    for steps, improved, classic in rows:
+        lines.append(f"{steps:>8} {improved:>10.4f} {classic:>10.4f}")
+        assert improved <= classic
+    write_result("ablation_rdp.txt", "\n".join(lines))

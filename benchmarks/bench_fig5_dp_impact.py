@@ -1,0 +1,61 @@
+"""Fig. 5 -- impact of DP on training-pipeline quality.
+
+Regenerates all four panels: held-out MSE (Taxi LR/NN) and accuracy (Criteo
+LG/NN) versus training-set size, for the non-private model, the large DP
+budget (eps = 1), and the small DP budget of Table 1.
+
+Expected shape (paper): DP hurts at small n, the gap narrows as data grows;
+the NP curve is flat-ish at the achievable floor; the small-eps curve sits
+well above the large-eps curve.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig5_series, format_fig5
+
+
+def _render(benchmark, table, title, metric, filename):
+    series = benchmark.pedantic(fig5_series, args=(table,), rounds=1, iterations=1)
+    text = format_fig5(title, series, metric)
+    write_result(filename, text)
+    modes = set(series)
+    assert {"np", "dp-large", "dp-small"} <= modes
+    return series
+
+
+def bench_fig5a_taxi_lr(benchmark, lr_runs):
+    series = _render(
+        benchmark, lr_runs, "Fig 5a: Taxi LR MSE vs samples", "mse", "fig5a_taxi_lr.txt"
+    )
+    # Shape assertions: DP improves with data; NP below DP at small n.
+    dp = dict(series["dp-large"])
+    ns = sorted(dp)
+    assert dp[ns[-1]] < dp[ns[0]]
+    np_curve = dict(series["np"])
+    assert np_curve[ns[0]] < dp[ns[0]]
+
+
+def bench_fig5b_taxi_nn(benchmark, taxi_nn_runs):
+    series = _render(
+        benchmark, taxi_nn_runs, "Fig 5b: Taxi NN MSE vs samples", "mse", "fig5b_taxi_nn.txt"
+    )
+    dp = dict(series["dp-large"])
+    ns = sorted(dp)
+    assert dp[ns[-1]] < dp[ns[0]]
+
+
+def bench_fig5c_criteo_lg(benchmark, criteo_lg_runs):
+    series = _render(
+        benchmark, criteo_lg_runs,
+        "Fig 5c: Criteo LG accuracy vs samples", "accuracy", "fig5c_criteo_lg.txt",
+    )
+    dp = dict(series["dp-large"])
+    ns = sorted(dp)
+    assert dp[ns[-1] ] > dp[ns[0]] - 1e-3  # accuracy non-degrading with data
+
+
+def bench_fig5d_criteo_nn(benchmark, criteo_nn_runs):
+    _render(
+        benchmark, criteo_nn_runs,
+        "Fig 5d: Criteo NN accuracy vs samples", "accuracy", "fig5d_criteo_nn.txt",
+    )

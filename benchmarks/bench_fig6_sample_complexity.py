@@ -1,0 +1,57 @@
+"""Fig. 6 -- samples required to ACCEPT models at each quality target.
+
+Regenerates the four panels comparing validation regimes: No SLA (vanilla),
+NP SLA (rigorous non-private), UC DP SLA (uncorrected ablation), and Sage
+SLA.  Expected shape (paper): No SLA accepts earliest (unreliably); NP SLA
+needs substantially more data; Sage SLA tracks NP SLA with limited extra
+cost; hard targets are unreachable at small scale.
+"""
+
+from conftest import write_result
+
+from repro.experiments import Regime, fig6_required_samples, format_fig6
+
+
+def _targets(config, metric):
+    # Drop the hardest paper targets that need >1M samples at our scale.
+    if metric == "mse":
+        return tuple(t for t in config.targets if t >= 0.004)
+    return tuple(t for t in config.targets if t <= 0.77)
+
+
+def _render(benchmark, table, title, filename):
+    targets = _targets(table.config, table.config.metric)
+    required = benchmark.pedantic(
+        fig6_required_samples, args=(table, targets), rounds=1, iterations=1
+    )
+    write_result(filename, format_fig6(title, required))
+    return required, targets
+
+
+def bench_fig6a_taxi_lr(benchmark, lr_runs):
+    required, targets = _render(
+        benchmark, lr_runs, "Fig 6a: Taxi LR samples to ACCEPT", "fig6a_taxi_lr.txt"
+    )
+    # No SLA accepts no later than Sage SLA on every reachable target.
+    for t in targets:
+        no_sla, sage = required[Regime.NO_SLA][t], required[Regime.SAGE_SLA][t]
+        if no_sla is not None and sage is not None:
+            assert no_sla <= sage
+
+
+def bench_fig6b_taxi_nn(benchmark, taxi_nn_runs):
+    _render(benchmark, taxi_nn_runs, "Fig 6b: Taxi NN samples to ACCEPT", "fig6b_taxi_nn.txt")
+
+
+def bench_fig6c_criteo_lg(benchmark, criteo_lg_runs):
+    required, targets = _render(
+        benchmark, criteo_lg_runs, "Fig 6c: Criteo LG samples to ACCEPT", "fig6c_criteo_lg.txt"
+    )
+    for t in targets:
+        no_sla, sage = required[Regime.NO_SLA][t], required[Regime.SAGE_SLA][t]
+        if no_sla is not None and sage is not None:
+            assert no_sla <= sage
+
+
+def bench_fig6d_criteo_nn(benchmark, criteo_nn_runs):
+    _render(benchmark, criteo_nn_runs, "Fig 6d: Criteo NN samples to ACCEPT", "fig6d_criteo_nn.txt")

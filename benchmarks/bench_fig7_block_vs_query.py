@@ -1,0 +1,91 @@
+"""Fig. 7 -- block-level vs. query-level accounting.
+
+Panels (paper -> here, stream scaled 1/25):
+
+* 7a: Taxi LR training quality -- combined AdaSSP fit vs. per-block fits
+  averaged (blocks of 100K/500K -> 4K/20K).
+* 7b: samples needed to ACCEPT MSE targets when validation runs once over
+  the combined window vs. once per block.
+* 7c: Taxi NN quality, combined vs. per-block DP-SGD with parameter
+  averaging (5M-point blocks -> 16K).
+
+Expected shape: query composition is uniformly worse; small blocks are
+catastrophically worse; validation under query composition needs 10-100x
+more data or fails outright.
+"""
+
+from conftest import FULL_SCALE, write_result
+
+from repro.experiments import format_fig6, format_fig7
+from repro.experiments.runners import run_fig7_accept_lr, run_fig7_lr, run_fig7_nn
+
+_LR_SIZES = (
+    (4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000)
+    if FULL_SCALE
+    else (4_000, 8_000, 16_000, 32_000, 64_000, 128_000)
+)
+_NN_SIZES = (16_000, 32_000, 64_000, 128_000) if FULL_SCALE else (16_000, 32_000, 64_000)
+
+
+def bench_fig7a_lr_quality(benchmark):
+    curves = benchmark.pedantic(
+        run_fig7_lr,
+        kwargs={
+            "sample_sizes": _LR_SIZES,
+            "block_sizes": (4_000, 20_000),
+            "seeds": (0, 1),
+            "eval_size": 25_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "fig7a_lr_quality.txt",
+        format_fig7("Fig 7a: Taxi LR MSE, block vs query composition", curves),
+    )
+    block = dict(curves["block"])
+    small_blocks = dict(curves["query-4000"])
+    big_blocks = dict(curves["query-20000"])
+    n = max(block)
+    # Query composition strictly worse; smaller blocks worse still.
+    assert block[n] < big_blocks[n] < small_blocks[n]
+
+
+def bench_fig7b_lr_accept(benchmark):
+    required = benchmark.pedantic(
+        run_fig7_accept_lr,
+        kwargs={"targets": (0.005, 0.006, 0.007), "block_sizes": (4_000, 20_000)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Fig 7b: Taxi LR samples to ACCEPT, block vs query validation", "-" * 72]
+    targets = sorted(next(iter(required.values())))
+    lines.append(f"{'target':>10} " + " ".join(f"{k:>14}" for k in required))
+    for t in targets:
+        cells = []
+        for k in required:
+            v = required[k][t]
+            cells.append(f"{v:>14}" if v is not None else f"{'unreach':>14}")
+        lines.append(f"{t:>10g} " + " ".join(cells))
+    write_result("fig7b_lr_accept.txt", "\n".join(lines))
+    # Block composition validates targets that query composition cannot.
+    block_ok = sum(v is not None for v in required["block"].values())
+    query_ok = sum(v is not None for v in required["query-4000"].values())
+    assert block_ok > query_ok
+
+
+def bench_fig7c_nn_quality(benchmark):
+    curves = benchmark.pedantic(
+        run_fig7_nn,
+        kwargs={"sample_sizes": _NN_SIZES, "block_size": 16_000},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "fig7c_nn_quality.txt",
+        format_fig7("Fig 7c: Taxi NN MSE, block vs query composition", curves),
+    )
+    block = dict(curves["block"])
+    query = dict(curves["query-16000"])
+    n = max(set(block) & set(query))
+    assert block[n] <= query[n] * 1.02  # combined training at least as good

@@ -1,0 +1,82 @@
+"""Micro-benchmarks -- platform-overhead hot paths.
+
+These are true throughput benchmarks (many rounds), unlike the experiment
+regenerators: mechanism draws, RDP accounting, block-accountant charging,
+one DP-SGD step with ghost clipping vs. materialized per-example gradients.
+"""
+
+import numpy as np
+
+from repro.core.accountant import BlockAccountant
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import laplace_noise, make_rng
+from repro.dp.queries import dp_group_by_mean
+from repro.dp.rdp import calibrate_sigma, compute_epsilon
+from repro.ml.dpsgd import clipped_noisy_mean_gradients
+from repro.ml.neural import MLPModel
+
+
+def bench_laplace_vector(benchmark):
+    rng = make_rng(0)
+    benchmark(laplace_noise, rng, 1.0, 10_000)
+
+
+def bench_rdp_epsilon(benchmark):
+    benchmark(compute_epsilon, 0.01, 1.2, 1_000, 1e-6)
+
+
+def bench_sigma_calibration(benchmark):
+    benchmark(calibrate_sigma, 0.02, 500, 1.0, 1e-6)
+
+
+def bench_accountant_charge(benchmark):
+    def charge_round():
+        accountant = BlockAccountant(1.0, 1e-6)
+        accountant.register_blocks(range(50))
+        budget = PrivacyBudget(0.01, 1e-9)
+        for start in range(0, 40):
+            accountant.charge(list(range(start, start + 10)), budget)
+        return accountant
+
+    benchmark(charge_round)
+
+
+def bench_group_by_mean(benchmark):
+    rng = make_rng(1)
+    keys = rng.integers(0, 24, size=100_000)
+    values = rng.uniform(0, 60, size=100_000)
+    benchmark(dp_group_by_mean, keys, values, 24, 1.0, 60.0, rng)
+
+
+def _dpsgd_step_inputs(hidden):
+    rng = make_rng(2)
+    model = MLPModel(hidden, task="regression")
+    X = rng.normal(size=(256, 61))
+    y = rng.normal(size=256)
+    params = model.init_params(61, rng)
+    return model, params, X, y, rng
+
+
+def bench_dpsgd_step_ghost(benchmark):
+    model, params, X, y, rng = _dpsgd_step_inputs((64, 32))
+    benchmark(
+        clipped_noisy_mean_gradients, model, params, X, y, 1.0, 1.1, rng
+    )
+
+
+def bench_dpsgd_step_materialized(benchmark):
+    """The pre-ghost-clipping path (kept for comparison via per-example grads)."""
+    model, params, X, y, rng = _dpsgd_step_inputs((64, 32))
+
+    def step():
+        from repro.ml.base import per_example_sq_norms
+
+        losses, grads = model.per_example_gradients(params, X, y)
+        norms = np.sqrt(np.maximum(per_example_sq_norms(grads), 1e-64))
+        factors = np.minimum(1.0, 1.0 / norms)
+        return [
+            (g * factors.reshape((256,) + (1,) * (g.ndim - 1))).sum(axis=0)
+            for g in grads
+        ]
+
+    benchmark(step)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Training-run tables are expensive (they train every Table 1 model over a
+doubling sample schedule), so they are session-scoped and shared between the
+Fig. 5, Fig. 6, and Table 2 benches.  Every bench writes its rendered
+table/series to ``results/`` so EXPERIMENTS.md can be regenerated from a
+single ``pytest benchmarks/ --benchmark-only`` run.
+
+Scale: set ``REPRO_BENCH_SCALE=full`` for schedules closer to the paper's
+(longer runtimes); the default "small" regenerates every shape in minutes.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small") == "full"
+
+# Doubling sample schedules per model family (small | full).
+LR_SCHEDULE = (
+    (4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000)
+    if FULL_SCALE
+    else (4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000)
+)
+NN_SCHEDULE = (
+    (4_000, 16_000, 64_000, 128_000, 256_000)
+    if FULL_SCALE
+    else (4_000, 16_000, 64_000, 128_000)
+)
+SEEDS = (0, 1) if FULL_SCALE else (0,)
+LR_SEEDS = (0, 1, 2) if FULL_SCALE else (0, 1)
+EVAL_SIZE = 50_000 if FULL_SCALE else 25_000
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    sys.stderr.write("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def lr_runs():
+    from repro.experiments import TAXI_LR, collect_training_runs
+
+    return collect_training_runs(
+        TAXI_LR, schedule=LR_SCHEDULE, seeds=LR_SEEDS, eval_size=EVAL_SIZE
+    )
+
+
+@pytest.fixture(scope="session")
+def taxi_nn_runs():
+    from repro.experiments import TAXI_NN, collect_training_runs
+
+    return collect_training_runs(
+        TAXI_NN, schedule=NN_SCHEDULE, seeds=SEEDS, eval_size=EVAL_SIZE
+    )
+
+
+@pytest.fixture(scope="session")
+def criteo_lg_runs():
+    from repro.experiments import CRITEO_LG, collect_training_runs
+
+    # LG is cheap (linear model, ghost clipping): extend the schedule so the
+    # rigorous regimes get enough test data to resolve their targets.
+    schedule = NN_SCHEDULE + (512_000,) if FULL_SCALE else NN_SCHEDULE + (256_000,)
+    return collect_training_runs(
+        CRITEO_LG, schedule=schedule, seeds=SEEDS, eval_size=EVAL_SIZE
+    )
+
+
+@pytest.fixture(scope="session")
+def criteo_nn_runs():
+    from repro.experiments import CRITEO_NN, collect_training_runs
+
+    return collect_training_runs(
+        CRITEO_NN, schedule=NN_SCHEDULE, seeds=SEEDS, eval_size=EVAL_SIZE
+    )

@@ -1,0 +1,44 @@
+"""Fig. 8 in miniature: four accounting strategies under a live workload.
+
+Pipelines arrive over time (Gamma inter-arrivals), each needing a power-law
+amount of data; the stream grows one block per hour.  The same workload is
+scheduled under Sage's block composition (conserve and aggressive variants)
+and the two prior-work baselines -- query-level accounting with per-block
+sub-queries, and streaming DP.
+
+Run:  python examples/streaming_workload.py   (~1 minute)
+"""
+
+from repro.experiments import format_fig8
+from repro.workload import WorkloadConfig, WorkloadSimulator
+
+
+def main():
+    rates = (0.1, 0.4, 0.7)
+    strategies = ("streaming", "query", "block-aggressive", "block-conserve")
+    reports = {}
+    for strategy in strategies:
+        reports[strategy] = {}
+        for i, rate in enumerate(rates):
+            config = WorkloadConfig(
+                strategy=strategy,
+                arrival_rate=rate,
+                horizon_hours=250.0,
+                points_per_hour=16_000,
+            )
+            report = WorkloadSimulator(config, seed=17 + i).run()
+            reports[strategy][rate] = report
+            print(f"{strategy:>18} @ {rate:.1f}/h: "
+                  f"avg release {report.avg_release_time:6.1f}h, "
+                  f"released {report.released}/{report.submitted}")
+
+    print()
+    print(format_fig8("Average model release time under load", reports))
+    print()
+    print("Reading: prior-work composition collapses under load; Sage's")
+    print("block composition keeps releasing because new blocks arrive with")
+    print("fresh budget (requirement R3 of the paper's Section 3.2).")
+
+
+if __name__ == "__main__":
+    main()

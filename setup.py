@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This repository targets offline environments that ship setuptools but not
+``wheel``; PEP 660 editable installs are unavailable there, so ``pip install
+-e .`` falls back to this classic path.  All metadata lives in pyproject.toml
+(setuptools >= 61 reads it from here too).
+"""
+
+from setuptools import setup
+
+setup()

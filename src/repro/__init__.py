@@ -1,0 +1,55 @@
+"""Reproduction of the Sage differentially private ML platform (SOSP 2019).
+
+Subpackages
+-----------
+``repro.dp``
+    DP primitives: budgets, mechanisms, composition theorems, RDP
+    accountant, DP point queries.
+``repro.ml``
+    From-scratch ML substrate: ridge/AdaSSP, logistic/MLP models, SGD and
+    DP-SGD trainers, metrics, feature transforms.
+``repro.data``
+    Synthetic equivalents of the paper's NYC-Taxi and Criteo datasets,
+    data streams, and the growing database.
+``repro.core``
+    The paper's contribution: block composition accounting, Sage access
+    control, SLAed validators, privacy-adaptive training, the platform.
+``repro.workload``
+    Multi-pipeline workload simulator and prior-work accounting baselines
+    (Fig. 8).
+``repro.experiments``
+    Runners that regenerate every table and figure of the evaluation.
+
+The most commonly used names are re-exported at the top level.
+"""
+
+from repro._version import __version__
+from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
+from repro.errors import (
+    AccessDeniedError,
+    BlockRetiredError,
+    BudgetExceededError,
+    CalibrationError,
+    DataError,
+    InvalidBudgetError,
+    PipelineError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+__all__ = [
+    "__version__",
+    "PrivacyBudget",
+    "ZERO_BUDGET",
+    "ReproError",
+    "InvalidBudgetError",
+    "BudgetExceededError",
+    "BlockRetiredError",
+    "AccessDeniedError",
+    "PipelineError",
+    "ValidationError",
+    "CalibrationError",
+    "DataError",
+    "SimulationError",
+]

@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate any table or figure directly.
+
+Usage::
+
+    python -m repro fig5 taxi-lr              # one Fig. 5 panel
+    python -m repro fig6 criteo-lg            # samples-to-ACCEPT panel
+    python -m repro table2 taxi-lr            # violation-rate rows
+    python -m repro fig7                      # block vs query composition
+    python -m repro fig8 --rates 0.1 0.5      # workload sweep
+    python -m repro inventory                 # Table 1 configurations
+
+The CLI is a thin veneer over ``repro.experiments``; it exists so a
+downstream user can reproduce a single artifact without writing a script.
+Schedules default to quick versions; pass ``--full`` for longer sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+_QUICK_SCHEDULE = (4_000, 16_000, 64_000, 128_000)
+_FULL_SCHEDULE = (4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of the Sage paper (SOSP 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("fig5", "DP impact on model quality vs sample size"),
+        ("fig6", "samples required to ACCEPT per target and regime"),
+        ("table2", "violation rates of accepted models"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "config",
+            choices=["taxi-lr", "taxi-nn", "criteo-lg", "criteo-nn"],
+            help="Table 1 pipeline configuration",
+        )
+        p.add_argument("--full", action="store_true", help="longer sample schedule")
+        p.add_argument("--seeds", type=int, default=1, help="number of seeds")
+
+    p7 = sub.add_parser("fig7", help="block vs query composition (Taxi LR)")
+    p7.add_argument("--full", action="store_true")
+
+    p8 = sub.add_parser("fig8", help="release time under load")
+    p8.add_argument("--rates", type=float, nargs="+", default=[0.1, 0.3, 0.7])
+    p8.add_argument("--horizon", type=float, default=300.0)
+
+    sub.add_parser("inventory", help="print the Table 1 configurations")
+    return parser
+
+
+def _run_table(args) -> object:
+    from repro.experiments import MODEL_CONFIGS, collect_training_runs
+
+    config = MODEL_CONFIGS[args.config]
+    schedule = _FULL_SCHEDULE if args.full else _QUICK_SCHEDULE
+    return collect_training_runs(
+        config,
+        schedule=schedule,
+        seeds=tuple(range(args.seeds)),
+        eval_size=25_000,
+    )
+
+
+def _cmd_fig5(args) -> str:
+    from repro.experiments import fig5_series, format_fig5
+
+    table = _run_table(args)
+    metric = table.config.metric
+    return format_fig5(f"Fig 5 ({args.config})", fig5_series(table), metric)
+
+
+def _cmd_fig6(args) -> str:
+    from repro.experiments import fig6_required_samples, format_fig6
+
+    table = _run_table(args)
+    targets = table.config.targets
+    required = fig6_required_samples(table, targets)
+    return format_fig6(f"Fig 6 ({args.config})", required)
+
+
+def _cmd_table2(args) -> str:
+    from repro.experiments import format_table2, table2_violation_rates
+
+    table = _run_table(args)
+    targets = table.config.targets[-3:]  # the reachable end of the range
+    rates = {
+        eta: table2_violation_rates(table, targets=targets, eta=eta)
+        for eta in (0.01, 0.05)
+    }
+    return format_table2(f"Table 2 ({args.config})", rates)
+
+
+def _cmd_fig7(args) -> str:
+    from repro.experiments import format_fig7
+    from repro.experiments.runners import run_fig7_lr
+
+    sizes = _FULL_SCHEDULE if args.full else _QUICK_SCHEDULE
+    curves = run_fig7_lr(sample_sizes=sizes, block_sizes=(4_000, 20_000), seeds=(0,))
+    return format_fig7("Fig 7a (Taxi LR)", curves)
+
+
+def _cmd_fig8(args) -> str:
+    from repro.experiments import format_fig8, run_fig8
+
+    reports = run_fig8(rates=tuple(args.rates), horizon_hours=args.horizon)
+    return format_fig8("Fig 8 (Taxi-scale workload)", reports)
+
+
+def _cmd_inventory(args) -> str:
+    from repro.experiments import MODEL_CONFIGS
+
+    lines = ["Table 1: experimental training pipelines", "-" * 64]
+    for name, config in MODEL_CONFIGS.items():
+        lines.append(
+            f"{name:>10}: {config.algorithm}, metric={config.metric}, "
+            f"eps in {{{config.epsilon_large}, {config.epsilon_small}}}, "
+            f"targets {config.targets[0]}..{config.targets[-1]}"
+        )
+    lines.append(f"{'stats':>10}: Avg.Speed x3 (taxi), Counts x26 (criteo)")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "table2": _cmd_table2,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "inventory": _cmd_inventory,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Sage core: block composition accounting, SLAed validation,
+privacy-adaptive training, and the platform itself."""
+
+from repro.core.access_control import SageAccessControl
+from repro.core.accountant import BlockAccountant, BlockLedger, ChargeRecord
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveSession,
+    AttemptRecord,
+    PrivacyAdaptiveTrainer,
+    SessionStatus,
+)
+from repro.core.filters import (
+    BasicCompositionFilter,
+    PrivacyFilter,
+    StrongCompositionFilter,
+)
+from repro.core.model_store import ModelFeatureStore, ReleasedBundle
+from repro.core.odometer import BasicOdometer, StrongOdometer, loss_dashboard
+from repro.core.serving import ContinuousEvaluator, EvaluationTick, PredictionServer
+from repro.core.pipeline import (
+    HistogramPipeline,
+    PipelineRun,
+    StatisticPipeline,
+    TrainingPipeline,
+)
+from repro.core.platform import Sage, SubmittedPipeline
+from repro.core.validation import (
+    DPAccuracyValidator,
+    DPLossValidator,
+    DPStatisticValidator,
+    Outcome,
+    ValidationResult,
+)
+
+__all__ = [
+    "BlockAccountant",
+    "BlockLedger",
+    "ChargeRecord",
+    "SageAccessControl",
+    "PrivacyFilter",
+    "BasicCompositionFilter",
+    "StrongCompositionFilter",
+    "Outcome",
+    "ValidationResult",
+    "DPLossValidator",
+    "DPAccuracyValidator",
+    "DPStatisticValidator",
+    "TrainingPipeline",
+    "StatisticPipeline",
+    "HistogramPipeline",
+    "PipelineRun",
+    "AdaptiveConfig",
+    "AdaptiveSession",
+    "AttemptRecord",
+    "PrivacyAdaptiveTrainer",
+    "SessionStatus",
+    "ModelFeatureStore",
+    "ReleasedBundle",
+    "BasicOdometer",
+    "StrongOdometer",
+    "loss_dashboard",
+    "PredictionServer",
+    "ContinuousEvaluator",
+    "EvaluationTick",
+    "Sage",
+    "SubmittedPipeline",
+]

@@ -1,0 +1,158 @@
+"""Sage access control: the DP layer above stream-level ACLs (§3.2).
+
+:class:`SageAccessControl` mediates every pipeline's data access for one
+sensitive stream.  It wraps a :class:`~repro.core.accountant.BlockAccountant`
+(the global (eps_g, delta_g) policy) and optionally *per-context* accountants
+-- the paper's example of enforcing a separate guarantee per developer or
+geography, under the assumption that contexts do not collude.
+
+The request protocol mirrors §3.2's description of the Sage Iterator's
+interaction:
+
+1. ``offer_blocks()`` -- blocks that still have budget (what the Iterator may
+   assemble a training window from);
+2. ``request(keys, budget)`` -- deduct the chosen (epsilon, delta) from the
+   chosen blocks, atomically; raises if any block cannot absorb it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.accountant import BlockAccountant, ChargeRecord
+from repro.core.filters import PrivacyFilter
+from repro.dp.budget import PrivacyBudget
+from repro.errors import AccessDeniedError
+
+__all__ = ["SageAccessControl"]
+
+
+class SageAccessControl:
+    """Per-stream DP access control with optional per-context policies."""
+
+    def __init__(
+        self,
+        epsilon_global: float,
+        delta_global: float,
+        filter_factory: Optional[Callable[[float, float], PrivacyFilter]] = None,
+        authorized_principals: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._accountant = BlockAccountant(
+            epsilon_global, delta_global, filter_factory=filter_factory
+        )
+        self._filter_factory = filter_factory
+        self._contexts: Dict[str, BlockAccountant] = {}
+        # Stream-level ACLs (the pre-existing, non-DP layer of Fig. 1): when
+        # set, only these principals may request data at all.
+        self._principals = set(authorized_principals) if authorized_principals else None
+
+    # ------------------------------------------------------------------
+    @property
+    def accountant(self) -> BlockAccountant:
+        return self._accountant
+
+    def add_context(self, name: str, epsilon: float, delta: float) -> None:
+        """Add a per-context guarantee (e.g. one per developer or geography)."""
+        if name in self._contexts:
+            raise AccessDeniedError(f"context {name!r} already exists")
+        accountant = BlockAccountant(epsilon, delta, filter_factory=self._filter_factory)
+        for key in self._accountant.block_keys:
+            accountant.register_block(key)
+        self._contexts[name] = accountant
+
+    def register_block(self, key: object) -> None:
+        """Register a freshly ingested block in every ledger set."""
+        self._accountant.register_block(key)
+        for ctx in self._contexts.values():
+            ctx.register_block(key)
+
+    # ------------------------------------------------------------------
+    def _check_principal(self, principal: Optional[str]) -> None:
+        if self._principals is not None and principal not in self._principals:
+            raise AccessDeniedError(
+                f"principal {principal!r} is not authorized by stream-level ACLs"
+            )
+
+    def offer_blocks(
+        self,
+        min_budget: Optional[PrivacyBudget] = None,
+        principal: Optional[str] = None,
+        context: Optional[str] = None,
+    ) -> List[object]:
+        """Blocks with available budget, oldest first (Alg. 4(c) data offer)."""
+        self._check_principal(principal)
+        keys = self._accountant.usable_blocks(min_budget)
+        if context is not None:
+            ctx = self._require_context(context)
+            floor = min_budget or ctx.retirement_budget
+            keys = [k for k in keys if ctx.ledger(k).admits(floor)]
+        return keys
+
+    def offer_recent_blocks(
+        self,
+        min_budget: Optional[PrivacyBudget],
+        count: int,
+        key_filter=None,
+        principal: Optional[str] = None,
+    ) -> List[object]:
+        """The newest ``count`` blocks that can absorb ``min_budget`` and pass
+        ``key_filter`` (early-stopping tail scan; chronological order)."""
+        self._check_principal(principal)
+        return self._accountant.usable_blocks_tail(min_budget, count, key_filter)
+
+    def can_request(
+        self,
+        keys: Sequence[object],
+        budget: PrivacyBudget,
+        context: Optional[str] = None,
+    ) -> bool:
+        ok = self._accountant.can_charge(keys, budget)
+        if ok and context is not None:
+            ok = self._require_context(context).can_charge(keys, budget)
+        return ok
+
+    def request(
+        self,
+        keys: Sequence[object],
+        budget: PrivacyBudget,
+        label: str = "",
+        principal: Optional[str] = None,
+        context: Optional[str] = None,
+    ) -> ChargeRecord:
+        """Atomically charge ``budget`` against the named blocks.
+
+        The charge lands on the stream-wide ledgers and, if a context is
+        named, on that context's ledgers too; failure anywhere leaves all
+        ledgers untouched.
+        """
+        self._check_principal(principal)
+        if context is not None:
+            ctx = self._require_context(context)
+            if not ctx.can_charge(keys, budget):
+                raise AccessDeniedError(
+                    f"context {context!r} has insufficient budget for {budget}"
+                )
+        record = self._accountant.charge(keys, budget, label=label)
+        if context is not None:
+            self._contexts[context].charge(keys, budget, label=label)
+        return record
+
+    def max_epsilon(
+        self, keys: Sequence[object], delta: float = 0.0, context: Optional[str] = None
+    ) -> float:
+        eps = self._accountant.max_epsilon(keys, delta)
+        if context is not None:
+            eps = min(eps, self._require_context(context).max_epsilon(keys, delta))
+        return eps
+
+    # ------------------------------------------------------------------
+    def _require_context(self, name: str) -> BlockAccountant:
+        if name not in self._contexts:
+            raise AccessDeniedError(f"unknown context {name!r}")
+        return self._contexts[name]
+
+    def stream_loss_bound(self) -> PrivacyBudget:
+        return self._accountant.stream_loss_bound()
+
+    def retired_blocks(self) -> List[object]:
+        return self._accountant.retired_blocks()

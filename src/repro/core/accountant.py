@@ -1,0 +1,267 @@
+"""Block-level privacy accounting (the paper's central mechanism).
+
+The :class:`BlockAccountant` keeps one :class:`BlockLedger` per data block
+and implements Alg. 4(c)'s ``AccessControl`` check: a query naming a set of
+blocks and an (epsilon, delta) is admitted iff *every* named block's filter
+admits the charge; the charge is then committed atomically (all blocks or
+none).  By Theorem 4.2/4.3 this enforces the global (eps_g, delta_g)-DP
+guarantee for the whole stream while new blocks keep arriving with zero
+privacy loss -- the property that lets Sage run forever.
+
+A block whose filter no longer admits the configured minimum charge is
+*retired* (the DP-informed retention policy of §3.2): it stays retired for
+good, since privacy loss never decreases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.filters import BasicCompositionFilter, PrivacyFilter
+from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
+from repro.errors import BlockRetiredError, BudgetExceededError, InvalidBudgetError
+
+__all__ = ["BlockLedger", "BlockAccountant", "ChargeRecord"]
+
+
+@dataclass(frozen=True)
+class ChargeRecord:
+    """One committed charge: who consumed what, against which blocks."""
+
+    budget: PrivacyBudget
+    block_keys: tuple
+    label: str = ""
+
+
+@dataclass
+class BlockLedger:
+    """Charge history + filter for a single block.
+
+    Running totals (epsilon, delta, epsilon^2, and the strong-composition
+    linear term) are maintained on every charge so admissibility checks are
+    O(1) instead of O(|history|) -- ledgers sit on the platform's hottest
+    path (every block scan of every session, every hour).
+    """
+
+    key: object
+    filter: PrivacyFilter
+    history: List[PrivacyBudget] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._totals = [0.0, 0.0, 0.0, 0.0]  # eps, delta, eps^2, linear
+        for budget in self.history:
+            self._accumulate(budget)
+
+    def _accumulate(self, budget: PrivacyBudget) -> None:
+        import math
+
+        eps = budget.epsilon
+        self._totals[0] += eps
+        self._totals[1] += budget.delta
+        self._totals[2] += eps * eps
+        self._totals[3] += math.expm1(eps) * eps / 2.0
+
+    def record(self, budget: PrivacyBudget) -> None:
+        """Append a committed charge, keeping the running totals in sync."""
+        self.history.append(budget)
+        self._accumulate(budget)
+
+    def admits(self, candidate: PrivacyBudget) -> bool:
+        return self.filter.admits(self.history, candidate, totals=tuple(self._totals))
+
+    def charge(self, budget: PrivacyBudget) -> None:
+        if not self.admits(budget):
+            raise BudgetExceededError(
+                f"charge {budget} exceeds block {self.key!r}'s remaining budget",
+                block_id=self.key,
+            )
+        self.record(budget)
+
+    def max_epsilon(self, delta: float = 0.0) -> float:
+        """Largest epsilon still chargeable at the given delta."""
+        return self.filter.max_epsilon(self.history, delta)
+
+    def loss_bound(self) -> PrivacyBudget:
+        """DP guarantee covering everything charged to this block so far."""
+        return self.filter.loss_bound(self.history)
+
+    def is_retired(self, min_budget: PrivacyBudget) -> bool:
+        """True when the block can no longer absorb even ``min_budget``."""
+        return not self.admits(min_budget)
+
+
+class BlockAccountant:
+    """All block ledgers of one sensitive stream, with atomic multi-block charges.
+
+    Parameters
+    ----------
+    epsilon_global / delta_global:
+        The stream's global DP policy (the company-configured ceiling).
+    filter_factory:
+        Builds the per-block filter; defaults to basic composition
+        (Theorem 4.3).  Pass ``StrongCompositionFilter`` for Theorem A.2
+        accounting.
+    retirement_budget:
+        Blocks that cannot absorb this charge any more count as retired;
+        defaults to (epsilon_global/1000, 0).
+    """
+
+    def __init__(
+        self,
+        epsilon_global: float,
+        delta_global: float,
+        filter_factory: Optional[Callable[[float, float], PrivacyFilter]] = None,
+        retirement_budget: Optional[PrivacyBudget] = None,
+    ) -> None:
+        if filter_factory is None:
+            filter_factory = BasicCompositionFilter
+        self._make_filter = filter_factory
+        self.epsilon_global = epsilon_global
+        self.delta_global = delta_global
+        self.retirement_budget = retirement_budget or PrivacyBudget(
+            epsilon_global / 1000.0, 0.0
+        )
+        self._ledgers: Dict[object, BlockLedger] = {}
+        self._charges: List[ChargeRecord] = []
+        # Retirement is permanent (privacy loss never decreases), so dead
+        # blocks can be pruned from every scan once detected.  This keeps
+        # usable_blocks() linear in the number of *live* blocks even when a
+        # stream has run for thousands of hours.
+        self._dead: set = set()
+
+    # ------------------------------------------------------------------
+    # Block lifecycle
+    # ------------------------------------------------------------------
+    def register_block(self, key: object) -> BlockLedger:
+        """Create a ledger for a freshly ingested block (zero loss so far)."""
+        if key in self._ledgers:
+            raise InvalidBudgetError(f"block {key!r} already registered")
+        ledger = BlockLedger(
+            key=key, filter=self._make_filter(self.epsilon_global, self.delta_global)
+        )
+        self._ledgers[key] = ledger
+        return ledger
+
+    def register_blocks(self, keys: Sequence[object]) -> None:
+        for key in keys:
+            self.register_block(key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._ledgers
+
+    def ledger(self, key: object) -> BlockLedger:
+        if key not in self._ledgers:
+            raise InvalidBudgetError(f"block {key!r} was never registered")
+        return self._ledgers[key]
+
+    @property
+    def block_keys(self) -> List[object]:
+        return list(self._ledgers)
+
+    # ------------------------------------------------------------------
+    # The AccessControl check (Alg. 4(c) line 8)
+    # ------------------------------------------------------------------
+    def can_charge(self, keys: Sequence[object], budget: PrivacyBudget) -> bool:
+        """True iff every named block admits the charge."""
+        if not keys:
+            return False
+        return all(self.ledger(k).admits(budget) for k in keys)
+
+    def charge(
+        self, keys: Sequence[object], budget: PrivacyBudget, label: str = ""
+    ) -> ChargeRecord:
+        """Atomically charge ``budget`` to every named block.
+
+        Either all ledgers absorb the charge or none do (a failed check on
+        any block leaves every other block untouched).
+        """
+        keys = list(keys)
+        if not keys:
+            raise InvalidBudgetError("a charge must name at least one block")
+        if len(set(keys)) != len(keys):
+            raise InvalidBudgetError("duplicate block keys in one charge")
+        for key in keys:
+            ledger = self.ledger(key)
+            if ledger.admits(budget):
+                continue
+            if ledger.is_retired(self.retirement_budget):
+                raise BlockRetiredError(f"block {key!r} is retired", block_id=key)
+            raise BudgetExceededError(
+                f"block {key!r} cannot absorb {budget}", block_id=key
+            )
+        for key in keys:
+            self._ledgers[key].record(budget)
+        record = ChargeRecord(budget=budget, block_keys=tuple(keys), label=label)
+        self._charges.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries used by the platform / iterators
+    # ------------------------------------------------------------------
+    def max_epsilon(self, keys: Sequence[object], delta: float = 0.0) -> float:
+        """Largest epsilon chargeable to *all* named blocks at once."""
+        if not keys:
+            return 0.0
+        return min(self.ledger(k).max_epsilon(delta) for k in keys)
+
+    def usable_blocks(self, min_budget: Optional[PrivacyBudget] = None) -> List[object]:
+        """Keys of blocks that can still absorb ``min_budget`` (default: the
+        retirement threshold), in registration order."""
+        floor = min_budget or self.retirement_budget
+        out = []
+        for k, led in self._ledgers.items():
+            if k in self._dead:
+                continue
+            if led.is_retired(self.retirement_budget):
+                self._dead.add(k)
+                continue
+            if led.admits(floor):
+                out.append(k)
+        return out
+
+    def usable_blocks_tail(
+        self,
+        min_budget: Optional[PrivacyBudget],
+        count: int,
+        key_filter=None,
+    ) -> List[object]:
+        """The newest ``count`` usable blocks (chronological order), scanning
+        from the tail with early stop -- the hot path of window selection."""
+        floor = min_budget or self.retirement_budget
+        out: List[object] = []
+        for k in reversed(self._ledgers):  # registration order, newest first
+            if k in self._dead:
+                continue
+            led = self._ledgers[k]
+            if led.is_retired(self.retirement_budget):
+                self._dead.add(k)
+                continue
+            if not led.admits(floor):
+                continue
+            if key_filter is not None and not key_filter(k):
+                continue
+            out.append(k)
+            if len(out) == count:
+                break
+        out.reverse()
+        return out
+
+    def retired_blocks(self) -> List[object]:
+        for k, led in self._ledgers.items():
+            if k not in self._dead and led.is_retired(self.retirement_budget):
+                self._dead.add(k)
+        return [k for k in self._ledgers if k in self._dead]
+
+    def stream_loss_bound(self) -> PrivacyBudget:
+        """The stream-wide guarantee: max over blocks (Theorem 4.2)."""
+        worst = ZERO_BUDGET
+        for led in self._ledgers.values():
+            bound = led.loss_bound()
+            if (bound.epsilon, bound.delta) > (worst.epsilon, worst.delta):
+                worst = bound
+        return worst
+
+    @property
+    def charges(self) -> List[ChargeRecord]:
+        return list(self._charges)

@@ -1,0 +1,336 @@
+"""Privacy-adaptive training (§3.3).
+
+Wraps a DP pipeline in the escalation loop that addresses the
+privacy-utility tradeoff: start with a small budget (epsilon_0) on a minimal
+window of recent blocks; on RETRY, double the privacy budget while the
+pipeline's allocation allows, otherwise double the data window; stop on
+ACCEPT, REJECT, or timeout.
+
+The doubling schedule gives the paper's conservation guarantee: failed
+iterations together cost at most the final accepted budget, and the final
+budget overshoots the smallest sufficient one by at most 2x -- so the whole
+search costs at most 4x the optimum (§3.3).
+
+:class:`AdaptiveSession` is *stateful* so the platform can resume a blocked
+pipeline when new blocks arrive; :class:`PrivacyAdaptiveTrainer` is the
+one-shot convenience wrapper used on static databases (Fig. 6 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.access_control import SageAccessControl
+from repro.core.pipeline import PipelineRun
+from repro.core.validation.outcomes import Outcome
+from repro.data.database import GrowingDatabase
+from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
+from repro.errors import PipelineError
+
+__all__ = ["AdaptiveConfig", "AttemptRecord", "SessionStatus", "AdaptiveSession", "PrivacyAdaptiveTrainer"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Escalation policy knobs.
+
+    ``epsilon_start``/``epsilon_cap`` bound the doubling search; ``delta`` is
+    the per-attempt delta -- ``None`` (the default) rations the stream's
+    delta_global evenly across ``max_attempts`` so repeated attempts on the
+    same blocks can never delta-exhaust them; ``strategy`` is "conserve"
+    (the Sage default) or "aggressive" (use everything available at once,
+    the §5.4 ablation).
+    """
+
+    epsilon_start: float = 1.0 / 16.0
+    epsilon_cap: float = 1.0
+    delta: Optional[float] = None
+    min_window_blocks: int = 1
+    max_attempts: int = 32
+    strategy: str = "conserve"
+    # Smallest epsilon worth attempting with.  Under heavy contention the
+    # platform's even split can allocate less than epsilon_start per block;
+    # rather than deadlock, the session attempts with whatever it has down
+    # to this floor (compensating with data, the paper's exchange rate).
+    epsilon_floor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon_start <= self.epsilon_cap:
+            raise PipelineError(
+                f"need 0 < epsilon_start <= epsilon_cap, got "
+                f"{self.epsilon_start}, {self.epsilon_cap}"
+            )
+        if self.epsilon_floor is not None and not 0 < self.epsilon_floor <= self.epsilon_start:
+            raise PipelineError(
+                f"need 0 < epsilon_floor <= epsilon_start, got {self.epsilon_floor}"
+            )
+        if self.delta is not None and not 0.0 <= self.delta < 1.0:
+            raise PipelineError(f"delta must be in [0, 1), got {self.delta}")
+        if self.min_window_blocks <= 0:
+            raise PipelineError("min_window_blocks must be > 0")
+        if self.max_attempts <= 0:
+            raise PipelineError("max_attempts must be > 0")
+        if self.strategy not in ("conserve", "aggressive"):
+            raise PipelineError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass
+class AttemptRecord:
+    """One training attempt inside a session."""
+
+    attempt: int
+    window: Tuple
+    budget: PrivacyBudget
+    outcome: Outcome
+    train_size: int
+
+
+class SessionStatus:
+    """Terminal and blocked states of an adaptive session."""
+
+    RUNNING = "running"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    TIMEOUT = "timeout"
+    NEED_DATA = "need_data"  # blocked: not enough usable blocks / budget yet
+
+
+class AdaptiveSession:
+    """The per-pipeline escalation state machine.
+
+    Parameters
+    ----------
+    epsilon_limit_fn:
+        Optional hook ``(window_keys) -> float`` giving the largest epsilon
+        this pipeline may spend on that window right now -- the platform
+        passes its per-pipeline allocation here; standalone use defaults to
+        whatever the blocks themselves can absorb.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        access: SageAccessControl,
+        database: GrowingDatabase,
+        config: AdaptiveConfig,
+        rng: np.random.Generator,
+        epsilon_limit_fn: Optional[Callable[[List[object]], float]] = None,
+        new_block_epsilon_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.access = access
+        self.database = database
+        self.config = config
+        self.rng = rng
+        self._epsilon_limit_fn = epsilon_limit_fn
+        # Epsilon this pipeline can expect to hold on a brand-new block
+        # (the platform's allocation rate); drives the §3.3 escalation
+        # choice between doubling budget and doubling data.
+        self._new_block_epsilon_fn = new_block_epsilon_fn
+        if config.delta is not None:
+            self.delta = config.delta
+        else:
+            self.delta = access.accountant.delta_global / config.max_attempts
+        self.epsilon = config.epsilon_start
+        self.epsilon_floor = (
+            config.epsilon_floor
+            if config.epsilon_floor is not None
+            else config.epsilon_start / 16.0
+        )
+        self.window_blocks = config.min_window_blocks
+        self.status = SessionStatus.RUNNING
+        self.attempts: List[AttemptRecord] = []
+        self.final_run: Optional[PipelineRun] = None
+        self.total_spent: PrivacyBudget = ZERO_BUDGET
+
+    # ------------------------------------------------------------------
+    def _candidate_window(self, budget: PrivacyBudget) -> Optional[List[object]]:
+        """The most recent ``window_blocks`` blocks that can fund ``budget``.
+
+        A block qualifies when its ledger can absorb the charge AND this
+        pipeline's own allocation on it covers the epsilon; blocks reserved
+        for other pipelines are skipped rather than vetoing the window.
+        """
+        if self._epsilon_limit_fn is None:
+            key_filter = None
+        else:
+            key_filter = (
+                lambda key: self._epsilon_limit_fn([key]) + 1e-12 >= budget.epsilon
+            )
+        window = self.access.offer_recent_blocks(
+            budget, self.window_blocks, key_filter=key_filter
+        )
+        if len(window) < self.window_blocks:
+            return None
+        return window
+
+    def _new_block_rate(self) -> float:
+        """Epsilon this session can expect on a freshly created block."""
+        rate = self.access.accountant.epsilon_global
+        if self._new_block_epsilon_fn is not None:
+            rate = min(rate, self._new_block_epsilon_fn())
+        return min(rate, self.config.epsilon_cap)
+
+    def _select_attempt(self):
+        """Pick (window, epsilon) for the next attempt, or (None, None).
+
+        An attempt fires only when a window of the committed size can fund
+        the committed budget; otherwise the session waits for fresh blocks.
+        (Attempting early at whatever is affordable would skim budget off
+        the freshest blocks, so no window could ever afford the committed
+        epsilon again.)  The one exception is allocation contention -- the
+        schedule still at epsilon_start but the platform granting less --
+        where the attempt runs at the granted level, compensating with data.
+        """
+        window = self._candidate_window(PrivacyBudget(self.epsilon, self.delta))
+        if window is not None:
+            available = self._epsilon_limit(window)
+            if available + 1e-12 >= self.epsilon:
+                return window, self.epsilon
+        # Contention fallback: when the schedule has not escalated yet, or
+        # the allocation rate has since dropped below the committed epsilon
+        # (more pipelines arrived), run with whatever is granted instead of
+        # stalling -- compensating with data per the exchange rate.
+        under_contention = (
+            self.epsilon <= self.config.epsilon_start + 1e-12
+            or self._new_block_rate() < self.epsilon - 1e-12
+        )
+        if under_contention:
+            window = self._candidate_window(
+                PrivacyBudget(self.epsilon_floor, self.delta)
+            )
+            if window is not None:
+                available = self._epsilon_limit(window)
+                if available + 1e-12 >= self.epsilon_floor:
+                    return window, min(available, self.epsilon)
+        return None, None
+
+    def _epsilon_limit(self, window: List[object]) -> float:
+        """Largest epsilon this session may spend on the window right now:
+        whatever the blocks can absorb, intersected with the platform's
+        per-pipeline allocation (both strategies honour the even split of
+        §5.4; they differ in how much of it each attempt consumes)."""
+        limit = self.access.max_epsilon(window, self.delta)
+        if self._epsilon_limit_fn is not None:
+            limit = min(limit, self._epsilon_limit_fn(window))
+        return min(limit, self.config.epsilon_cap)
+
+    # ------------------------------------------------------------------
+    def step(self) -> str:
+        """Run attempts until ACCEPT/REJECT/timeout or until blocked on data.
+
+        Returns the (possibly terminal) session status.
+        """
+        while self.status == SessionStatus.RUNNING:
+            if len(self.attempts) >= self.config.max_attempts:
+                self.status = SessionStatus.TIMEOUT
+                break
+
+            window, eps_attempt = self._select_attempt()
+            if window is None:
+                self.status = SessionStatus.NEED_DATA
+                break
+            if self.config.strategy == "aggressive":
+                # Spend everything available on this window right away.
+                eps_attempt = max(eps_attempt, self._epsilon_limit(window))
+                self.epsilon = max(self.epsilon, eps_attempt)
+            budget = PrivacyBudget(eps_attempt, self.delta)
+
+            self.access.request(window, budget, label=self.pipeline.name)
+            self.total_spent = self.total_spent + budget
+            batch = self.database.assemble(window)
+            run = self.pipeline.run(batch, budget, self.rng)
+            self.attempts.append(
+                AttemptRecord(
+                    attempt=len(self.attempts) + 1,
+                    window=tuple(window),
+                    budget=budget,
+                    outcome=run.outcome,
+                    train_size=len(batch),
+                )
+            )
+
+            if run.outcome is Outcome.ACCEPT:
+                self.final_run = run
+                self.status = SessionStatus.ACCEPTED
+            elif run.outcome is Outcome.REJECT:
+                self.final_run = run
+                self.status = SessionStatus.REJECTED
+            else:
+                self._escalate(window)
+        return self.status
+
+    def _escalate(self, window: List[object]) -> None:
+        """RETRY: double the budget if the allocation rate allows, else
+        double the window (§3.3's exact escalation rule).
+
+        The budget-doubling test asks whether *freshly arriving* blocks can
+        fund the doubled epsilon for this pipeline -- not whether the
+        just-spent window can (it never can once epsilon exceeds half the
+        block budget).  Committing here and waiting for qualifying blocks is
+        what lets the schedule actually reach epsilon_cap.
+        """
+        doubled = 2.0 * self.epsilon
+        if doubled <= self.config.epsilon_cap + 1e-12 and doubled <= self._new_block_rate() + 1e-12:
+            self.epsilon = doubled
+            return
+        self.window_blocks *= 2
+        # Epsilon never shrinks across escalations (§3.3's doubling argument).
+
+    # ------------------------------------------------------------------
+    def resume(self) -> str:
+        """Platform hook: unblock after new data arrived and step again."""
+        if self.status == SessionStatus.NEED_DATA:
+            self.status = SessionStatus.RUNNING
+        return self.step()
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in (
+            SessionStatus.ACCEPTED,
+            SessionStatus.REJECTED,
+            SessionStatus.TIMEOUT,
+        )
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of a one-shot privacy-adaptive training run."""
+
+    status: str
+    run: Optional[PipelineRun]
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    total_spent: PrivacyBudget = ZERO_BUDGET
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == SessionStatus.ACCEPTED
+
+
+class PrivacyAdaptiveTrainer:
+    """One-shot adaptive training on a (currently static) database."""
+
+    def __init__(
+        self,
+        access: SageAccessControl,
+        database: GrowingDatabase,
+        config: Optional[AdaptiveConfig] = None,
+    ) -> None:
+        self.access = access
+        self.database = database
+        self.config = config or AdaptiveConfig()
+
+    def train(self, pipeline, rng: np.random.Generator) -> AdaptiveResult:
+        session = AdaptiveSession(
+            pipeline, self.access, self.database, self.config, rng
+        )
+        status = session.step()
+        return AdaptiveResult(
+            status=status,
+            run=session.final_run,
+            attempts=session.attempts,
+            total_spent=session.total_spent,
+        )

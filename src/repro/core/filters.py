@@ -1,0 +1,194 @@
+"""Per-block privacy filters.
+
+A *filter* decides whether one more DP query may be charged to a block given
+everything already charged to it, while guaranteeing the block's cumulative
+privacy loss stays within the global (eps_g, delta_g) policy.  Two variants,
+matching the paper's two composition analyses:
+
+* :class:`BasicCompositionFilter` -- Theorem 4.3: admit while
+  ``sum eps_i <= eps_g`` and ``sum delta_i <= delta_g``.  Budgets add up, so
+  the notion of "remaining budget" is exact.
+* :class:`StrongCompositionFilter` -- Theorem A.2 (Rogers et al.'s adaptive
+  filter): admits *more* small queries than basic composition by paying a
+  ``delta_slack`` once.  There is no exact remaining budget; the filter
+  answers admissibility queries and can binary-search the largest admissible
+  next epsilon.
+
+Filters are pure decision logic over a charge history; the ledger/accountant
+layer owns the history itself.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.dp.budget import PrivacyBudget, ZERO_BUDGET, sum_budgets
+from repro.dp.composition import (
+    rogers_filter_epsilon,
+    rogers_filter_epsilon_from_sums as _rogers_from_sums,
+)
+from repro.errors import InvalidBudgetError
+
+__all__ = ["PrivacyFilter", "BasicCompositionFilter", "StrongCompositionFilter"]
+
+
+class PrivacyFilter(abc.ABC):
+    """Admissibility rule for charging DP queries against one block."""
+
+    def __init__(self, epsilon_global: float, delta_global: float) -> None:
+        if epsilon_global <= 0:
+            raise InvalidBudgetError(f"epsilon_global must be > 0, got {epsilon_global}")
+        if not 0.0 <= delta_global <= 1.0:
+            raise InvalidBudgetError(f"delta_global must be in [0, 1], got {delta_global}")
+        self.epsilon_global = epsilon_global
+        self.delta_global = delta_global
+
+    @property
+    def global_budget(self) -> PrivacyBudget:
+        return PrivacyBudget(self.epsilon_global, self.delta_global)
+
+    @abc.abstractmethod
+    def admits(
+        self,
+        history: Sequence[PrivacyBudget],
+        candidate: PrivacyBudget,
+        totals: tuple = None,
+    ) -> bool:
+        """True iff ``history + [candidate]`` keeps the block within policy.
+
+        ``totals``, when provided by the ledger, is the precomputed
+        ``(sum eps, sum delta, sum eps^2, sum (e^eps - 1) eps / 2)`` of the
+        history, making the check O(1).
+        """
+
+    @abc.abstractmethod
+    def max_epsilon(self, history: Sequence[PrivacyBudget], delta: float) -> float:
+        """Largest epsilon whose (epsilon, delta) charge would still be admitted."""
+
+    def loss_bound(self, history: Sequence[PrivacyBudget]) -> PrivacyBudget:
+        """A DP guarantee covering everything charged so far (diagnostics)."""
+        return sum_budgets(history)
+
+
+class BasicCompositionFilter(PrivacyFilter):
+    """Admit while budgets sum within (eps_g, delta_g) -- paper Theorem 4.3."""
+
+    def admits(
+        self,
+        history: Sequence[PrivacyBudget],
+        candidate: PrivacyBudget,
+        totals: tuple = None,
+    ) -> bool:
+        if totals is not None:
+            eps_sum, delta_sum = totals[0], totals[1]
+        else:
+            spent = sum_budgets(history)
+            eps_sum, delta_sum = spent.epsilon, spent.delta
+        total = PrivacyBudget(
+            eps_sum + candidate.epsilon, min(1.0, delta_sum + candidate.delta)
+        )
+        return total.fits_within(self.global_budget)
+
+    def remaining(self, history: Sequence[PrivacyBudget]) -> PrivacyBudget:
+        """Exact leftover budget under basic composition."""
+        spent = sum_budgets(history)
+        if not spent.fits_within(self.global_budget):
+            return ZERO_BUDGET
+        eps_left = max(0.0, self.epsilon_global - spent.epsilon)
+        delta_left = max(0.0, self.delta_global - spent.delta)
+        return PrivacyBudget(eps_left, delta_left)
+
+    def max_epsilon(self, history: Sequence[PrivacyBudget], delta: float) -> float:
+        left = self.remaining(history)
+        if delta > left.delta + 1e-15:
+            return 0.0
+        return left.epsilon
+
+
+class StrongCompositionFilter(PrivacyFilter):
+    """Rogers et al. adaptive strong-composition filter -- paper Theorem A.2.
+
+    ``delta_slack`` is the share of delta_global consumed by the filter's own
+    high-probability argument (delta_global/2 by default, leaving the other
+    half for the queries' own deltas).
+
+    The filter admits a charge when EITHER analysis keeps the block within
+    (eps_g, delta_g): basic composition's running sum, or Theorem A.2's
+    bound.  Both bounds hold simultaneously on the same loss (a union bound
+    pays the slack), so taking the better one is sound -- and necessary,
+    because the Rogers constant (28.04) makes lone moderate queries
+    inadmissible under the strong bound alone even when they trivially fit
+    the budget.
+    """
+
+    def __init__(
+        self,
+        epsilon_global: float,
+        delta_global: float,
+        delta_slack: float = None,
+    ) -> None:
+        super().__init__(epsilon_global, delta_global)
+        if delta_slack is None:
+            delta_slack = delta_global / 2.0
+        if not 0.0 < delta_slack < 1.0:
+            raise InvalidBudgetError(
+                f"delta_slack must be in (0, 1), got {delta_slack} "
+                "(strong composition requires delta_global > 0)"
+            )
+        if delta_slack > delta_global:
+            raise InvalidBudgetError("delta_slack cannot exceed delta_global")
+        self.delta_slack = delta_slack
+
+    def admits(
+        self,
+        history: Sequence[PrivacyBudget],
+        candidate: PrivacyBudget,
+        totals: tuple = None,
+    ) -> bool:
+        import math
+
+        if totals is not None:
+            eps_sum, delta_sum, sq_sum, linear_sum = totals
+        else:
+            eps_sum = sum(b.epsilon for b in history)
+            delta_sum = sum(b.delta for b in history)
+            sq_sum = sum(b.epsilon ** 2 for b in history)
+            linear_sum = sum(math.expm1(b.epsilon) * b.epsilon / 2.0 for b in history)
+        ce = candidate.epsilon
+        strong_value = _rogers_from_sums(
+            sq_sum + ce * ce,
+            linear_sum + math.expm1(ce) * ce / 2.0,
+            self.epsilon_global,
+            self.delta_slack,
+        )
+        basic_value = eps_sum + ce
+        eps_ok = min(strong_value, basic_value) <= self.epsilon_global + 1e-12
+        delta_ok = (
+            self.delta_slack + delta_sum + candidate.delta <= self.delta_global + 1e-15
+        )
+        return eps_ok and delta_ok
+
+    def max_epsilon(self, history: Sequence[PrivacyBudget], delta: float) -> float:
+        if not self.admits(history, PrivacyBudget(0.0, delta)):
+            return 0.0
+        lo, hi = 0.0, self.epsilon_global
+        if self.admits(history, PrivacyBudget(hi, delta)):
+            return hi
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.admits(history, PrivacyBudget(mid, delta)):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def loss_bound(self, history: Sequence[PrivacyBudget]) -> PrivacyBudget:
+        if not history:
+            return ZERO_BUDGET
+        strong = rogers_filter_epsilon(
+            [b.epsilon for b in history], self.epsilon_global, self.delta_slack
+        )
+        basic = sum(b.epsilon for b in history)
+        delta = min(1.0, self.delta_slack + sum(b.delta for b in history))
+        return PrivacyBudget(min(strong, basic), delta)

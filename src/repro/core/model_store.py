@@ -1,0 +1,93 @@
+"""The wide-access Model & Feature Store (Fig. 1, §2.1).
+
+Everything placed here is, per the threat model (§2.2), *released to the
+untrusted domain*: the store is the boundary at which privacy loss is
+incurred, which is why the platform only pushes bundles whose budgets were
+charged through access control.  The store itself is a plain registry --
+teams discover and reuse released models+features from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.validation.outcomes import ValidationResult
+from repro.dp.budget import PrivacyBudget
+from repro.errors import PipelineError
+
+__all__ = ["ReleasedBundle", "ModelFeatureStore"]
+
+
+@dataclass(frozen=True)
+class ReleasedBundle:
+    """A model+features release with its provenance."""
+
+    name: str
+    version: int
+    model: object
+    features: Dict
+    validation: ValidationResult
+    budget: PrivacyBudget
+    block_keys: Tuple
+    release_time_hours: float
+
+
+class ModelFeatureStore:
+    """Versioned registry of released bundles."""
+
+    def __init__(self) -> None:
+        self._bundles: Dict[str, List[ReleasedBundle]] = {}
+
+    def release(
+        self,
+        name: str,
+        model: object,
+        features: Dict,
+        validation: ValidationResult,
+        budget: PrivacyBudget,
+        block_keys,
+        release_time_hours: float = 0.0,
+    ) -> ReleasedBundle:
+        """Publish a bundle; only validated models should reach this point."""
+        if not validation.accepted:
+            raise PipelineError(
+                f"refusing to release {name!r}: validation outcome is "
+                f"{validation.outcome.value!r}, not accept"
+            )
+        versions = self._bundles.setdefault(name, [])
+        bundle = ReleasedBundle(
+            name=name,
+            version=len(versions) + 1,
+            model=model,
+            features=dict(features),
+            validation=validation,
+            budget=budget,
+            block_keys=tuple(block_keys),
+            release_time_hours=release_time_hours,
+        )
+        versions.append(bundle)
+        return bundle
+
+    # ------------------------------------------------------------------
+    def latest(self, name: str) -> Optional[ReleasedBundle]:
+        versions = self._bundles.get(name)
+        return versions[-1] if versions else None
+
+    def versions(self, name: str) -> List[ReleasedBundle]:
+        return list(self._bundles.get(name, []))
+
+    def names(self) -> List[str]:
+        return list(self._bundles)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._bundles.values())
+
+    def total_released_budget(self) -> PrivacyBudget:
+        """Sum of all released bundles' budgets (diagnostic; the *per-block*
+        accounting in the accountant is what the guarantee rests on)."""
+        total = PrivacyBudget(0.0, 0.0)
+        for versions in self._bundles.values():
+            for bundle in versions:
+                total = total + bundle.budget
+        return total

@@ -1,0 +1,340 @@
+"""DP training pipelines: the Sage analogue of TFX pipelines (§3.1, Fig. 2).
+
+A pipeline owns three developer-supplied stages, mirroring Listing 1:
+
+* ``preprocessing_fn(batch, epsilon, rng)`` -- optional; computes DP
+  aggregate features (e.g. ``dp_group_by_mean``) and returns the model
+  matrix.  Must be (epsilon, 0)-DP with respect to the batch.
+* ``trainer_fn(X, y, budget, rng)`` -- trains and returns an
+  :class:`~repro.ml.base.Estimator`; must be ``budget``-DP.
+* an SLAed validator -- consumes the held-out split and the validation
+  epsilon share.
+
+``run`` splits the granted (epsilon, delta) across stages as in Fig. 2
+(epsilon/3 each; all of delta to training) and charges the *sum* of the
+stage budgets, exactly the accounting the paper uses.
+
+Two further pipeline kinds cover Table 1's non-model rows:
+:class:`StatisticPipeline` (Avg.Speed x3) and :class:`HistogramPipeline`
+(Counts x26).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.validation.accuracy import DPAccuracyValidator
+from repro.core.validation.loss import DPLossValidator
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.core.validation.statistics import DPStatisticValidator
+from repro.data.stream import StreamBatch
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import make_rng
+from repro.dp.queries import dp_count, dp_histogram
+from repro.errors import PipelineError
+from repro.ml.metrics import squared_errors
+from repro.ml.preprocessing import train_test_split
+
+__all__ = [
+    "PipelineRun",
+    "TrainingPipeline",
+    "StatisticPipeline",
+    "HistogramPipeline",
+]
+
+PreprocessFn = Callable[[StreamBatch, float, np.random.Generator], Tuple[np.ndarray, np.ndarray, Dict]]
+TrainerFn = Callable[[np.ndarray, np.ndarray, PrivacyBudget, np.random.Generator], object]
+
+
+@dataclass
+class PipelineRun:
+    """Everything one pipeline invocation produced."""
+
+    name: str
+    outcome: Outcome
+    validation: ValidationResult
+    budget_charged: PrivacyBudget
+    model: object = None
+    features: Dict = field(default_factory=dict)
+    train_size: int = 0
+    test_size: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        return self.outcome is Outcome.ACCEPT
+
+
+class TrainingPipeline:
+    """A model-producing DP pipeline (Taxi LR/NN, Criteo LG/NN).
+
+    Parameters
+    ----------
+    name:
+        Pipeline identifier (used in charge labels and the model store).
+    trainer_fn:
+        Must return an estimator and be ``budget``-DP.
+    validator:
+        :class:`DPLossValidator` or :class:`DPAccuracyValidator`.
+    metric:
+        ``"mse"`` feeds per-example squared errors to a loss validator;
+        ``"accuracy"`` feeds 0/1 correctness to an accuracy validator.
+    preprocessing_fn:
+        Optional DP featurization stage; when absent its epsilon share goes
+        to training (the split then matches pipelines whose preprocessing is
+        record-local and free).
+    erm_fn:
+        Optional ``(X_train, y_train) -> per-example losses`` of the
+        empirical risk minimizer, enabling the REJECT test (closed-form
+        models only, §B.1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        trainer_fn: TrainerFn,
+        validator,
+        metric: str = "mse",
+        preprocessing_fn: Optional[PreprocessFn] = None,
+        erm_fn: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+        test_fraction: float = 0.1,
+    ) -> None:
+        if metric not in ("mse", "accuracy"):
+            raise PipelineError(f"metric must be 'mse' or 'accuracy', got {metric!r}")
+        if metric == "mse" and not isinstance(validator, DPLossValidator):
+            raise PipelineError("metric 'mse' requires a DPLossValidator")
+        if metric == "accuracy" and not isinstance(validator, DPAccuracyValidator):
+            raise PipelineError("metric 'accuracy' requires a DPAccuracyValidator")
+        if not 0.0 < test_fraction < 1.0:
+            raise PipelineError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        self.name = name
+        self.trainer_fn = trainer_fn
+        self.validator = validator
+        self.metric = metric
+        self.preprocessing_fn = preprocessing_fn
+        self.erm_fn = erm_fn
+        self.test_fraction = test_fraction
+
+    # ------------------------------------------------------------------
+    def _stage_budgets(self, budget: PrivacyBudget) -> Tuple[float, PrivacyBudget, float]:
+        """(eps_preprocess, train_budget, eps_validate) per Fig. 2."""
+        third = budget.epsilon / 3.0
+        if self.preprocessing_fn is None:
+            return 0.0, PrivacyBudget(2.0 * third, budget.delta), third
+        return third, PrivacyBudget(third, budget.delta), third
+
+    def _test_statistics(self, model, X_test: np.ndarray, y_test: np.ndarray) -> np.ndarray:
+        predictions = model.predict(X_test)
+        if self.metric == "mse":
+            return squared_errors(y_test, predictions)
+        labels = (np.asarray(predictions, dtype=float) >= 0.5).astype(float)
+        return (labels == np.asarray(y_test, dtype=float)).astype(float)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        batch: StreamBatch,
+        budget: PrivacyBudget,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> PipelineRun:
+        """Preprocess, train, and SLA-validate on one assembled batch.
+
+        The caller (iterator/platform) is responsible for having charged
+        ``budget`` to the blocks that produced ``batch``; this method only
+        guarantees it doesn't *exceed* that budget.
+        """
+        rng = make_rng(rng)
+        eps_pre, train_budget, eps_val = self._stage_budgets(budget)
+
+        features: Dict = {}
+        if self.preprocessing_fn is not None:
+            X, y, features = self.preprocessing_fn(batch, eps_pre, rng)
+        else:
+            X, y = batch.X, batch.y
+
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, self.test_fraction, rng
+        )
+        model = self.trainer_fn(X_train, y_train, train_budget, rng)
+
+        stats = self._test_statistics(model, X_test, y_test)
+        erm_losses = None
+        if self.erm_fn is not None and self.metric == "mse":
+            erm_losses = self.erm_fn(X_train, y_train)
+        if self.metric == "mse":
+            validation = self.validator.validate(
+                stats, eps_val, rng,
+                erm_train_losses=erm_losses,
+                correct_for_dp=correct_for_dp,
+            )
+        else:
+            validation = self.validator.validate(
+                stats, eps_val, rng, correct_for_dp=correct_for_dp
+            )
+        return PipelineRun(
+            name=self.name,
+            outcome=validation.outcome,
+            validation=validation,
+            budget_charged=budget,
+            model=model,
+            features=features,
+            train_size=int(X_train.shape[0]),
+            test_size=int(X_test.shape[0]),
+        )
+
+
+class StatisticPipeline:
+    """Per-key DP mean statistic with absolute-error SLA (Avg.Speed x3).
+
+    Releases ``dp_group_by_mean(key_column, value_column)`` and ACCEPTs only
+    if every key's error bound meets the target.  Keys partition the data,
+    so the whole release is (epsilon, 0)-DP by parallel composition; the
+    confidence is union-bounded across keys.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_column: str,
+        value_column: str,
+        nkeys: int,
+        value_range: float,
+        target: float,
+        confidence: float = 0.95,
+    ) -> None:
+        if nkeys <= 0:
+            raise PipelineError(f"nkeys must be > 0, got {nkeys}")
+        self.name = name
+        self.key_column = key_column
+        self.value_column = value_column
+        self.nkeys = nkeys
+        self.value_range = value_range
+        self.target = target
+        self.confidence = confidence
+
+    def run(
+        self,
+        batch: StreamBatch,
+        budget: PrivacyBudget,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> PipelineRun:
+        rng = make_rng(rng)
+        epsilon = budget.epsilon
+        keys = np.asarray(batch.extras[self.key_column])
+        values = np.asarray(batch.extras[self.value_column])
+        # One validator per key; the keys partition the data, so by parallel
+        # composition the combined release-and-bound is (epsilon, 0)-DP.
+        # Confidence is union-bounded across keys.
+        per_key_confidence = 1.0 - (1.0 - self.confidence) / self.nkeys
+        validator = DPStatisticValidator(
+            self.target, self.value_range, confidence=per_key_confidence
+        )
+        means = np.zeros(self.nkeys)
+        worst_bound = 0.0
+        all_accept = True
+        for k in range(self.nkeys):
+            key_values = values[keys == k]
+            if key_values.size == 0:
+                all_accept = False
+                worst_bound = float("inf")
+                continue
+            means[k], result = validator.release_and_validate(
+                key_values, epsilon, rng, correct_for_dp=correct_for_dp
+            )
+            worst_bound = max(worst_bound, result.details.get("error_bound", float("inf")))
+            all_accept = all_accept and result.outcome is Outcome.ACCEPT
+        outcome = Outcome.ACCEPT if all_accept else Outcome.RETRY
+        validation = ValidationResult(
+            outcome,
+            PrivacyBudget(epsilon, 0.0),
+            {"worst_error_bound": worst_bound},
+        )
+        return PipelineRun(
+            name=self.name,
+            outcome=outcome,
+            validation=validation,
+            budget_charged=budget,
+            model=means,
+            features={"group_means": means},
+            train_size=len(batch),
+            test_size=0,
+        )
+
+
+class HistogramPipeline:
+    """DP frequency histogram of one categorical column (Criteo Counts x26).
+
+    Releases normalized category frequencies and ACCEPTs when every
+    category's absolute frequency error is bounded by the target with
+    probability (1 - eta): Laplace tails (union over cells) plus Hoeffding
+    sampling error, each corrected for the DP count of n.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_column: str,
+        nkeys: int,
+        target: float,
+        confidence: float = 0.95,
+    ) -> None:
+        if nkeys <= 0:
+            raise PipelineError(f"nkeys must be > 0, got {nkeys}")
+        if target <= 0:
+            raise PipelineError(f"target must be > 0, got {target}")
+        self.name = name
+        self.key_column = key_column
+        self.nkeys = nkeys
+        self.target = target
+        self.confidence = confidence
+
+    def run(
+        self,
+        batch: StreamBatch,
+        budget: PrivacyBudget,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> PipelineRun:
+        rng = make_rng(rng)
+        epsilon = budget.epsilon
+        keys = np.asarray(batch.extras[self.key_column])
+        n = keys.size
+        eta = 1.0 - self.confidence
+        # epsilon/2 for the histogram (parallel across cells), epsilon/2 for n.
+        counts = dp_histogram(keys, self.nkeys, epsilon / 2.0, rng)
+        n_dp = dp_count(n, epsilon / 2.0, rng)
+        correction = math.log(3.0 / (2.0 * eta)) if correct_for_dp else 0.0
+        n_min = n_dp - 4.0 * correction / epsilon
+
+        if n_min <= 1.0:
+            outcome = Outcome.RETRY
+            bound = float("inf")
+            freqs = np.clip(counts / max(n_dp, 1.0), 0.0, 1.0)
+        else:
+            freqs = np.clip(counts / n_min, 0.0, 1.0)
+            # Laplace tail on each cell count, union-bounded over cells.
+            cell_eta = eta / (3.0 * self.nkeys)
+            cell_tail = (2.0 / (epsilon / 2.0)) * math.log(1.0 / (2.0 * cell_eta))
+            noise_error = (cell_tail + 4.0 * correction / epsilon) / n_min
+            sampling_error = math.sqrt(math.log(3.0 * self.nkeys / eta) / (2.0 * n_min))
+            bound = noise_error + sampling_error
+            outcome = Outcome.ACCEPT if bound <= self.target else Outcome.RETRY
+
+        validation = ValidationResult(
+            outcome, PrivacyBudget(epsilon, 0.0), {"error_bound": bound}
+        )
+        return PipelineRun(
+            name=self.name,
+            outcome=outcome,
+            validation=validation,
+            budget_charged=budget,
+            model=freqs,
+            features={"frequencies": freqs},
+            train_size=n,
+            test_size=0,
+        )

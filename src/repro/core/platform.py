@@ -1,0 +1,242 @@
+"""The Sage platform: streams in, validated DP models out (Fig. 2).
+
+Ties every core piece together for one sensitive stream:
+
+* a :class:`~repro.data.database.StreamIngestor` lands new blocks in the
+  Growing Database;
+* :class:`~repro.core.access_control.SageAccessControl` tracks per-block
+  privacy loss under the global (eps_g, delta_g) policy;
+* submitted pipelines run inside stateful
+  :class:`~repro.core.adaptive.AdaptiveSession` escalation loops;
+* newly arrived blocks' budget is divided evenly among waiting pipelines
+  (the conserve allocation of §3.3), and an accepted pipeline's unused
+  reservations are returned to the pool for the others;
+* accepted bundles are pushed to the wide-access
+  :class:`~repro.core.model_store.ModelFeatureStore`.
+
+``advance(hours)`` is the simulation clock: ingest, allocate, resume
+sessions, release.  Real deployments would drive the same calls from wall
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.access_control import SageAccessControl
+from repro.core.adaptive import AdaptiveConfig, AdaptiveSession, SessionStatus
+from repro.core.model_store import ModelFeatureStore, ReleasedBundle
+from repro.data.database import GrowingDatabase, StreamIngestor
+from repro.data.stream import StreamSource, TimePartitioner
+from repro.errors import PipelineError
+
+__all__ = ["Sage", "SubmittedPipeline"]
+
+
+@dataclass
+class SubmittedPipeline:
+    """Bookkeeping for one pipeline queued on the platform."""
+
+    pipeline: object
+    session: AdaptiveSession
+    submit_time_hours: float
+    release_time_hours: Optional[float] = None
+    bundle: Optional[ReleasedBundle] = None
+    # Per-block epsilon reservations granted by the allocator.
+    reservations: Dict[object, float] = field(default_factory=dict)
+    # Number of session attempts already deducted from reservations.
+    settled_attempts: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.pipeline.name
+
+    @property
+    def status(self) -> str:
+        return self.session.status
+
+    @property
+    def waiting(self) -> bool:
+        return not self.session.is_terminal
+
+
+class Sage:
+    """A Sage deployment over one sensitive stream."""
+
+    def __init__(
+        self,
+        source: StreamSource,
+        epsilon_global: float = 1.0,
+        delta_global: float = 1e-6,
+        block_hours: float = 1.0,
+        filter_factory=None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.database = GrowingDatabase()
+        self.rng = np.random.default_rng(seed)
+        self.ingestor = StreamIngestor(
+            source,
+            self.database,
+            TimePartitioner(window_hours=block_hours),
+            rng=self.rng,
+        )
+        self.access = SageAccessControl(
+            epsilon_global, delta_global, filter_factory=filter_factory
+        )
+        self.store = ModelFeatureStore()
+        self.epsilon_global = epsilon_global
+        self.delta_global = delta_global
+        self._pipelines: List[SubmittedPipeline] = []
+        # Unreserved epsilon still distributable, per block.
+        self._free_epsilon: Dict[object, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def clock_hours(self) -> float:
+        return self.ingestor.clock_hours
+
+    def submit(
+        self, pipeline, config: Optional[AdaptiveConfig] = None
+    ) -> SubmittedPipeline:
+        """Queue a DP pipeline for privacy-adaptive training."""
+        config = config or AdaptiveConfig()
+        entry = SubmittedPipeline(
+            pipeline=pipeline,
+            session=None,  # type: ignore[arg-type]
+            submit_time_hours=self.clock_hours,
+        )
+        session = AdaptiveSession(
+            pipeline,
+            self.access,
+            self.database,
+            config,
+            self.rng,
+            epsilon_limit_fn=lambda window, e=entry: self._reservation_limit(e, window),
+            new_block_epsilon_fn=self._new_block_share,
+        )
+        entry.session = session
+        self._pipelines.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Allocation (conserve strategy of §3.3)
+    # ------------------------------------------------------------------
+    def _waiting_pipelines(self) -> List[SubmittedPipeline]:
+        return [p for p in self._pipelines if p.waiting]
+
+    def _new_block_share(self) -> float:
+        """Per-pipeline epsilon a freshly created block would grant now."""
+        waiting = max(1, len(self._waiting_pipelines()))
+        return self.epsilon_global / waiting
+
+    def _reservation_limit(self, entry: SubmittedPipeline, window) -> float:
+        """The epsilon this pipeline may spend on that window: the smallest
+        reservation it holds across the window's blocks.  Charges made
+        earlier in the same session step are settled first so mid-step
+        attempts cannot overdraw the reservation."""
+        self._settle_charges(entry)
+        if not window:
+            return 0.0
+        return min(entry.reservations.get(key, 0.0) for key in window)
+
+    def _allocate_block(self, key: object) -> None:
+        """Divide a new block's budget evenly among waiting pipelines."""
+        waiting = self._waiting_pipelines()
+        if not waiting:
+            self._free_epsilon[key] = self._free_epsilon.get(key, 0.0) + self.epsilon_global
+            return
+        share = self.epsilon_global / len(waiting)
+        for entry in waiting:
+            entry.reservations[key] = entry.reservations.get(key, 0.0) + share
+
+    def _redistribute(self, finished: SubmittedPipeline) -> None:
+        """Return a finished pipeline's unused reservations to the others."""
+        leftovers = {k: v for k, v in finished.reservations.items() if v > 0}
+        finished.reservations = {}
+        waiting = self._waiting_pipelines()
+        for key, amount in leftovers.items():
+            if waiting:
+                share = amount / len(waiting)
+                for entry in waiting:
+                    entry.reservations[key] = entry.reservations.get(key, 0.0) + share
+            else:
+                self._free_epsilon[key] = self._free_epsilon.get(key, 0.0) + amount
+
+    def _grant_free_pool(self) -> None:
+        """Hand any unreserved budget to newly waiting pipelines."""
+        waiting = self._waiting_pipelines()
+        if not waiting or not self._free_epsilon:
+            return
+        for key, amount in list(self._free_epsilon.items()):
+            share = amount / len(waiting)
+            for entry in waiting:
+                entry.reservations[key] = entry.reservations.get(key, 0.0) + share
+            del self._free_epsilon[key]
+
+    def _settle_charges(self, entry: SubmittedPipeline) -> None:
+        """Decrement reservations by what the session actually charged."""
+        for record in entry.session.attempts[entry.settled_attempts:]:
+            for key in record.window:
+                held = entry.reservations.get(key, 0.0)
+                entry.reservations[key] = max(0.0, held - record.budget.epsilon)
+        entry.settled_attempts = len(entry.session.attempts)
+
+    # ------------------------------------------------------------------
+    def advance(self, hours: float = 1.0) -> List[ReleasedBundle]:
+        """Move the clock: ingest, allocate, resume sessions, release.
+
+        Returns the bundles released during this step.
+        """
+        new_blocks = self.ingestor.advance(hours)
+        for block in new_blocks:
+            self.access.register_block(block.key)
+            self._allocate_block(block.key)
+        self._grant_free_pool()
+
+        released: List[ReleasedBundle] = []
+        for entry in self._pipelines:
+            if not entry.waiting:
+                continue
+            entry.session.resume()
+            self._settle_charges(entry)
+            if entry.session.status == SessionStatus.ACCEPTED:
+                run = entry.session.final_run
+                bundle = self.store.release(
+                    name=entry.name,
+                    model=run.model,
+                    features=run.features,
+                    validation=run.validation,
+                    budget=entry.session.total_spent,
+                    block_keys=entry.session.attempts[-1].window,
+                    release_time_hours=self.clock_hours,
+                )
+                entry.bundle = bundle
+                entry.release_time_hours = self.clock_hours
+                released.append(bundle)
+                self._redistribute(entry)
+            elif entry.session.is_terminal:
+                self._redistribute(entry)
+        return released
+
+    # ------------------------------------------------------------------
+    def run_until_quiet(self, max_hours: int = 200) -> List[ReleasedBundle]:
+        """Advance hour by hour until no pipeline is waiting (or the cap)."""
+        released: List[ReleasedBundle] = []
+        for _ in range(max_hours):
+            released.extend(self.advance(1.0))
+            if not self._waiting_pipelines():
+                break
+        return released
+
+    @property
+    def pipelines(self) -> List[SubmittedPipeline]:
+        return list(self._pipelines)
+
+    def pipeline_named(self, name: str) -> SubmittedPipeline:
+        for entry in self._pipelines:
+            if entry.name == name:
+                return entry
+        raise PipelineError(f"no pipeline named {name!r}")

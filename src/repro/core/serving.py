@@ -1,0 +1,137 @@
+"""Serving infrastructure (the right-hand side of Fig. 1).
+
+Once a bundle leaves the Model & Feature Store it lives in the untrusted
+domain: prediction servers and end-user devices.  This module models that
+side of the platform so examples and integration tests can exercise the
+full release path:
+
+* :class:`PredictionServer` -- serves a released bundle's predictions and
+  keeps request counters (everything it sees is already DP-protected by the
+  training-time guarantee; serving adds no privacy cost).
+* :class:`ContinuousEvaluator` -- the "continuously evaluates ... on new
+  data" box of §2.1: scores the live model on fresh labeled traffic and
+  flags *quality regressions* against the validation-time target.  A flag
+  is a signal to resubmit the pipeline (fresh blocks have fresh budget);
+  the evaluator itself only consumes data through the platform's DP
+  release, so it reports DP statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model_store import ReleasedBundle
+from repro.dp.mechanisms import laplace_noise, make_rng
+from repro.errors import PipelineError
+from repro.ml.metrics import squared_errors
+
+__all__ = ["PredictionServer", "ContinuousEvaluator", "EvaluationTick"]
+
+
+class PredictionServer:
+    """A (simulated) world-facing inference endpoint for one bundle."""
+
+    def __init__(self, bundle: ReleasedBundle, region: str = "global") -> None:
+        if bundle.model is None:
+            raise PipelineError("bundle carries no model")
+        self.bundle = bundle
+        self.region = region
+        self.requests_served = 0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        self.requests_served += int(X.shape[0])
+        return self.bundle.model.predict(X)
+
+    def rollout(self, new_bundle: ReleasedBundle) -> "PredictionServer":
+        """Swap in a newer version (returns self for chaining)."""
+        if new_bundle.name != self.bundle.name:
+            raise PipelineError(
+                f"cannot roll {new_bundle.name!r} onto a {self.bundle.name!r} server"
+            )
+        if new_bundle.version < self.bundle.version:
+            raise PipelineError("cannot roll back to an older version")
+        self.bundle = new_bundle
+        return self
+
+
+@dataclass
+class EvaluationTick:
+    """One continuous-evaluation measurement."""
+
+    clock_hours: float
+    dp_metric: float
+    samples: int
+    regressed: bool
+
+
+class ContinuousEvaluator:
+    """Periodically score a served model on fresh labeled traffic.
+
+    Each tick computes a DP estimate of the model's loss on the fresh batch
+    (Laplace on the clipped loss sum and the count, epsilon_per_tick split
+    between them) and compares it against ``target * tolerance``.  Ticks
+    consume budget from the platform like any other query, so callers pass
+    the epsilon they were granted.
+
+    Only regression *detection* lives here; what to do about it (resubmit
+    the pipeline on fresh blocks) is the platform operator's loop.
+    """
+
+    def __init__(
+        self,
+        server: PredictionServer,
+        target: float,
+        loss_bound: float = 1.0,
+        tolerance: float = 1.5,
+    ) -> None:
+        if target <= 0:
+            raise PipelineError(f"target must be > 0, got {target}")
+        if loss_bound <= 0:
+            raise PipelineError(f"loss_bound must be > 0, got {loss_bound}")
+        if tolerance < 1.0:
+            raise PipelineError(f"tolerance must be >= 1, got {tolerance}")
+        self.server = server
+        self.target = target
+        self.loss_bound = loss_bound
+        self.tolerance = tolerance
+        self.history: List[EvaluationTick] = []
+
+    def tick(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epsilon: float,
+        clock_hours: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> EvaluationTick:
+        """Score one fresh labeled batch; (epsilon, 0)-DP w.r.t. that batch."""
+        if epsilon <= 0:
+            raise PipelineError(f"epsilon must be > 0, got {epsilon}")
+        rng = make_rng(rng)
+        predictions = self.server.predict(X)
+        losses = np.clip(squared_errors(y, predictions), 0.0, self.loss_bound)
+        n = losses.size
+        noisy_sum = float(losses.sum()) + laplace_noise(
+            rng, 2.0 * self.loss_bound / epsilon
+        )
+        noisy_n = max(1.0, n + laplace_noise(rng, 2.0 / epsilon))
+        dp_metric = max(0.0, noisy_sum / noisy_n)
+        tick = EvaluationTick(
+            clock_hours=clock_hours,
+            dp_metric=dp_metric,
+            samples=n,
+            regressed=dp_metric > self.target * self.tolerance,
+        )
+        self.history.append(tick)
+        return tick
+
+    @property
+    def regression_flagged(self) -> bool:
+        """True if the two most recent ticks both regressed (debounced)."""
+        if len(self.history) < 2:
+            return False
+        return self.history[-1].regressed and self.history[-2].regressed

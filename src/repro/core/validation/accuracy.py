@@ -1,0 +1,130 @@
+"""SLAed validator for accuracy (Appendix B.2).
+
+Classification predictions are Bernoulli trials, so the validator uses
+Clopper-Pearson binomial bounds, which are tighter than Bernstein for this
+case (the reason Table 2's accuracy rows beat its loss rows).  Structure
+mirrors the loss validator: DP correct-count and DP test-size via Laplace,
+worst-case noise corrections, then the binomial bound against the target.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.validation.bounds import binomial_lower_bound, binomial_upper_bound
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import laplace_noise, make_rng
+from repro.errors import ValidationError
+
+__all__ = ["DPAccuracyValidator"]
+
+
+class DPAccuracyValidator:
+    """ACCEPT/REJECT/RETRY for an accuracy target tau_acc in (0, 1)."""
+
+    def __init__(self, target: float, confidence: float = 0.95) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValidationError(f"target must be in (0, 1), got {target}")
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+        self.target = target
+        self.confidence = confidence
+
+    # ------------------------------------------------------------------
+    def accept_test(
+        self,
+        correct: np.ndarray,
+        epsilon: float,
+        eta: float,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> ValidationResult:
+        """ACCEPT iff a DP lower confidence bound on accuracy clears the target.
+
+        ``correct`` is the per-example 0/1 correctness vector on the test set.
+        (epsilon, 0)-DP: Laplace(2/epsilon) on both the correct count and the
+        test-set size.
+        """
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be > 0, got {epsilon}")
+        correct = np.asarray(correct, dtype=float).reshape(-1)
+        n = correct.size
+        if n == 0:
+            raise ValidationError("empty test set")
+        rng = make_rng(rng)
+        shift = 2.0 * math.log(3.0 / eta) / epsilon if correct_for_dp else 0.0
+
+        k_dp = float(np.sum(correct)) + laplace_noise(rng, 2.0 / epsilon)
+        n_dp = n + laplace_noise(rng, 2.0 / epsilon)
+        # Worst-case corrections push the bound down: fewer successes, more trials.
+        k_low = k_dp - shift
+        n_high = n_dp + shift
+
+        details = {"k_dp": k_dp, "n_dp": n_dp, "epsilon": epsilon}
+        spent = PrivacyBudget(epsilon, 0.0)
+        if n_high <= 1.0:
+            return ValidationResult(Outcome.RETRY, spent, details)
+        lower = binomial_lower_bound(k_low, n_high, eta / 3.0)
+        details["accuracy_lower_bound"] = lower
+        outcome = Outcome.ACCEPT if lower >= self.target else Outcome.RETRY
+        return ValidationResult(outcome, spent, details)
+
+    # ------------------------------------------------------------------
+    def reject_test(
+        self,
+        best_correct_train: np.ndarray,
+        epsilon: float,
+        eta: float,
+        rng: np.random.Generator,
+    ) -> ValidationResult:
+        """REJECT iff even the best-in-class model's accuracy upper bound
+        misses the target (requires the empirical maximizer, §B.2)."""
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be > 0, got {epsilon}")
+        correct = np.asarray(best_correct_train, dtype=float).reshape(-1)
+        n = correct.size
+        if n == 0:
+            raise ValidationError("empty training set")
+        rng = make_rng(rng)
+        shift = 2.0 * math.log(3.0 / eta) / epsilon
+
+        k_dp = float(np.sum(correct)) + laplace_noise(rng, 2.0 / epsilon)
+        n_dp = n + laplace_noise(rng, 2.0 / epsilon)
+        k_high = k_dp + shift
+        n_low = n_dp - shift
+
+        details = {"k_dp": k_dp, "n_dp": n_dp, "epsilon": epsilon}
+        spent = PrivacyBudget(epsilon, 0.0)
+        if n_low <= 1.0:
+            return ValidationResult(Outcome.RETRY, spent, details)
+        upper = binomial_upper_bound(k_high, n_low, eta / 3.0)
+        details["accuracy_upper_bound"] = upper
+        outcome = Outcome.REJECT if upper < self.target else Outcome.RETRY
+        return ValidationResult(outcome, spent, details)
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        correct: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        best_correct_train: Optional[np.ndarray] = None,
+        correct_for_dp: bool = True,
+    ) -> ValidationResult:
+        """Try ACCEPT, then REJECT when the empirical maximizer is available."""
+        eta = 1.0 - self.confidence
+        result = self.accept_test(
+            correct, epsilon, eta / 2.0, rng, correct_for_dp=correct_for_dp
+        )
+        if result.outcome is Outcome.ACCEPT:
+            return result
+        if best_correct_train is not None:
+            reject = self.reject_test(best_correct_train, epsilon, eta / 2.0, rng)
+            if reject.outcome is Outcome.REJECT:
+                reject.details.update(result.details)
+                return reject
+        return ValidationResult(Outcome.RETRY, result.budget_spent, result.details)

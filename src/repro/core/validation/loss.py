@@ -1,0 +1,170 @@
+"""SLAed validator for loss metrics (Listing 2 / Appendix B.1).
+
+The ACCEPT test releases a model only when, with probability at least
+(1 - eta), its *expected* loss on the data distribution is at most the
+target.  It is (epsilon, 0)-DP on the test set: the test-set size and the
+clipped loss sum each get half the epsilon via the Laplace mechanism, and
+every DP estimate is corrected for the worst-case noise draw before the
+Bernstein bound is applied -- the correction whose removal Table 2 shows to
+be catastrophic ("UC DP SLA" column).
+
+The REJECT test (Prop. B.2) decides that *no* model in the class can meet
+the target.  It needs the empirical-risk-minimizer's training loss, which
+the caller supplies when computable (e.g. closed-form ridge); pipelines
+without it simply never REJECT (NNs, per the paper's closing remark in B.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.validation.bounds import bernstein_upper_bound, hoeffding_deviation
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import laplace_noise, make_rng
+from repro.errors import ValidationError
+
+__all__ = ["DPLossValidator"]
+
+
+class DPLossValidator:
+    """ACCEPT/REJECT/RETRY for bounded loss metrics (MSE, log-loss, ...).
+
+    Parameters
+    ----------
+    target:
+        tau_loss -- the loss the released model must stay under.
+    loss_bound:
+        B -- per-example losses are clipped into [0, B] before summing.
+    confidence:
+        1 - eta; Listing 2's default is 0.95.
+    """
+
+    def __init__(self, target: float, loss_bound: float = 1.0, confidence: float = 0.95) -> None:
+        if target < 0:
+            raise ValidationError(f"target must be >= 0, got {target}")
+        if loss_bound <= 0:
+            raise ValidationError(f"loss_bound must be > 0, got {loss_bound}")
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+        self.target = target
+        self.loss_bound = loss_bound
+        self.confidence = confidence
+
+    # ------------------------------------------------------------------
+    def accept_test(
+        self,
+        test_losses: np.ndarray,
+        epsilon: float,
+        eta: float,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> ValidationResult:
+        """Listing 2's ``_ACCEPT_test`` on per-example test losses.
+
+        ``correct_for_dp=False`` reproduces Table 2's "UC DP SLA" ablation:
+        the DP noise is still added but the worst-case corrections are
+        skipped, voiding the statistical guarantee.
+        """
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be > 0, got {epsilon}")
+        B = self.loss_bound
+        losses = np.clip(np.asarray(test_losses, dtype=float).reshape(-1), 0.0, B)
+        n = losses.size
+        if n == 0:
+            raise ValidationError("empty test set")
+        rng = make_rng(rng)
+        correction = math.log(3.0 / (2.0 * eta)) if correct_for_dp else 0.0
+
+        # DP test-set size, corrected downward (lower bound w.p. 1 - eta/3).
+        n_dp = n + laplace_noise(rng, 2.0 / epsilon)
+        n_dp_min = n_dp - 2.0 * correction / epsilon
+        # DP loss sum, corrected upward (upper bound w.p. 1 - eta/3).
+        loss_sum_dp = float(np.sum(losses)) + laplace_noise(rng, 2.0 * B / epsilon)
+        loss_sum_dp_corr = loss_sum_dp + 2.0 * B * correction / epsilon
+
+        details = {
+            "n_dp_min": n_dp_min,
+            "dp_loss_sum": loss_sum_dp_corr,
+            "epsilon": epsilon,
+        }
+        spent = PrivacyBudget(epsilon, 0.0)
+        if n_dp_min <= 1.0:
+            # Too few (DP-estimated) samples for any statement.
+            return ValidationResult(Outcome.RETRY, spent, details)
+        mean_loss = max(0.0, loss_sum_dp_corr / n_dp_min)
+        upper = bernstein_upper_bound(mean_loss, n_dp_min, eta / 3.0, B)
+        details["loss_upper_bound"] = upper
+        outcome = Outcome.ACCEPT if upper <= self.target else Outcome.RETRY
+        return ValidationResult(outcome, spent, details)
+
+    # ------------------------------------------------------------------
+    def reject_test(
+        self,
+        erm_train_losses: np.ndarray,
+        epsilon: float,
+        eta: float,
+        rng: np.random.Generator,
+    ) -> ValidationResult:
+        """Appendix B.1's REJECT test on the ERM's per-example training losses.
+
+        Rejects (w.p. >= 1 - eta correctly) when even the best model in the
+        class has expected loss above the target.
+        """
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be > 0, got {epsilon}")
+        B = self.loss_bound
+        losses = np.clip(np.asarray(erm_train_losses, dtype=float).reshape(-1), 0.0, B)
+        n = losses.size
+        if n == 0:
+            raise ValidationError("empty training set")
+        rng = make_rng(rng)
+
+        n_dp = n + laplace_noise(rng, 2.0 / epsilon)
+        n_dp_min = n_dp - 2.0 * math.log(3.0 / eta) / epsilon
+        n_dp_max = n_dp + 2.0 * math.log(3.0 / eta) / epsilon
+        loss_sum_dp = float(np.sum(losses)) + laplace_noise(rng, 2.0 * B / epsilon)
+        # Lower bound on the ERM's training loss sum w.p. 1 - eta/3.
+        loss_sum_dp_corr = loss_sum_dp - 2.0 * B * math.log(3.0 / (2.0 * eta)) / epsilon
+
+        details = {"n_dp_min": n_dp_min, "epsilon": epsilon}
+        spent = PrivacyBudget(epsilon, 0.0)
+        if n_dp_min <= 1.0 or n_dp_max <= 1.0:
+            return ValidationResult(Outcome.RETRY, spent, details)
+        erm_loss_lower = max(0.0, loss_sum_dp_corr) / n_dp_max
+        threshold = erm_loss_lower - hoeffding_deviation(n_dp_min, eta / 3.0, B)
+        details["erm_loss_lower"] = threshold
+        outcome = Outcome.REJECT if threshold > self.target else Outcome.RETRY
+        return ValidationResult(outcome, spent, details)
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        test_losses: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        erm_train_losses: Optional[np.ndarray] = None,
+        correct_for_dp: bool = True,
+    ) -> ValidationResult:
+        """Full Listing 2 flow: try ACCEPT, then REJECT, else RETRY.
+
+        The two tests run on disjoint data splits (test vs train), so by
+        parallel composition the whole validation is (epsilon, 0)-DP.
+        Confidence is split evenly between the tests as in Listing 2
+        (``(1-conf)/2`` each).
+        """
+        eta = 1.0 - self.confidence
+        result = self.accept_test(
+            test_losses, epsilon, eta / 2.0, rng, correct_for_dp=correct_for_dp
+        )
+        if result.outcome is Outcome.ACCEPT:
+            return result
+        if erm_train_losses is not None:
+            reject = self.reject_test(erm_train_losses, epsilon, eta / 2.0, rng)
+            if reject.outcome is Outcome.REJECT:
+                reject.details.update(result.details)
+                return reject
+        return ValidationResult(Outcome.RETRY, result.budget_spent, result.details)

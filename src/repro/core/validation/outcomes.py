@@ -1,0 +1,44 @@
+"""Validation outcomes: ACCEPT / REJECT / RETRY (§3.3, Fig. 2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dp.budget import PrivacyBudget
+
+__all__ = ["Outcome", "ValidationResult"]
+
+
+class Outcome(enum.Enum):
+    """The three possible answers of an SLAed validator.
+
+    * ACCEPT -- with probability >= (1 - eta) the model meets its quality
+      target on the underlying distribution (Prop. 3.1).
+    * REJECT -- with probability >= (1 - eta) *no* model in the class can
+      meet the target (Prop. B.2); retraining with more data cannot help.
+    * RETRY -- not enough evidence either way; privacy-adaptive training
+      should escalate data and/or budget.
+    """
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    RETRY = "retry"
+
+
+@dataclass
+class ValidationResult:
+    """Outcome plus the DP diagnostics the decision was based on."""
+
+    outcome: Outcome
+    budget_spent: PrivacyBudget
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        return self.outcome is Outcome.ACCEPT
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome is Outcome.REJECT

@@ -1,0 +1,97 @@
+"""SLAed validator for sum-based statistics (Appendix B.3).
+
+The Avg.Speed (Taxi) and histogram (Criteo) pipelines of Table 1 release DP
+statistics rather than trained models.  Their target is an *absolute error*
+tau_err against the population value.  Two differences from the model
+validators (both noted in B.3):
+
+* the error can be bounded on the training data directly, so there is no
+  separate test set; and
+* by the law of large numbers the target is always reachable with enough
+  data, so there is no REJECT test -- only ACCEPT or RETRY.
+
+The ACCEPT bound combines three failure modes, each given eta/3: the DP
+noise tail on the released statistic, the DP estimate of the sample size,
+and the sampling (Hoeffding) error of the empirical mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.validation.bounds import hoeffding_deviation
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import laplace_noise, make_rng
+from repro.errors import ValidationError
+
+__all__ = ["DPStatisticValidator"]
+
+
+class DPStatisticValidator:
+    """ACCEPT/RETRY for the absolute error of a DP mean statistic.
+
+    Parameters
+    ----------
+    target:
+        tau_err -- the admissible absolute error.
+    value_range:
+        B -- values are clipped into [0, B] before averaging.
+    """
+
+    def __init__(self, target: float, value_range: float, confidence: float = 0.95) -> None:
+        if target <= 0:
+            raise ValidationError(f"target must be > 0, got {target}")
+        if value_range <= 0:
+            raise ValidationError(f"value_range must be > 0, got {value_range}")
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+        self.target = target
+        self.value_range = value_range
+        self.confidence = confidence
+
+    def release_and_validate(
+        self,
+        values: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> Tuple[float, ValidationResult]:
+        """Compute the DP mean and decide whether its error bound meets target.
+
+        Returns ``(dp_mean, result)``.  (epsilon, 0)-DP: epsilon/2 for the
+        clipped sum, epsilon/2 for the count.
+        """
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be > 0, got {epsilon}")
+        B = self.value_range
+        values = np.clip(np.asarray(values, dtype=float).reshape(-1), 0.0, B)
+        n = values.size
+        if n == 0:
+            raise ValidationError("empty value set")
+        rng = make_rng(rng)
+        eta = 1.0 - self.confidence
+
+        sum_dp = float(np.sum(values)) + laplace_noise(rng, 2.0 * B / epsilon)
+        n_dp = n + laplace_noise(rng, 2.0 / epsilon)
+        correction = math.log(3.0 / (2.0 * eta)) if correct_for_dp else 0.0
+        n_dp_min = n_dp - 2.0 * correction / epsilon
+
+        spent = PrivacyBudget(epsilon, 0.0)
+        details = {"n_dp_min": n_dp_min, "epsilon": epsilon}
+        if n_dp_min <= 1.0:
+            dp_mean = float(np.clip(sum_dp / max(n_dp, 1.0), 0.0, B))
+            return dp_mean, ValidationResult(Outcome.RETRY, spent, details)
+
+        dp_mean = float(np.clip(sum_dp / n_dp_min, 0.0, B))
+        # Worst-case |released - empirical| from the two Laplace draws ...
+        noise_error = (2.0 * B * correction / epsilon + 2.0 * B * correction / epsilon) / n_dp_min
+        # ... plus |empirical - population| sampling error.
+        sampling_error = hoeffding_deviation(n_dp_min, eta / 3.0, B)
+        bound = noise_error + sampling_error
+        details["error_bound"] = bound
+        outcome = Outcome.ACCEPT if bound <= self.target else Outcome.RETRY
+        return dp_mean, ValidationResult(outcome, spent, details)

@@ -1,0 +1,28 @@
+"""Data substrate: synthetic datasets, streams, and the growing database."""
+
+from repro.data.criteo import CRITEO_CARDINALITIES, CRITEO_NAIVE_ACCURACY, CriteoGenerator
+from repro.data.database import GrowingDatabase, StreamIngestor
+from repro.data.stream import (
+    RawBlock,
+    StreamBatch,
+    StreamSource,
+    TimePartitioner,
+    UserPartitioner,
+)
+from repro.data.taxi import TAXI_FEATURE_DIM, TAXI_NAIVE_MSE_TARGET, TaxiGenerator
+
+__all__ = [
+    "TaxiGenerator",
+    "TAXI_FEATURE_DIM",
+    "TAXI_NAIVE_MSE_TARGET",
+    "CriteoGenerator",
+    "CRITEO_CARDINALITIES",
+    "CRITEO_NAIVE_ACCURACY",
+    "StreamBatch",
+    "StreamSource",
+    "RawBlock",
+    "TimePartitioner",
+    "UserPartitioner",
+    "GrowingDatabase",
+    "StreamIngestor",
+]

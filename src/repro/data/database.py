@@ -1,0 +1,119 @@
+"""The Growing Database (Fig. 1).
+
+An append-only store of :class:`~repro.data.stream.RawBlock` slabs.  The
+database itself knows nothing about privacy -- ledgers and access control
+live in ``repro.core`` and reference blocks by key -- but it provides the
+windowed retrieval pipelines use to assemble training sets from multiple
+blocks (requirement R1 of §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.stream import RawBlock, StreamBatch, StreamSource, TimePartitioner
+from repro.errors import DataError
+
+__all__ = ["GrowingDatabase", "StreamIngestor"]
+
+
+class GrowingDatabase:
+    """Append-only block store keyed by public block attributes."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[object, RawBlock] = {}
+        self._order: List[object] = []
+
+    # ------------------------------------------------------------------
+    def append(self, block: RawBlock) -> None:
+        if block.key in self._blocks:
+            raise DataError(f"block {block.key!r} already exists (blocks are immutable)")
+        self._blocks[block.key] = block
+        self._order.append(block.key)
+
+    def extend(self, blocks: Sequence[RawBlock]) -> None:
+        for block in blocks:
+            self.append(block)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._blocks
+
+    @property
+    def keys(self) -> List[object]:
+        """Block keys in insertion order."""
+        return list(self._order)
+
+    def get(self, key: object) -> RawBlock:
+        if key not in self._blocks:
+            raise DataError(f"no block with key {key!r}")
+        return self._blocks[key]
+
+    def block_sizes(self) -> Dict[object, int]:
+        return {key: len(self._blocks[key]) for key in self._order}
+
+    def total_rows(self) -> int:
+        return sum(len(b) for b in self._blocks.values())
+
+    # ------------------------------------------------------------------
+    def latest_keys(self, count: int) -> List[object]:
+        """The ``count`` most recently appended block keys (oldest first)."""
+        if count <= 0:
+            return []
+        return self._order[-count:]
+
+    def assemble(self, keys: Sequence[object]) -> StreamBatch:
+        """Concatenate the named blocks into one training batch."""
+        if not keys:
+            raise DataError("cannot assemble an empty block set")
+        return StreamBatch.concatenate([self.get(k).batch for k in keys])
+
+    def rows_in(self, keys: Sequence[object]) -> int:
+        return sum(len(self.get(k)) for k in keys)
+
+
+class StreamIngestor:
+    """Pulls a stream forward in time and lands its blocks in the database.
+
+    One instance per sensitive stream; ``advance(hours)`` materializes the
+    next chunk of stream time, cuts it with the partitioner, and appends the
+    resulting blocks.  Returns the newly created blocks so the platform can
+    initialize their privacy ledgers.
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        database: GrowingDatabase,
+        partitioner: Optional[TimePartitioner] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.source = source
+        self.database = database
+        self.partitioner = partitioner or TimePartitioner(window_hours=1.0)
+        self.rng = rng or np.random.default_rng()
+        self.clock_hours = 0.0
+
+    def advance(self, hours: float) -> List[RawBlock]:
+        """Ingest the next ``hours`` of stream time; returns new blocks."""
+        if hours <= 0:
+            raise DataError(f"hours must be > 0, got {hours}")
+        batch = self.source.generate_interval(self.clock_hours, hours, self.rng)
+        self.clock_hours += hours
+        blocks = self.partitioner.partition(batch)
+        new_blocks = [b for b in blocks if b.key not in self.database]
+        # A partial window at the boundary would collide with an existing
+        # key; advancing in whole multiples of the window avoids that.
+        for block in blocks:
+            if block.key in self.database:
+                raise DataError(
+                    f"block {block.key!r} already ingested; advance in whole "
+                    f"window multiples ({self.partitioner.window_hours}h)"
+                )
+        self.database.extend(new_blocks)
+        return new_blocks

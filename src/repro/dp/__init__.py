@@ -1,0 +1,107 @@
+"""Differential-privacy primitives substrate.
+
+Everything the Sage platform layer (``repro.core``) and the ML substrate
+(``repro.ml``) need from DP theory: budgets, mechanisms, sensitivity
+handling, composition theorems (basic / strong / adaptive-filter), an RDP
+accountant for DP-SGD, and the DP point queries used by training pipelines.
+"""
+
+from repro.dp.budget import PrivacyBudget, ZERO_BUDGET, sum_budgets
+from repro.dp.composition import (
+    advanced_composition,
+    basic_composition,
+    optimal_composition_homogeneous,
+    rogers_filter_admits,
+    rogers_filter_epsilon,
+    strong_composition_heterogeneous,
+)
+from repro.dp.mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    gaussian_noise,
+    gaussian_sigma,
+    laplace_noise,
+    laplace_scale,
+    make_rng,
+)
+from repro.dp.partition import PartitionedQuery, parallel_composition, partition_indices
+from repro.dp.queries import (
+    dp_count,
+    dp_group_by_count,
+    dp_group_by_mean,
+    dp_group_by_sum,
+    dp_histogram,
+    dp_mean,
+    dp_quantile,
+    dp_sum,
+    dp_variance,
+)
+from repro.dp.rdp import (
+    DEFAULT_ORDERS,
+    calibrate_sigma,
+    compute_epsilon,
+    compute_rdp,
+    gaussian_rdp,
+    rdp_to_epsilon,
+    sampled_gaussian_rdp,
+)
+from repro.dp.selection import (
+    dp_argmax_count,
+    exponential_mechanism,
+    report_noisy_max,
+)
+from repro.dp.sensitivity import (
+    clip_rows_l2,
+    clip_values,
+    count_sensitivity,
+    l2_clip_factor,
+    mean_sensitivity_numerator,
+    sum_sensitivity,
+)
+
+__all__ = [
+    "PrivacyBudget",
+    "ZERO_BUDGET",
+    "sum_budgets",
+    "basic_composition",
+    "advanced_composition",
+    "strong_composition_heterogeneous",
+    "optimal_composition_homogeneous",
+    "rogers_filter_epsilon",
+    "rogers_filter_admits",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "laplace_noise",
+    "gaussian_noise",
+    "laplace_scale",
+    "gaussian_sigma",
+    "make_rng",
+    "PartitionedQuery",
+    "parallel_composition",
+    "partition_indices",
+    "dp_count",
+    "dp_sum",
+    "dp_mean",
+    "dp_variance",
+    "dp_histogram",
+    "dp_group_by_count",
+    "dp_group_by_sum",
+    "dp_group_by_mean",
+    "dp_quantile",
+    "exponential_mechanism",
+    "report_noisy_max",
+    "dp_argmax_count",
+    "DEFAULT_ORDERS",
+    "gaussian_rdp",
+    "sampled_gaussian_rdp",
+    "compute_rdp",
+    "rdp_to_epsilon",
+    "compute_epsilon",
+    "calibrate_sigma",
+    "clip_values",
+    "clip_rows_l2",
+    "l2_clip_factor",
+    "count_sensitivity",
+    "sum_sensitivity",
+    "mean_sensitivity_numerator",
+]

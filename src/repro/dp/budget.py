@@ -1,0 +1,170 @@
+"""Privacy budget value type.
+
+A :class:`PrivacyBudget` is an immutable ``(epsilon, delta)`` pair with the
+arithmetic the rest of the platform needs: addition (basic composition),
+subtraction (charging a ledger), scalar division (splitting a stage budget
+across sub-queries, as Listing 1 of the paper does for ``dp_group_by_mean``),
+and partial-order comparisons (feasibility checks in access control).
+
+The paper's convention is followed throughout: ``epsilon >= 0`` and
+``delta in [0, 1]``.  ``ZERO`` is the additive identity -- the budget of a
+brand-new block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidBudgetError
+
+__all__ = ["PrivacyBudget", "ZERO_BUDGET", "sum_budgets"]
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-12
+
+
+def _validate(epsilon: float, delta: float) -> None:
+    if not (isinstance(epsilon, (int, float)) and math.isfinite(epsilon)):
+        raise InvalidBudgetError(f"epsilon must be a finite number, got {epsilon!r}")
+    if not (isinstance(delta, (int, float)) and math.isfinite(delta)):
+        raise InvalidBudgetError(f"delta must be a finite number, got {delta!r}")
+    if epsilon < 0:
+        raise InvalidBudgetError(f"epsilon must be >= 0, got {epsilon}")
+    if not 0.0 <= delta <= 1.0:
+        raise InvalidBudgetError(f"delta must be in [0, 1], got {delta}")
+
+
+@dataclass(frozen=True, order=False)
+class PrivacyBudget:
+    """An immutable (epsilon, delta) differential-privacy budget.
+
+    Supports::
+
+        a + b          # basic sequential composition
+        a - b          # remaining budget after a charge
+        a / k, a * k   # even splits / scaling of epsilon AND delta
+        a <= b         # component-wise feasibility (can `a` be charged to `b`?)
+
+    Comparisons are component-wise with a small floating-point tolerance so
+    that budgets assembled by repeated halving/doubling still compare equal
+    to their closed forms.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        _validate(self.epsilon, self.delta)
+        # Normalize -0.0 and ints so equality/hashing behave predictably.
+        object.__setattr__(self, "epsilon", float(self.epsilon) + 0.0)
+        object.__setattr__(self, "delta", float(self.delta) + 0.0)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        if not isinstance(other, PrivacyBudget):
+            return NotImplemented
+        return PrivacyBudget(self.epsilon + other.epsilon, min(1.0, self.delta + other.delta))
+
+    def __sub__(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        if not isinstance(other, PrivacyBudget):
+            return NotImplemented
+        eps = self.epsilon - other.epsilon
+        delta = self.delta - other.delta
+        # Tolerate tiny negative residue from float arithmetic.
+        if eps < 0 and eps > -_ABS_TOL - _REL_TOL * self.epsilon:
+            eps = 0.0
+        if delta < 0 and delta > -_ABS_TOL - _REL_TOL * self.delta:
+            delta = 0.0
+        if eps < 0 or delta < 0:
+            raise InvalidBudgetError(
+                f"cannot subtract {other} from {self}: result would be negative"
+            )
+        return PrivacyBudget(eps, delta)
+
+    def __mul__(self, k: float) -> "PrivacyBudget":
+        if not isinstance(k, (int, float)):
+            return NotImplemented
+        if k < 0:
+            raise InvalidBudgetError(f"cannot scale a budget by negative factor {k}")
+        return PrivacyBudget(self.epsilon * k, min(1.0, self.delta * k))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k: float) -> "PrivacyBudget":
+        if not isinstance(k, (int, float)):
+            return NotImplemented
+        if k <= 0:
+            raise InvalidBudgetError(f"cannot divide a budget by non-positive {k}")
+        return PrivacyBudget(self.epsilon / k, self.delta / k)
+
+    # ------------------------------------------------------------------
+    # Comparison (component-wise partial order with tolerance)
+    # ------------------------------------------------------------------
+    def approx_eq(self, other: "PrivacyBudget") -> bool:
+        """True when both components match up to floating-point tolerance."""
+        return math.isclose(
+            self.epsilon, other.epsilon, rel_tol=_REL_TOL, abs_tol=_ABS_TOL
+        ) and math.isclose(self.delta, other.delta, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+
+    def fits_within(self, other: "PrivacyBudget") -> bool:
+        """True when charging ``self`` against a remaining budget ``other`` is legal.
+
+        Component-wise ``<=`` with tolerance; this is the check Sage's access
+        control performs per block (Theorem 4.3's two inequalities).
+        """
+        eps_ok = self.epsilon <= other.epsilon + _ABS_TOL + _REL_TOL * other.epsilon
+        delta_ok = self.delta <= other.delta + _ABS_TOL + _REL_TOL * other.delta
+        return eps_ok and delta_ok
+
+    def __le__(self, other: "PrivacyBudget") -> bool:
+        return self.fits_within(other)
+
+    def __lt__(self, other: "PrivacyBudget") -> bool:
+        return self.fits_within(other) and not self.approx_eq(other)
+
+    def __ge__(self, other: "PrivacyBudget") -> bool:
+        return other.fits_within(self)
+
+    def __gt__(self, other: "PrivacyBudget") -> bool:
+        return other.fits_within(self) and not self.approx_eq(other)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        return self.epsilon == 0.0 and self.delta == 0.0
+
+    @property
+    def is_pure(self) -> bool:
+        """True for (epsilon, 0)-DP budgets."""
+        return self.delta == 0.0
+
+    def split(self, parts: int) -> Iterator["PrivacyBudget"]:
+        """Yield ``parts`` equal shares whose basic composition is ``self``."""
+        if parts < 1:
+            raise InvalidBudgetError(f"parts must be >= 1, got {parts}")
+        share = self / parts
+        for _ in range(parts):
+            yield share
+
+    def as_tuple(self) -> tuple:
+        return (self.epsilon, self.delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrivacyBudget(epsilon={self.epsilon:g}, delta={self.delta:g})"
+
+
+ZERO_BUDGET = PrivacyBudget(0.0, 0.0)
+
+
+def sum_budgets(budgets: Iterable[PrivacyBudget]) -> PrivacyBudget:
+    """Basic sequential composition of an iterable of budgets."""
+    total = ZERO_BUDGET
+    for budget in budgets:
+        total = total + budget
+    return total

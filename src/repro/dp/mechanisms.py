@@ -1,0 +1,167 @@
+"""Noise mechanisms: Laplace and Gaussian.
+
+These are the two mechanisms Sage's pipelines and validators use.  Both are
+exposed in two styles:
+
+* functional -- ``laplace_noise(rng, scale, size)`` /
+  ``gaussian_noise(rng, sigma, size)`` for callers that manage their own
+  calibration (e.g. Listing 2's validators add ``laplace(2/epsilon)``), and
+* object -- :class:`LaplaceMechanism` / :class:`GaussianMechanism`, which
+  calibrate noise from a sensitivity and a :class:`~repro.dp.budget.PrivacyBudget`
+  and record the budget they consume.
+
+Every caller passes an explicit ``numpy.random.Generator`` so experiments are
+reproducible end-to-end; no module-level RNG state exists in this package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import CalibrationError, InvalidBudgetError
+
+__all__ = [
+    "laplace_noise",
+    "gaussian_noise",
+    "laplace_scale",
+    "gaussian_sigma",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "make_rng",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def make_rng(seed: Optional[Union[int, np.random.Generator]] = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+def laplace_scale(sensitivity: float, epsilon: float) -> float:
+    """Laplace scale b = sensitivity / epsilon for (epsilon, 0)-DP."""
+    if sensitivity < 0:
+        raise CalibrationError(f"sensitivity must be >= 0, got {sensitivity}")
+    if epsilon <= 0:
+        raise CalibrationError(f"Laplace mechanism needs epsilon > 0, got {epsilon}")
+    return sensitivity / epsilon
+
+
+def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
+    """Classic Gaussian-mechanism sigma for (epsilon, delta)-DP.
+
+    sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon, valid for
+    epsilon <= 1 (the regime Sage operates in; we allow epsilon > 1 but the
+    guarantee is then conservative per Dwork & Roth Thm 3.22).
+    """
+    if sensitivity < 0:
+        raise CalibrationError(f"sensitivity must be >= 0, got {sensitivity}")
+    if epsilon <= 0:
+        raise CalibrationError(f"Gaussian mechanism needs epsilon > 0, got {epsilon}")
+    if not 0 < delta < 1:
+        raise CalibrationError(f"Gaussian mechanism needs delta in (0, 1), got {delta}")
+    return sensitivity * math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
+
+
+# ----------------------------------------------------------------------
+# Raw noise draws
+# ----------------------------------------------------------------------
+def laplace_noise(rng: np.random.Generator, scale: float, size=None) -> ArrayLike:
+    """Draw Laplace(0, scale) noise; ``scale == 0`` returns exact zeros."""
+    if scale < 0:
+        raise CalibrationError(f"Laplace scale must be >= 0, got {scale}")
+    if scale == 0:
+        return 0.0 if size is None else np.zeros(size)
+    return rng.laplace(0.0, scale, size=size)
+
+
+def gaussian_noise(rng: np.random.Generator, sigma: float, size=None) -> ArrayLike:
+    """Draw N(0, sigma^2) noise; ``sigma == 0`` returns exact zeros."""
+    if sigma < 0:
+        raise CalibrationError(f"Gaussian sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return 0.0 if size is None else np.zeros(size)
+    return rng.normal(0.0, sigma, size=size)
+
+
+# ----------------------------------------------------------------------
+# Mechanism objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """(epsilon, 0)-DP additive Laplace noise for a given L1 sensitivity."""
+
+    sensitivity: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        laplace_scale(self.sensitivity, self.epsilon)  # validates
+
+    @property
+    def scale(self) -> float:
+        return laplace_scale(self.sensitivity, self.epsilon)
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        return PrivacyBudget(self.epsilon, 0.0)
+
+    def randomize(self, value: ArrayLike, rng: np.random.Generator) -> ArrayLike:
+        value = np.asarray(value, dtype=float)
+        noise = laplace_noise(rng, self.scale, size=value.shape if value.ndim else None)
+        out = value + noise
+        return float(out) if value.ndim == 0 else out
+
+    def tail_bound(self, eta: float) -> float:
+        """Magnitude exceeded by |noise| with probability at most ``eta``.
+
+        P(|Laplace(b)| > b * ln(1/eta)) = eta.  This is the quantity the
+        SLAed validators use to correct DP estimates for worst-case noise.
+        """
+        if not 0 < eta < 1:
+            raise InvalidBudgetError(f"eta must be in (0, 1), got {eta}")
+        return self.scale * math.log(1.0 / eta)
+
+
+@dataclass(frozen=True)
+class GaussianMechanism:
+    """(epsilon, delta)-DP additive Gaussian noise for a given L2 sensitivity."""
+
+    sensitivity: float
+    epsilon: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        gaussian_sigma(self.sensitivity, self.epsilon, self.delta)  # validates
+
+    @property
+    def sigma(self) -> float:
+        return gaussian_sigma(self.sensitivity, self.epsilon, self.delta)
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        return PrivacyBudget(self.epsilon, self.delta)
+
+    def randomize(self, value: ArrayLike, rng: np.random.Generator) -> ArrayLike:
+        value = np.asarray(value, dtype=float)
+        noise = gaussian_noise(rng, self.sigma, size=value.shape if value.ndim else None)
+        out = value + noise
+        return float(out) if value.ndim == 0 else out
+
+    def tail_bound(self, eta: float) -> float:
+        """Magnitude exceeded by |noise| with probability at most ``eta``.
+
+        Uses the Gaussian tail bound P(|N(0, s^2)| > s * sqrt(2 ln(2/eta))) <= eta.
+        """
+        if not 0 < eta < 1:
+            raise InvalidBudgetError(f"eta must be in (0, 1), got {eta}")
+        return self.sigma * math.sqrt(2.0 * math.log(2.0 / eta))

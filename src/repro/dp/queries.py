@@ -1,0 +1,237 @@
+"""Differentially private point queries.
+
+These are the building blocks Sage training pipelines call inside their
+``preprocessing_fn`` (Listing 1 of the paper): DP counts, sums, means,
+variances, histograms, per-key group-by aggregates, and a DP quantile via
+the exponential mechanism.
+
+Conventions shared by every query here:
+
+* value ranges are explicit (``lower``/``upper``); inputs are clipped before
+  aggregation so the stated sensitivity is enforced, not assumed;
+* each query documents how it splits the epsilon it is handed;
+* each query takes an explicit ``rng`` (`numpy.random.Generator`);
+* all queries are pure-epsilon (Laplace / exponential mechanism) as in the
+  paper's pipelines, which reserve delta for DP-SGD training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dp.mechanisms import laplace_noise, laplace_scale, make_rng
+from repro.dp.sensitivity import clip_values, sum_sensitivity
+from repro.errors import CalibrationError, DataError
+
+__all__ = [
+    "dp_count",
+    "dp_sum",
+    "dp_mean",
+    "dp_variance",
+    "dp_histogram",
+    "dp_group_by_sum",
+    "dp_group_by_count",
+    "dp_group_by_mean",
+    "dp_quantile",
+]
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if epsilon <= 0:
+        raise CalibrationError(f"epsilon must be > 0, got {epsilon}")
+
+
+def dp_count(n: int, epsilon: float, rng: Optional[np.random.Generator] = None) -> float:
+    """(epsilon, 0)-DP count: n + Laplace(1/epsilon)."""
+    _check_epsilon(epsilon)
+    rng = make_rng(rng)
+    return float(n + laplace_noise(rng, laplace_scale(1.0, epsilon)))
+
+
+def dp_sum(
+    values: np.ndarray,
+    lower: float,
+    upper: float,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """(epsilon, 0)-DP sum of values clipped to [lower, upper]."""
+    _check_epsilon(epsilon)
+    rng = make_rng(rng)
+    clipped = clip_values(values, lower, upper)
+    scale = laplace_scale(sum_sensitivity(lower, upper), epsilon)
+    return float(np.sum(clipped) + laplace_noise(rng, scale))
+
+
+def dp_mean(
+    values: np.ndarray,
+    lower: float,
+    upper: float,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """(epsilon, 0)-DP mean via noisy-sum / noisy-count, epsilon split evenly.
+
+    The noisy count is floored at 1 so the ratio stays finite; the result is
+    clipped back into [lower, upper] (post-processing, free of charge).
+    """
+    _check_epsilon(epsilon)
+    rng = make_rng(rng)
+    values = np.asarray(values, dtype=float)
+    noisy_sum = dp_sum(values, lower, upper, epsilon / 2.0, rng)
+    noisy_count = max(1.0, dp_count(values.size, epsilon / 2.0, rng))
+    return float(np.clip(noisy_sum / noisy_count, lower, upper))
+
+
+def dp_variance(
+    values: np.ndarray,
+    lower: float,
+    upper: float,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """(epsilon, 0)-DP variance: DP mean-of-squares minus squared DP mean.
+
+    Epsilon is split three ways (count, sum, sum of squares).  The output is
+    clamped at 0 (post-processing).
+    """
+    _check_epsilon(epsilon)
+    rng = make_rng(rng)
+    values = clip_values(values, lower, upper)
+    width_sq = max(abs(lower), abs(upper)) ** 2
+    eps_each = epsilon / 3.0
+    noisy_count = max(1.0, dp_count(values.size, eps_each, rng))
+    noisy_sum = float(
+        np.sum(values) + laplace_noise(rng, laplace_scale(sum_sensitivity(lower, upper), eps_each))
+    )
+    noisy_sum_sq = float(
+        np.sum(values ** 2) + laplace_noise(rng, laplace_scale(width_sq, eps_each))
+    )
+    mean = noisy_sum / noisy_count
+    return float(max(0.0, noisy_sum_sq / noisy_count - mean ** 2))
+
+
+def dp_histogram(
+    keys: np.ndarray,
+    nkeys: int,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """(epsilon, 0)-DP histogram over integer keys in [0, nkeys).
+
+    Each record lands in exactly one bin, so by parallel composition
+    [McSherry 2009] the per-bin Laplace(1/epsilon) noise yields an overall
+    (epsilon, 0)-DP histogram -- this is the Criteo "Counts x26" pipeline of
+    Table 1.
+    """
+    _check_epsilon(epsilon)
+    if nkeys <= 0:
+        raise DataError(f"nkeys must be > 0, got {nkeys}")
+    rng = make_rng(rng)
+    keys = np.asarray(keys)
+    if keys.size and (keys.min() < 0 or keys.max() >= nkeys):
+        raise DataError("keys must lie in [0, nkeys)")
+    counts = np.bincount(keys.astype(np.int64), minlength=nkeys).astype(float)
+    return counts + laplace_noise(rng, laplace_scale(1.0, epsilon), size=nkeys)
+
+
+def dp_group_by_count(
+    keys: np.ndarray,
+    nkeys: int,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Alias of :func:`dp_histogram` under the group-by naming of Listing 1."""
+    return dp_histogram(keys, nkeys, epsilon, rng)
+
+
+def dp_group_by_sum(
+    keys: np.ndarray,
+    values: np.ndarray,
+    nkeys: int,
+    value_range: float,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """(epsilon, 0)-DP per-key sums of values clipped to [0, value_range].
+
+    One record contributes to exactly one key, so parallel composition gives
+    the full epsilon to each key's sum.
+    """
+    _check_epsilon(epsilon)
+    if nkeys <= 0:
+        raise DataError(f"nkeys must be > 0, got {nkeys}")
+    if value_range <= 0:
+        raise DataError(f"value_range must be > 0, got {value_range}")
+    rng = make_rng(rng)
+    keys = np.asarray(keys).astype(np.int64)
+    values = clip_values(values, 0.0, value_range)
+    if keys.shape != values.shape:
+        raise DataError("keys and values must have the same shape")
+    if keys.size and (keys.min() < 0 or keys.max() >= nkeys):
+        raise DataError("keys must lie in [0, nkeys)")
+    sums = np.bincount(keys, weights=values, minlength=nkeys)
+    return sums + laplace_noise(rng, laplace_scale(value_range, epsilon), size=nkeys)
+
+
+def dp_group_by_mean(
+    keys: np.ndarray,
+    values: np.ndarray,
+    nkeys: int,
+    epsilon: float,
+    value_range: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Listing 1's ``sage.dp_group_by_mean``: per-key DP means.
+
+    Splits epsilon between a DP per-key count (Laplace scale ``2/epsilon``)
+    and a DP per-key sum (Laplace scale ``value_range * 2/epsilon``), exactly
+    as lines 33-42 of the paper.  Counts are floored at 1 and the means are
+    clipped into [0, value_range] by post-processing.  Returns the per-key
+    means (length ``nkeys``); use ``means[keys]`` to gather per-record values
+    as Listing 1 does.
+    """
+    counts = dp_group_by_count(keys, nkeys, epsilon / 2.0, rng)
+    sums = dp_group_by_sum(keys, values, nkeys, value_range, epsilon / 2.0, rng)
+    means = sums / np.maximum(counts, 1.0)
+    return np.clip(means, 0.0, value_range)
+
+
+def dp_quantile(
+    values: np.ndarray,
+    quantile: float,
+    lower: float,
+    upper: float,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """(epsilon, 0)-DP quantile via the exponential mechanism [Smith 2011].
+
+    Candidate outputs are the gaps between sorted (clipped) data points; a
+    gap's utility is minus the rank distance from the target quantile, and a
+    gap is selected with probability proportional to
+    ``len(gap) * exp(-epsilon/2 * |rank - target|)``; the output is uniform
+    inside the chosen gap.
+    """
+    _check_epsilon(epsilon)
+    if not 0.0 <= quantile <= 1.0:
+        raise DataError(f"quantile must be in [0, 1], got {quantile}")
+    if lower >= upper:
+        raise DataError(f"need lower < upper, got [{lower}, {upper}]")
+    rng = make_rng(rng)
+    data = np.sort(clip_values(values, lower, upper))
+    edges = np.concatenate(([lower], data, [upper]))
+    widths = np.diff(edges)
+    n = data.size
+    target_rank = quantile * n
+    ranks = np.arange(n + 1, dtype=float)
+    utilities = -np.abs(ranks - target_rank)
+    # Sensitivity of rank utility is 1; exponential mechanism exponent eps/2.
+    log_weights = (epsilon / 2.0) * utilities + np.log(np.maximum(widths, 1e-300))
+    log_weights -= log_weights.max()
+    weights = np.exp(log_weights)
+    weights /= weights.sum()
+    idx = int(rng.choice(n + 1, p=weights))
+    return float(rng.uniform(edges[idx], max(edges[idx], edges[idx + 1])))

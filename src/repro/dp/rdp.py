@@ -1,0 +1,184 @@
+"""Renyi differential privacy (RDP) accountant for the (subsampled) Gaussian
+mechanism.
+
+This is the "moments accountant" privacy analysis that DP-SGD [Abadi et al.
+2016] relies on, in the RDP formulation of Mironov (2017) and Mironov, Talwar
+& Zhang (2019).  Sage's training pipelines (Table 1) all use DP-SGD, so this
+module is the substrate that turns ("noise multiplier sigma, sampling rate q,
+steps T") into an (epsilon, delta) guarantee -- and back, via binary-search
+calibration.
+
+Only integer Renyi orders are used.  For the sampled Gaussian mechanism with
+Poisson sampling rate ``q`` and noise multiplier ``sigma``, the per-step RDP
+at integer order ``alpha >= 2`` is
+
+    RDP(alpha) = 1/(alpha-1) * log( sum_{i=0}^{alpha} C(alpha, i)
+                   * (1-q)^{alpha-i} * q^i * exp((i^2 - i) / (2 sigma^2)) )
+
+computed in log-space for stability.  RDP composes additively over steps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+__all__ = [
+    "DEFAULT_ORDERS",
+    "gaussian_rdp",
+    "sampled_gaussian_rdp",
+    "compute_rdp",
+    "rdp_to_epsilon",
+    "compute_epsilon",
+    "calibrate_sigma",
+]
+
+DEFAULT_ORDERS: Tuple[int, ...] = tuple(range(2, 65)) + (80, 96, 128, 192, 256, 512)
+
+
+def gaussian_rdp(sigma: float, order: int) -> float:
+    """RDP of the (unsampled) Gaussian mechanism: alpha / (2 sigma^2)."""
+    if sigma <= 0:
+        raise CalibrationError(f"sigma must be > 0, got {sigma}")
+    if order < 2:
+        raise CalibrationError(f"order must be >= 2, got {order}")
+    return order / (2.0 * sigma ** 2)
+
+
+def _log_binom(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def sampled_gaussian_rdp(q: float, sigma: float, order: int) -> float:
+    """Per-step RDP of the Poisson-sampled Gaussian mechanism at an integer order."""
+    if not 0.0 <= q <= 1.0:
+        raise CalibrationError(f"sampling rate q must be in [0, 1], got {q}")
+    if sigma <= 0:
+        raise CalibrationError(f"sigma must be > 0, got {sigma}")
+    if order < 2 or int(order) != order:
+        raise CalibrationError(f"order must be an integer >= 2, got {order}")
+    order = int(order)
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return gaussian_rdp(sigma, order)
+    # log-space sum of the binomial expansion
+    log_terms = np.empty(order + 1)
+    log_q = math.log(q)
+    log_1q = math.log1p(-q)
+    for i in range(order + 1):
+        log_terms[i] = (
+            _log_binom(order, i)
+            + i * log_q
+            + (order - i) * log_1q
+            + (i * i - i) / (2.0 * sigma ** 2)
+        )
+    m = float(np.max(log_terms))
+    log_sum = m + math.log(float(np.sum(np.exp(log_terms - m))))
+    return max(0.0, log_sum / (order - 1))
+
+
+def compute_rdp(
+    q: float, sigma: float, steps: int, orders: Sequence[int] = DEFAULT_ORDERS
+) -> np.ndarray:
+    """Total RDP after ``steps`` compositions, one entry per order."""
+    if steps < 0:
+        raise CalibrationError(f"steps must be >= 0, got {steps}")
+    per_step = np.array([sampled_gaussian_rdp(q, sigma, a) for a in orders])
+    return steps * per_step
+
+
+def rdp_to_epsilon(
+    rdp: Iterable[float],
+    orders: Sequence[int],
+    delta: float,
+    improved: bool = True,
+) -> Tuple[float, int]:
+    """Convert RDP values to the best (epsilon, delta) guarantee.
+
+    With ``improved=True`` uses the conversion of Balle et al. (2020) /
+    Canonne-Kamath-Steinke:
+
+        eps(alpha) = rdp(alpha) + log((alpha-1)/alpha)
+                     - (log delta + log alpha) / (alpha - 1)
+
+    otherwise the classic Mironov conversion
+    ``eps(alpha) = rdp(alpha) + log(1/delta)/(alpha-1)``.
+
+    Returns ``(epsilon, best_order)`` minimizing over orders.
+    """
+    if not 0 < delta < 1:
+        raise CalibrationError(f"delta must be in (0, 1), got {delta}")
+    rdp = list(rdp)
+    orders = list(orders)
+    if len(rdp) != len(orders):
+        raise CalibrationError("rdp and orders must have equal length")
+    best_eps = math.inf
+    best_order = orders[0]
+    for value, alpha in zip(rdp, orders):
+        if improved:
+            eps = (
+                value
+                + math.log((alpha - 1.0) / alpha)
+                - (math.log(delta) + math.log(alpha)) / (alpha - 1.0)
+            )
+        else:
+            eps = value + math.log(1.0 / delta) / (alpha - 1.0)
+        if eps < best_eps:
+            best_eps = eps
+            best_order = alpha
+    return max(0.0, best_eps), best_order
+
+
+def compute_epsilon(
+    q: float,
+    sigma: float,
+    steps: int,
+    delta: float,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+) -> float:
+    """(epsilon) such that ``steps`` DP-SGD steps are (epsilon, delta)-DP."""
+    rdp = compute_rdp(q, sigma, steps, orders)
+    epsilon, _ = rdp_to_epsilon(rdp, orders, delta)
+    return epsilon
+
+
+def calibrate_sigma(
+    q: float,
+    steps: int,
+    epsilon: float,
+    delta: float,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    sigma_min: float = 0.3,
+    sigma_max: float = 2000.0,
+    tol: float = 1e-3,
+) -> float:
+    """Smallest noise multiplier giving (epsilon, delta)-DP after ``steps`` steps.
+
+    Binary search on the monotone map sigma -> epsilon.  Raises
+    :class:`CalibrationError` when even ``sigma_max`` cannot reach the target
+    (epsilon too small for the requested number of steps).
+    """
+    if epsilon <= 0:
+        raise CalibrationError(f"epsilon must be > 0, got {epsilon}")
+    if steps <= 0:
+        raise CalibrationError(f"steps must be > 0, got {steps}")
+    if compute_epsilon(q, sigma_max, steps, delta, orders) > epsilon:
+        raise CalibrationError(
+            f"cannot reach epsilon={epsilon} with sigma <= {sigma_max} "
+            f"(q={q}, steps={steps})"
+        )
+    if compute_epsilon(q, sigma_min, steps, delta, orders) <= epsilon:
+        return sigma_min
+    lo, hi = sigma_min, sigma_max
+    while hi - lo > tol * lo:
+        mid = math.sqrt(lo * hi)  # geometric split: sigma spans decades
+        if compute_epsilon(q, mid, steps, delta, orders) > epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return hi

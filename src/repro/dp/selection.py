@@ -1,0 +1,90 @@
+"""DP selection via the exponential mechanism [McSherry-Talwar].
+
+The paper's pipeline ecosystem needs private *choices*, not just private
+numbers: picking the best hyperparameter configuration, the best of several
+candidate models (citation [50], DP model selection), or the argmax bucket
+of a histogram.  The exponential mechanism covers all of these: given
+per-candidate utility scores with known sensitivity, it samples a candidate
+with probability proportional to ``exp(eps * u / (2 * sensitivity))`` and
+is (eps, 0)-DP.
+
+Also provides :func:`report_noisy_max`, the Laplace-noise argmax that is
+(eps, 0)-DP with *no* dependence on the number of candidates -- handy for
+choosing among many models scored on a validation split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dp.mechanisms import laplace_noise, make_rng
+from repro.errors import CalibrationError, DataError
+
+__all__ = ["exponential_mechanism", "report_noisy_max", "dp_argmax_count"]
+
+
+def exponential_mechanism(
+    utilities: Sequence[float],
+    epsilon: float,
+    sensitivity: float,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """(epsilon, 0)-DP index selection, exponentially biased toward high
+    utility.
+
+    ``sensitivity`` is the max change of any single utility when one record
+    is added/removed (e.g. B/n for a mean loss on n points).
+    """
+    if epsilon <= 0:
+        raise CalibrationError(f"epsilon must be > 0, got {epsilon}")
+    if sensitivity <= 0:
+        raise CalibrationError(f"sensitivity must be > 0, got {sensitivity}")
+    utilities = np.asarray(utilities, dtype=float)
+    if utilities.ndim != 1 or utilities.size == 0:
+        raise DataError("utilities must be a non-empty 1-D sequence")
+    rng = make_rng(rng)
+    logits = epsilon * utilities / (2.0 * sensitivity)
+    logits -= logits.max()
+    probs = np.exp(logits)
+    probs /= probs.sum()
+    return int(rng.choice(utilities.size, p=probs))
+
+
+def report_noisy_max(
+    utilities: Sequence[float],
+    epsilon: float,
+    sensitivity: float,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """(epsilon, 0)-DP argmax: add Laplace(2*sensitivity/epsilon) to every
+    utility and report the argmax index (the noisy-max mechanism)."""
+    if epsilon <= 0:
+        raise CalibrationError(f"epsilon must be > 0, got {epsilon}")
+    if sensitivity <= 0:
+        raise CalibrationError(f"sensitivity must be > 0, got {sensitivity}")
+    utilities = np.asarray(utilities, dtype=float)
+    if utilities.ndim != 1 or utilities.size == 0:
+        raise DataError("utilities must be a non-empty 1-D sequence")
+    rng = make_rng(rng)
+    noisy = utilities + laplace_noise(
+        rng, 2.0 * sensitivity / epsilon, size=utilities.size
+    )
+    return int(np.argmax(noisy))
+
+
+def dp_argmax_count(
+    keys: np.ndarray,
+    nkeys: int,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """(epsilon, 0)-DP most-frequent key (count utilities have sensitivity 1)."""
+    keys = np.asarray(keys).astype(np.int64)
+    if nkeys <= 0:
+        raise DataError(f"nkeys must be > 0, got {nkeys}")
+    if keys.size and (keys.min() < 0 or keys.max() >= nkeys):
+        raise DataError("keys must lie in [0, nkeys)")
+    counts = np.bincount(keys, minlength=nkeys).astype(float)
+    return report_noisy_max(counts, epsilon, 1.0, rng)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the Sage reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InvalidBudgetError(ReproError, ValueError):
+    """A privacy budget was constructed or combined with invalid parameters.
+
+    Raised for negative epsilon, delta outside [0, 1], or arithmetic that
+    would produce such a budget (e.g. subtracting more than is available).
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A requested charge would push a ledger past its global (eps_g, delta_g)."""
+
+    def __init__(self, message: str, block_id: object = None) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+
+
+class BlockRetiredError(BudgetExceededError):
+    """An operation touched a block whose privacy budget is exhausted."""
+
+
+class AccessDeniedError(ReproError):
+    """Stream-level ACLs or the Sage access-control layer denied a request."""
+
+
+class PipelineError(ReproError):
+    """A training pipeline failed (mis-specified callbacks, stage errors)."""
+
+
+class ValidationError(ReproError):
+    """An SLAed validator was invoked with inconsistent arguments."""
+
+
+class CalibrationError(ReproError):
+    """Noise calibration failed (no noise multiplier satisfies the target)."""
+
+
+class DataError(ReproError, ValueError):
+    """Malformed dataset, stream, or block inputs."""
+
+
+class SimulationError(ReproError):
+    """The workload simulator reached an inconsistent state."""

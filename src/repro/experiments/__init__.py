@@ -1,0 +1,64 @@
+"""Experiment runners regenerating every table and figure of §5."""
+
+from repro.experiments.configs import (
+    CRITEO_COUNT_TARGETS,
+    CRITEO_LG,
+    CRITEO_NN,
+    MODEL_CONFIGS,
+    ModelPipelineConfig,
+    TAXI_LR,
+    TAXI_NN,
+    TAXI_SPEED_TARGETS,
+    criteo_count_pipeline,
+    taxi_speed_pipeline,
+)
+from repro.experiments.regimes import Regime, accepts, accepts_accuracy, accepts_loss
+from repro.experiments.reporting import (
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_table2,
+)
+from repro.experiments.runners import (
+    DEFAULT_SCHEDULE,
+    RunTable,
+    TrainingRun,
+    collect_training_runs,
+    fig5_series,
+    fig6_required_samples,
+    run_fig7_lr,
+    run_fig8,
+    table2_violation_rates,
+)
+
+__all__ = [
+    "ModelPipelineConfig",
+    "MODEL_CONFIGS",
+    "TAXI_LR",
+    "TAXI_NN",
+    "CRITEO_LG",
+    "CRITEO_NN",
+    "TAXI_SPEED_TARGETS",
+    "CRITEO_COUNT_TARGETS",
+    "taxi_speed_pipeline",
+    "criteo_count_pipeline",
+    "Regime",
+    "accepts",
+    "accepts_loss",
+    "accepts_accuracy",
+    "TrainingRun",
+    "RunTable",
+    "collect_training_runs",
+    "fig5_series",
+    "fig6_required_samples",
+    "table2_violation_rates",
+    "run_fig7_lr",
+    "run_fig8",
+    "DEFAULT_SCHEDULE",
+    "format_fig5",
+    "format_fig6",
+    "format_table2",
+    "format_fig7",
+    "format_fig8",
+]

@@ -1,0 +1,277 @@
+"""Table 1: the experimental training pipelines, transcribed.
+
+Paper hyperparameters are kept verbatim where the laptop-scale substrate
+allows; the two deliberate deviations (documented in EXPERIMENTS.md) are
+
+* hidden sizes -- the paper's Taxi NN uses (5000, 100) and Criteo NN
+  (1024, 32); we default to (64, 32) and (64, 16), which preserve the
+  qualitative NN-beats-linear-with-enough-data behaviour at 100x less
+  compute; and
+* DP-SGD batch sizes are capped at n/4 for tiny training sets so the RDP
+  sampling analysis stays meaningful.
+
+Every config knows how to build its trainer function and its SLAed
+validator, so runners and examples share one source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.pipeline import HistogramPipeline, StatisticPipeline, TrainingPipeline
+from repro.core.validation.accuracy import DPAccuracyValidator
+from repro.core.validation.loss import DPLossValidator
+from repro.data.criteo import CRITEO_CARDINALITIES
+from repro.errors import DataError
+from repro.ml.estimators import (
+    DPSGDClassifierEstimator,
+    DPSGDRegressorEstimator,
+    MLPClassifierEstimator,
+    MLPRegressorEstimator,
+)
+from repro.ml.linear import AdaSSPRegressor, RidgeRegression
+from repro.ml.sgd import SGDConfig
+
+__all__ = [
+    "ModelPipelineConfig",
+    "TAXI_LR",
+    "TAXI_NN",
+    "CRITEO_LG",
+    "CRITEO_NN",
+    "TAXI_SPEED_TARGETS",
+    "CRITEO_COUNT_TARGETS",
+    "taxi_speed_pipeline",
+    "criteo_count_pipeline",
+    "MODEL_CONFIGS",
+]
+
+# Row-norm bound of the featurized Taxi matrix: 8 one-hot groups of unit
+# norm -> ||x||_2 = sqrt(8) exactly.
+TAXI_X_BOUND = math.sqrt(8.0)
+
+
+@dataclass(frozen=True)
+class ModelPipelineConfig:
+    """One row of Table 1 (model pipelines)."""
+
+    name: str
+    dataset: str                      # "taxi" | "criteo"
+    metric: str                       # "mse" | "accuracy"
+    algorithm: str                    # "adassp" | "dpsgd"
+    hidden_sizes: Tuple[int, ...]
+    sgd: Optional[SGDConfig]
+    clip_norm: float
+    epsilon_large: float
+    epsilon_small: float
+    delta: float
+    targets: Tuple[float, ...]
+    naive_metric: float               # predict-the-mean / majority baseline
+    loss_bound: float = 1.0
+    # Non-private baseline hyperparameters: without noise, small batches
+    # and more steps converge far better, so the NP curves of Fig. 5 get
+    # their own schedule (defaults to ``sgd`` when None).
+    np_sgd: Optional[SGDConfig] = None
+
+    # ------------------------------------------------------------------
+    def trainer_fn(self) -> Callable:
+        """The pipeline's DP ``trainer_fn(X, y, budget, rng)``."""
+        if self.algorithm == "adassp":
+            def train(X, y, budget, rng):
+                est = AdaSSPRegressor(
+                    budget, rho=0.1, x_bound=TAXI_X_BOUND, y_bound=1.0
+                )
+                return est.fit(X, y, rng)
+            return train
+        if self.algorithm == "dpsgd":
+            regression = self.metric == "mse"
+            def train(X, y, budget, rng):
+                cls = DPSGDRegressorEstimator if regression else DPSGDClassifierEstimator
+                sgd = self._effective_sgd(X.shape[0])
+                # Labels live in a public range; clip regression outputs
+                # into it (free post-processing, bounds unstable runs).
+                clip = (0.0, 1.0) if regression else None
+                est = cls(
+                    budget, self.hidden_sizes, sgd,
+                    clip_norm=self.clip_norm, output_clip=clip,
+                )
+                return est.fit(X, y, rng)
+            return train
+        raise DataError(f"unknown algorithm {self.algorithm!r}")
+
+    def np_trainer_fn(self) -> Callable:
+        """The non-private counterpart (the "NP" curves of Fig. 5)."""
+        if self.algorithm == "adassp":
+            def train(X, y, budget, rng):
+                return RidgeRegression(regularization=1e-3).fit(X, y, rng)
+            return train
+        regression = self.metric == "mse"
+        def train(X, y, budget, rng):
+            cls = MLPRegressorEstimator if regression else MLPClassifierEstimator
+            sgd = self.np_sgd or self.sgd
+            batch = min(sgd.batch_size, max(16, X.shape[0] // 4))
+            est = cls(
+                self.hidden_sizes,
+                SGDConfig(
+                    learning_rate=sgd.learning_rate,
+                    epochs=sgd.epochs,
+                    batch_size=batch,
+                    momentum=sgd.momentum,
+                ),
+                output_clip=(0.0, 1.0) if regression else None,
+            )
+            return est.fit(X, y, rng)
+        return train
+
+    def _effective_sgd(self, n: int) -> Optional[SGDConfig]:
+        """Cap the batch size at n/4 so subsampling stays meaningful."""
+        if self.sgd is None:
+            return None
+        batch = min(self.sgd.batch_size, max(16, n // 4))
+        return SGDConfig(
+            learning_rate=self.sgd.learning_rate,
+            epochs=self.sgd.epochs,
+            batch_size=batch,
+            momentum=self.sgd.momentum,
+        )
+
+    def validator(self, target: float, confidence: float = 0.95):
+        if self.metric == "mse":
+            return DPLossValidator(target, self.loss_bound, confidence)
+        return DPAccuracyValidator(target, confidence)
+
+    def erm_fn(self) -> Optional[Callable]:
+        """Closed-form ERM losses for the REJECT test (LR only)."""
+        if self.algorithm != "adassp":
+            return None
+        def erm(X, y):
+            model = RidgeRegression(regularization=1e-6).fit(X, y)
+            residual = y - model.predict(X)
+            return residual ** 2
+        return erm
+
+    def pipeline(self, target: float, confidence: float = 0.95) -> TrainingPipeline:
+        return TrainingPipeline(
+            name=f"{self.name}-t{target:g}",
+            trainer_fn=self.trainer_fn(),
+            validator=self.validator(target, confidence),
+            metric=self.metric,
+            erm_fn=self.erm_fn(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 1, transcribed (budgets/targets verbatim; architectures scaled)
+# ----------------------------------------------------------------------
+TAXI_LR = ModelPipelineConfig(
+    name="taxi-lr",
+    dataset="taxi",
+    metric="mse",
+    algorithm="adassp",
+    hidden_sizes=(),
+    sgd=None,
+    clip_norm=1.0,
+    epsilon_large=1.0,
+    epsilon_small=0.05,
+    delta=1e-6,
+    targets=(0.0024, 0.003, 0.004, 0.005, 0.006, 0.007),
+    naive_metric=0.0069,
+)
+
+TAXI_NN = ModelPipelineConfig(
+    name="taxi-nn",
+    dataset="taxi",
+    metric="mse",
+    algorithm="dpsgd",
+    hidden_sizes=(64, 32),            # paper: (5000, 100)
+    # Paper: lr 0.01, epochs 3, batch 1024, clip 1 at 37M samples; re-tuned
+    # for laptop-scale q = batch/n (see EXPERIMENTS.md).  Regression
+    # gradients here are small, so a tight clip cuts noise 4x for free.
+    sgd=SGDConfig(learning_rate=0.3, epochs=6, batch_size=2048, momentum=0.9),
+    np_sgd=SGDConfig(learning_rate=0.05, epochs=4, batch_size=256, momentum=0.9),
+    clip_norm=0.25,
+    epsilon_large=1.0,
+    epsilon_small=0.1,                # Fig. 5b's small budget
+    delta=1e-6,
+    targets=(0.002, 0.003, 0.004, 0.005, 0.006, 0.007),
+    naive_metric=0.0069,
+)
+
+CRITEO_LG = ModelPipelineConfig(
+    name="criteo-lg",
+    dataset="criteo",
+    metric="accuracy",
+    algorithm="dpsgd",
+    hidden_sizes=(),
+    # Paper: lr 0.1, batch 512, clip 1 at 45M samples.  At laptop scale the
+    # sampling rate q = batch/n is ~100x larger, so the same budget buys a
+    # larger noise multiplier; bigger batches + looser clipping restore the
+    # signal-to-noise the paper's regime had (see EXPERIMENTS.md).
+    sgd=SGDConfig(learning_rate=0.2, epochs=3, batch_size=4096),
+    np_sgd=SGDConfig(learning_rate=0.5, epochs=4, batch_size=256),
+    clip_norm=4.0,
+    epsilon_large=1.0,
+    epsilon_small=0.25,
+    delta=1e-6,
+    targets=(0.74, 0.75, 0.76, 0.77, 0.78),
+    naive_metric=0.743,
+)
+
+CRITEO_NN = ModelPipelineConfig(
+    name="criteo-nn",
+    dataset="criteo",
+    metric="accuracy",
+    algorithm="dpsgd",
+    hidden_sizes=(64, 16),            # paper: (1024, 32)
+    sgd=SGDConfig(learning_rate=0.1, epochs=5, batch_size=4096),
+    np_sgd=SGDConfig(learning_rate=0.1, epochs=5, batch_size=256),
+    clip_norm=4.0,
+    epsilon_large=1.0,
+    epsilon_small=0.25,
+    delta=1e-6,
+    targets=(0.74, 0.75, 0.76, 0.77, 0.78),
+    naive_metric=0.743,
+)
+
+MODEL_CONFIGS = {c.name: c for c in (TAXI_LR, TAXI_NN, CRITEO_LG, CRITEO_NN)}
+
+# Statistics pipelines (Table 1's Avg.Speed x3 and Counts x26 rows).
+TAXI_SPEED_TARGETS = (1.0, 5.0, 7.5, 10.0, 15.0)       # km/h absolute error
+CRITEO_COUNT_TARGETS = (0.01, 0.05, 0.10)              # frequency abs. error
+
+_SPEED_KEYS = {"hour_of_day": 24, "day_of_week": 7, "week_of_month": 5}
+
+
+def taxi_speed_pipeline(
+    granularity: str, target: float, confidence: float = 0.95
+) -> StatisticPipeline:
+    """One of the three Avg.Speed pipelines (hour/day/week granularity)."""
+    if granularity not in _SPEED_KEYS:
+        raise DataError(f"granularity must be one of {sorted(_SPEED_KEYS)}")
+    return StatisticPipeline(
+        name=f"avg-speed-{granularity}-t{target:g}",
+        key_column=granularity,
+        value_column="speed_kmh",
+        nkeys=_SPEED_KEYS[granularity],
+        value_range=60.0,
+        target=target,
+        confidence=confidence,
+    )
+
+
+def criteo_count_pipeline(
+    feature_index: int, target: float, confidence: float = 0.95
+) -> HistogramPipeline:
+    """One of the 26 per-feature histogram pipelines."""
+    if not 0 <= feature_index < len(CRITEO_CARDINALITIES):
+        raise DataError(
+            f"feature_index must be in [0, {len(CRITEO_CARDINALITIES)})"
+        )
+    return HistogramPipeline(
+        name=f"counts-{feature_index}-t{target:g}",
+        key_column=f"cat_{feature_index}",
+        nkeys=CRITEO_CARDINALITIES[feature_index],
+        target=target,
+        confidence=confidence,
+    )

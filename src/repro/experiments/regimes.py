@@ -1,0 +1,106 @@
+"""The four validation regimes compared in Table 2 and Fig. 6.
+
+* ``NO_SLA`` -- vanilla TFX validation: compare a DP point estimate of the
+  metric against the target, no statistical rigor (the paper's §5.1
+  failure-rate baseline).
+* ``NP_SLA`` -- statistically rigorous but non-private validation: the best
+  possible confidence bound, no DP noise anywhere.
+* ``UC_DP_SLA`` -- the ablation: DP SLAed validation *without* the
+  worst-case noise corrections.
+* ``SAGE_SLA`` -- the full Sage validator.
+
+Each regime answers "accept this model at this target?" given the raw
+per-example test statistics, so runners can evaluate all four on one
+trained model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.validation.accuracy import DPAccuracyValidator
+from repro.core.validation.bounds import bernstein_upper_bound, binomial_lower_bound
+from repro.core.validation.loss import DPLossValidator
+from repro.core.validation.outcomes import Outcome
+from repro.dp.mechanisms import laplace_noise, make_rng
+
+__all__ = ["Regime", "accepts_loss", "accepts_accuracy", "accepts"]
+
+
+class Regime(enum.Enum):
+    NO_SLA = "no-sla"
+    NP_SLA = "np-sla"
+    UC_DP_SLA = "uc-dp-sla"
+    SAGE_SLA = "sage-sla"
+
+
+def accepts_loss(
+    regime: Regime,
+    test_losses: np.ndarray,
+    target: float,
+    epsilon: float,
+    confidence: float,
+    rng: np.random.Generator,
+    loss_bound: float = 1.0,
+) -> bool:
+    """Would this regime accept a model with these per-example test losses?"""
+    rng = make_rng(rng)
+    losses = np.clip(np.asarray(test_losses, dtype=float).reshape(-1), 0.0, loss_bound)
+    n = losses.size
+    eta = 1.0 - confidence
+    if regime is Regime.NO_SLA:
+        noisy_sum = float(np.sum(losses)) + laplace_noise(rng, 2.0 * loss_bound / epsilon)
+        noisy_n = max(1.0, n + laplace_noise(rng, 2.0 / epsilon))
+        return noisy_sum / noisy_n <= target
+    if regime is Regime.NP_SLA:
+        bound = bernstein_upper_bound(float(np.mean(losses)), n, eta, loss_bound)
+        return bound <= target
+    validator = DPLossValidator(target, loss_bound, confidence)
+    correct = regime is Regime.SAGE_SLA
+    result = validator.accept_test(losses, epsilon, eta / 2.0, rng, correct_for_dp=correct)
+    return result.outcome is Outcome.ACCEPT
+
+
+def accepts_accuracy(
+    regime: Regime,
+    correct_vector: np.ndarray,
+    target: float,
+    epsilon: float,
+    confidence: float,
+    rng: np.random.Generator,
+) -> bool:
+    """Would this regime accept a model with this 0/1 correctness vector?"""
+    rng = make_rng(rng)
+    correct_vector = np.asarray(correct_vector, dtype=float).reshape(-1)
+    n = correct_vector.size
+    eta = 1.0 - confidence
+    if regime is Regime.NO_SLA:
+        noisy_k = float(np.sum(correct_vector)) + laplace_noise(rng, 2.0 / epsilon)
+        noisy_n = max(1.0, n + laplace_noise(rng, 2.0 / epsilon))
+        return noisy_k / noisy_n >= target
+    if regime is Regime.NP_SLA:
+        return binomial_lower_bound(float(np.sum(correct_vector)), n, eta) >= target
+    validator = DPAccuracyValidator(target, confidence)
+    dp_correct = regime is Regime.SAGE_SLA
+    result = validator.accept_test(
+        correct_vector, epsilon, eta / 2.0, rng, correct_for_dp=dp_correct
+    )
+    return result.outcome is Outcome.ACCEPT
+
+
+def accepts(
+    regime: Regime,
+    metric: str,
+    stats: np.ndarray,
+    target: float,
+    epsilon: float,
+    confidence: float,
+    rng: np.random.Generator,
+    loss_bound: float = 1.0,
+) -> bool:
+    """Dispatch on the metric kind ("mse" -> losses, "accuracy" -> 0/1)."""
+    if metric == "mse":
+        return accepts_loss(regime, stats, target, epsilon, confidence, rng, loss_bound)
+    return accepts_accuracy(regime, stats, target, epsilon, confidence, rng)

@@ -1,0 +1,123 @@
+"""ASCII rendering of the reproduced tables and figures.
+
+The benchmarks print these so ``pytest benchmarks/ --benchmark-only`` shows
+the same rows/series the paper reports, ready to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.regimes import Regime
+from repro.workload.simulator import WorkloadReport
+
+__all__ = [
+    "format_fig5",
+    "format_fig6",
+    "format_table2",
+    "format_fig7",
+    "format_fig8",
+]
+
+_REGIME_LABEL = {
+    Regime.NO_SLA: "No SLA",
+    Regime.NP_SLA: "NP SLA",
+    Regime.UC_DP_SLA: "UC DP SLA",
+    Regime.SAGE_SLA: "Sage SLA",
+}
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def format_fig5(
+    title: str, series: Dict[str, List[Tuple[int, float]]], metric: str
+) -> str:
+    """One Fig. 5 panel: metric vs. training samples per mode."""
+    lines = [title, _rule()]
+    modes = [m for m in ("np", "dp-large", "dp-small") if m in series]
+    header = f"{'samples':>10} " + " ".join(f"{m:>12}" for m in modes)
+    lines.append(header)
+    ns = sorted({n for m in modes for n, _ in series[m]})
+    lookup = {m: dict(series[m]) for m in modes}
+    for n in ns:
+        cells = []
+        for m in modes:
+            v = lookup[m].get(n)
+            cells.append(f"{v:12.5f}" if v is not None else f"{'-':>12}")
+        lines.append(f"{n:>10} " + " ".join(cells))
+    lines.append(f"(metric: {metric}; lower is better for mse)")
+    return "\n".join(lines)
+
+
+def format_fig6(
+    title: str, required: Dict[Regime, Dict[float, Optional[int]]]
+) -> str:
+    """One Fig. 6 panel: samples required to ACCEPT per target and regime."""
+    lines = [title, _rule()]
+    regimes = list(required)
+    targets = sorted({t for r in regimes for t in required[r]})
+    header = f"{'target':>10} " + " ".join(f"{_REGIME_LABEL[r]:>12}" for r in regimes)
+    lines.append(header)
+    for t in targets:
+        cells = []
+        for r in regimes:
+            n = required[r].get(t)
+            cells.append(f"{n:>12}" if n is not None else f"{'unreach':>12}")
+        lines.append(f"{t:>10g} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_table2(
+    title: str, rates_by_eta: Dict[float, Dict[Regime, float]]
+) -> str:
+    """Table 2: target-violation rate of accepted models."""
+    lines = [title, _rule()]
+    regimes = [Regime.NO_SLA, Regime.NP_SLA, Regime.UC_DP_SLA, Regime.SAGE_SLA]
+    header = f"{'eta':>6} " + " ".join(f"{_REGIME_LABEL[r]:>12}" for r in regimes)
+    lines.append(header)
+    for eta, rates in sorted(rates_by_eta.items()):
+        cells = []
+        for r in regimes:
+            v = rates.get(r)
+            cells.append(f"{v:12.4f}" if v == v else f"{'n/a':>12}")  # NaN check
+        lines.append(f"{eta:>6g} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_fig7(title: str, curves: Dict[str, List[Tuple[int, float]]]) -> str:
+    """Fig. 7: block vs. query composition MSE curves."""
+    lines = [title, _rule()]
+    keys = sorted(curves)
+    ns = sorted({n for k in keys for n, _ in curves[k]})
+    lookup = {k: dict(curves[k]) for k in keys}
+    lines.append(f"{'samples':>10} " + " ".join(f"{k:>14}" for k in keys))
+    for n in ns:
+        cells = []
+        for k in keys:
+            v = lookup[k].get(n)
+            cells.append(f"{v:14.5f}" if v is not None else f"{'-':>14}")
+        lines.append(f"{n:>10} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_fig8(
+    title: str, reports: Dict[str, Dict[float, WorkloadReport]]
+) -> str:
+    """Fig. 8: average model release time (hours) under load."""
+    lines = [title, _rule()]
+    strategies = list(reports)
+    rates = sorted({r for s in strategies for r in reports[s]})
+    lines.append(f"{'rate':>6} " + " ".join(f"{s:>18}" for s in strategies))
+    for rate in rates:
+        cells = []
+        for s in strategies:
+            rep = reports[s].get(rate)
+            if rep is None:
+                cells.append(f"{'-':>18}")
+            else:
+                cells.append(f"{rep.avg_release_time:10.1f}h ({rep.release_fraction:4.2f})")
+        lines.append(f"{rate:>6g} " + " ".join(cells))
+    lines.append("(value: avg release time, censored at horizon; parens: release fraction)")
+    return "\n".join(lines)

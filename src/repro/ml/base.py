@@ -1,0 +1,79 @@
+"""Model interfaces for the ML substrate.
+
+Two tiers:
+
+* :class:`Estimator` -- the minimal ``fit`` / ``predict`` surface the
+  platform layer (pipelines, validators) sees; and
+* :class:`DifferentiableModel` -- the gradient surface SGD and DP-SGD
+  trainers drive: parameter init, prediction from explicit parameters, and
+  *per-example* gradients (DP-SGD must clip each example's gradient before
+  aggregation, so mean gradients are not enough).
+
+Parameters are a list of numpy arrays ("param groups", e.g. ``[W1, b1, W2,
+b2, ...]``) rather than a single flat vector so layer structure is preserved;
+``flatten_norms`` computes per-example global L2 norms across groups without
+materializing a flat copy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Estimator", "DifferentiableModel", "per_example_sq_norms"]
+
+Params = List[np.ndarray]
+PerExampleGrads = List[np.ndarray]  # each with a leading batch dimension
+
+
+class Estimator(abc.ABC):
+    """Minimal trained-model surface used by pipelines and validators."""
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "Estimator":
+        """Train in place and return self."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Point predictions: values for regression, probabilities for binary
+        classification (callers threshold at 0.5 for labels)."""
+
+
+class DifferentiableModel(abc.ABC):
+    """A parametric model exposing per-example gradients of its training loss."""
+
+    @abc.abstractmethod
+    def init_params(self, input_dim: int, rng: np.random.Generator) -> Params:
+        """Fresh parameter groups for ``input_dim`` features."""
+
+    @abc.abstractmethod
+    def predict_from(self, params: Params, X: np.ndarray) -> np.ndarray:
+        """Predictions under explicit parameters."""
+
+    @abc.abstractmethod
+    def per_example_gradients(
+        self, params: Params, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, PerExampleGrads]:
+        """Per-example losses (n,) and gradients (one array per param group,
+        each with leading dimension n)."""
+
+    def mean_gradients(
+        self, params: Params, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, Params]:
+        """Mean loss and mean gradients; default averages the per-example path.
+
+        Subclasses override with a matmul-only fast path when it matters.
+        """
+        losses, grads = self.per_example_gradients(params, X, y)
+        return float(np.mean(losses)), [g.mean(axis=0) for g in grads]
+
+
+def per_example_sq_norms(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Per-example squared global L2 norm across all parameter groups."""
+    n = grads[0].shape[0]
+    total = np.zeros(n)
+    for g in grads:
+        total += np.square(g.reshape(n, -1)).sum(axis=1)
+    return total

@@ -1,0 +1,133 @@
+"""Estimator wrappers: the trained-model objects pipelines produce.
+
+These adapt the functional trainers (:func:`~repro.ml.sgd.sgd_train`,
+:func:`~repro.ml.dpsgd.dpsgd_train`) and the MLP gradient model into the
+``fit``/``predict`` surface validators consume.  Table 1's SGD-trained
+pipelines map onto these as:
+
+* Taxi NN      -> ``MLPRegressorEstimator`` (DP or not)
+* Criteo LG    -> ``MLPClassifierEstimator(hidden_sizes=())``
+* Criteo NN    -> ``MLPClassifierEstimator(hidden_sizes=(...))``
+
+``DPSGDEstimator*`` variants take a :class:`~repro.dp.budget.PrivacyBudget`
+and record the budget actually spent (``spent_``) so the platform can charge
+the right amount to the blocks that supplied the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import DataError
+from repro.ml.base import Estimator
+from repro.ml.dpsgd import DPSGDConfig, dpsgd_train
+from repro.ml.neural import MLPModel
+from repro.ml.sgd import SGDConfig, sgd_train
+
+__all__ = [
+    "MLPRegressorEstimator",
+    "MLPClassifierEstimator",
+    "DPSGDRegressorEstimator",
+    "DPSGDClassifierEstimator",
+]
+
+
+class _SGDBase(Estimator):
+    task = "regression"
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (),
+        config: Optional[SGDConfig] = None,
+        output_clip: Optional[tuple] = None,
+    ) -> None:
+        self.model = MLPModel(hidden_sizes, task=self.task)
+        self.config = config or SGDConfig()
+        # Publicly known label range; clipping predictions into it is free
+        # post-processing and bounds the damage of a noise-destabilized run.
+        self.output_clip = output_clip
+        self.params_ = None
+        self.epoch_losses_ = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "_SGDBase":
+        self.params_, self.epoch_losses_ = sgd_train(self.model, X, y, self.config, rng)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.params_ is None:
+            raise DataError(f"{type(self).__name__} used before fit")
+        out = self.model.predict_from(self.params_, X)
+        if self.output_clip is not None:
+            out = np.clip(out, self.output_clip[0], self.output_clip[1])
+        return out
+
+
+class MLPRegressorEstimator(_SGDBase):
+    """Non-private SGD-trained MLP regressor (NP curves of Fig. 5a/5b)."""
+
+    task = "regression"
+
+
+class MLPClassifierEstimator(_SGDBase):
+    """Non-private SGD-trained binary classifier; ``predict`` returns
+    probabilities, ``predict_labels`` thresholds at 0.5."""
+
+    task = "binary"
+
+    def predict_labels(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict(X) >= 0.5).astype(float)
+
+
+class _DPSGDBase(Estimator):
+    task = "regression"
+
+    def __init__(
+        self,
+        budget: PrivacyBudget,
+        hidden_sizes: Sequence[int] = (),
+        config: Optional[SGDConfig] = None,
+        clip_norm: float = 1.0,
+        output_clip: Optional[tuple] = None,
+    ) -> None:
+        if budget.delta <= 0:
+            raise DataError("DP-SGD estimators need delta > 0")
+        self.model = MLPModel(hidden_sizes, task=self.task)
+        self.budget = budget
+        self.dp_config = DPSGDConfig(sgd=config or SGDConfig(), clip_norm=clip_norm)
+        self.output_clip = output_clip
+        self.params_ = None
+        self.spent_: Optional[PrivacyBudget] = None
+        self.noise_multiplier_: Optional[float] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "_DPSGDBase":
+        result = dpsgd_train(self.model, X, y, self.dp_config, rng, budget=self.budget)
+        self.params_ = result.params
+        self.spent_ = result.spent
+        self.noise_multiplier_ = result.noise_multiplier
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.params_ is None:
+            raise DataError(f"{type(self).__name__} used before fit")
+        out = self.model.predict_from(self.params_, X)
+        if self.output_clip is not None:
+            out = np.clip(out, self.output_clip[0], self.output_clip[1])
+        return out
+
+
+class DPSGDRegressorEstimator(_DPSGDBase):
+    """DP-SGD MLP regressor (Taxi NN pipeline; hidden_sizes=() gives DP LR-by-SGD)."""
+
+    task = "regression"
+
+
+class DPSGDClassifierEstimator(_DPSGDBase):
+    """DP-SGD binary classifier (Criteo LG with hidden_sizes=(), NN otherwise)."""
+
+    task = "binary"
+
+    def predict_labels(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict(X) >= 0.5).astype(float)

@@ -1,0 +1,191 @@
+"""Multilayer perceptron with exact per-example gradients.
+
+A from-scratch numpy MLP covering the paper's "NN" pipelines (ReLU hidden
+layers; regression head for Taxi, sigmoid/binary head for Criteo).  The
+degenerate case of *no* hidden layers gives the linear and logistic models
+of Table 1, so one backprop implementation serves every SGD-trained model in
+the reproduction.
+
+Per-example gradients (needed by DP-SGD's clipping) are computed with
+batched outer products (``einsum``), not a Python loop, so DP training runs
+at practical speed on 10^5-10^6 example datasets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.ml.base import DifferentiableModel, Params, PerExampleGrads
+
+__all__ = ["MLPModel", "relu", "sigmoid"]
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _softplus(z: np.ndarray) -> np.ndarray:
+    return np.logaddexp(0.0, z)
+
+
+class MLPModel(DifferentiableModel):
+    """ReLU MLP with a regression or binary-classification head.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Hidden-layer widths; ``()`` gives a plain linear/logistic model.
+    task:
+        ``"regression"`` (squared loss, identity head) or ``"binary"``
+        (cross-entropy loss, sigmoid head; :meth:`predict_from` returns
+        probabilities).
+    """
+
+    def __init__(self, hidden_sizes: Sequence[int] = (), task: str = "regression") -> None:
+        if task not in ("regression", "binary"):
+            raise DataError(f"task must be 'regression' or 'binary', got {task!r}")
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        if any(h <= 0 for h in self.hidden_sizes):
+            raise DataError("hidden sizes must be positive")
+        self.task = task
+
+    # ------------------------------------------------------------------
+    def init_params(self, input_dim: int, rng: np.random.Generator) -> Params:
+        if input_dim <= 0:
+            raise DataError(f"input_dim must be > 0, got {input_dim}")
+        sizes = (input_dim,) + self.hidden_sizes + (1,)
+        params: Params = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He init for ReLU stacks
+            params.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            params.append(np.zeros(fan_out))
+        return params
+
+    # ------------------------------------------------------------------
+    def _forward(self, params: Params, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Returns final logits/outputs (n,) and the post-activation list
+        [a_0 = X, a_1, ..., a_{L-1}] needed by backprop."""
+        activations = [np.asarray(X, dtype=float)]
+        a = activations[0]
+        n_layers = len(params) // 2
+        for layer in range(n_layers):
+            W, b = params[2 * layer], params[2 * layer + 1]
+            z = a @ W + b
+            if layer < n_layers - 1:
+                a = relu(z)
+                activations.append(a)
+            else:
+                out = z[:, 0]
+        return out, activations
+
+    def predict_from(self, params: Params, X: np.ndarray) -> np.ndarray:
+        out, _ = self._forward(params, X)
+        return sigmoid(out) if self.task == "binary" else out
+
+    # ------------------------------------------------------------------
+    def _head_losses_delta(
+        self, out: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if y.shape != out.shape:
+            raise DataError("y must match the number of rows of X")
+        if self.task == "regression":
+            residual = out - y
+            return 0.5 * residual ** 2, residual
+        # binary: cross-entropy with logits
+        losses = _softplus(out) - y * out
+        return losses, sigmoid(out) - y
+
+    def per_example_gradients(
+        self, params: Params, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, PerExampleGrads]:
+        out, acts = self._forward(params, X)
+        losses, delta_out = self._head_losses_delta(out, y)
+        n_layers = len(params) // 2
+        grads: PerExampleGrads = [None] * len(params)  # type: ignore[list-item]
+        delta = delta_out[:, None]  # (n, width_of_layer_output)
+        for layer in range(n_layers - 1, -1, -1):
+            a_prev = acts[layer]
+            # dL/dW[layer] per example: outer(a_prev, delta)
+            grads[2 * layer] = np.einsum("ni,nj->nij", a_prev, delta)
+            grads[2 * layer + 1] = delta.copy()
+            if layer > 0:
+                W = params[2 * layer]
+                delta = (delta @ W.T) * (acts[layer] > 0)
+        return losses, grads
+
+    def clipped_gradient_sums(
+        self, params: Params, X: np.ndarray, y: np.ndarray, clip_norm: float
+    ) -> Tuple[np.ndarray, Params]:
+        """Ghost clipping: sum of per-example L2-clipped gradients, matmul-only.
+
+        A layer's per-example weight gradient is ``outer(a_prev, delta)``
+        whose Frobenius norm factorizes as ``||a_prev|| * ||delta||``, so the
+        global per-example norm -- and therefore the clip factor -- can be
+        computed without materializing any per-example gradient.  The clipped
+        sum is then one matmul per layer with the clip factors folded into
+        ``delta``.  This is what makes DP-SGD run at practical speed on the
+        wider Criteo models.
+
+        Returns (per-example losses, list of *summed* clipped gradients).
+        """
+        out, acts = self._forward(params, X)
+        losses, delta_out = self._head_losses_delta(out, y)
+        n = out.shape[0]
+        n_layers = len(params) // 2
+
+        # Backward pass, storing each layer's delta.
+        deltas: List[np.ndarray] = [None] * n_layers  # type: ignore[list-item]
+        delta = delta_out[:, None]
+        for layer in range(n_layers - 1, -1, -1):
+            deltas[layer] = delta
+            if layer > 0:
+                W = params[2 * layer]
+                delta = (delta @ W.T) * (acts[layer] > 0)
+
+        # Per-example squared global norms from the factorization.
+        sq_norms = np.zeros(n)
+        act_sq = [np.square(a).sum(axis=1) for a in acts]
+        for layer in range(n_layers):
+            delta_sq = np.square(deltas[layer]).sum(axis=1)
+            sq_norms += act_sq[layer] * delta_sq  # weight gradient
+            sq_norms += delta_sq                  # bias gradient
+        factors = np.minimum(1.0, clip_norm / np.sqrt(np.maximum(sq_norms, 1e-64)))
+
+        sums: Params = [None] * len(params)  # type: ignore[list-item]
+        for layer in range(n_layers):
+            scaled_delta = deltas[layer] * factors[:, None]
+            sums[2 * layer] = acts[layer].T @ scaled_delta
+            sums[2 * layer + 1] = scaled_delta.sum(axis=0)
+        return losses, sums
+
+    def mean_gradients(
+        self, params: Params, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, Params]:
+        """Matmul-only fast path: aggregates with ``a_prev.T @ delta``."""
+        out, acts = self._forward(params, X)
+        losses, delta_out = self._head_losses_delta(out, y)
+        n = out.shape[0]
+        n_layers = len(params) // 2
+        grads: Params = [None] * len(params)  # type: ignore[list-item]
+        delta = delta_out[:, None]
+        for layer in range(n_layers - 1, -1, -1):
+            a_prev = acts[layer]
+            grads[2 * layer] = a_prev.T @ delta / n
+            grads[2 * layer + 1] = delta.mean(axis=0)
+            if layer > 0:
+                W = params[2 * layer]
+                delta = (delta @ W.T) * (acts[layer] > 0)
+        return float(np.mean(losses)), grads

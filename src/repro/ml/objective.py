@@ -1,0 +1,167 @@
+"""Objective-perturbation DP logistic regression [Chaudhuri & Monteleoni].
+
+The paper's related-work list (citation [10]) includes privacy-preserving
+logistic regression by *objective perturbation*: instead of noising
+gradients (DP-SGD) or sufficient statistics (AdaSSP), a random linear term
+is added to the regularized empirical risk and the perturbed objective is
+minimized exactly.  For strongly convex objectives this often beats DP-SGD
+at small dimensions, which makes it a useful second DP classifier for the
+platform -- pipelines can pick whichever algorithm suits their regime.
+
+This implements the (epsilon, 0)-DP output/objective-perturbation variant:
+
+    minimize  (1/n) sum_i log(1 + exp(-y_i w.x_i))
+              + lambda/2 ||w||^2 + (b.w)/n,   b ~ Laplace-ball noise
+
+with rows clipped to ||x|| <= x_bound and labels in {-1, +1}.  Following
+Chaudhuri & Monteleoni, the noise vector's norm is drawn Gamma(d, 2/eps')
+with direction uniform, and the regularizer must satisfy
+lambda >= x_bound^2 / (4 n (exp(eps/4) - 1)) for the target epsilon (we
+solve for the effective eps' accordingly and enforce the constraint).
+Optimization is plain full-batch Newton/gradient descent -- the objective
+is smooth and strongly convex, so a few tens of iterations suffice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.dp.budget import PrivacyBudget
+from repro.dp.sensitivity import clip_rows_l2
+from repro.errors import DataError
+from repro.ml.base import Estimator
+from repro.ml.neural import sigmoid
+
+__all__ = ["ObjectivePerturbationLogistic"]
+
+
+class ObjectivePerturbationLogistic(Estimator):
+    """(epsilon, 0)-DP binary logistic regression via objective perturbation.
+
+    Parameters
+    ----------
+    epsilon:
+        Pure-DP budget for the whole fit.
+    regularization:
+        L2 coefficient lambda; raised automatically when the Chaudhuri-
+        Monteleoni constraint demands a larger value for this epsilon/n.
+    x_bound:
+        Public row-norm bound (rows are clipped to it).
+    iterations / learning_rate:
+        Deterministic full-batch optimizer settings (post-processing; they
+        do not affect privacy).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        regularization: float = 1e-3,
+        x_bound: float = 1.0,
+        iterations: int = 200,
+        learning_rate: float = 1.0,
+        fit_intercept: bool = True,
+    ) -> None:
+        if epsilon <= 0:
+            raise DataError(f"epsilon must be > 0, got {epsilon}")
+        if regularization <= 0:
+            raise DataError(f"regularization must be > 0, got {regularization}")
+        if x_bound <= 0:
+            raise DataError(f"x_bound must be > 0, got {x_bound}")
+        if iterations <= 0:
+            raise DataError(f"iterations must be > 0, got {iterations}")
+        self.epsilon = epsilon
+        self.regularization = regularization
+        self.x_bound = x_bound
+        self.iterations = iterations
+        self.learning_rate = learning_rate
+        self.fit_intercept = fit_intercept
+        self.coef_: Optional[np.ndarray] = None
+        self.effective_regularization_: Optional[float] = None
+
+    def _augment(self, X: np.ndarray) -> np.ndarray:
+        """Clip rows to x_bound, then append the intercept column.
+
+        The augmented row norm is at most sqrt(x_bound^2 + 1); the privacy
+        analysis below uses that effective bound.
+        """
+        X = clip_rows_l2(np.asarray(X, dtype=float), self.x_bound)
+        if self.fit_intercept:
+            X = np.hstack([X, np.ones((X.shape[0], 1))])
+        return X
+
+    @property
+    def _effective_x_bound(self) -> float:
+        if self.fit_intercept:
+            return math.sqrt(self.x_bound ** 2 + 1.0)
+        return self.x_bound
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        return PrivacyBudget(self.epsilon, 0.0)
+
+    # ------------------------------------------------------------------
+    def _required_regularization(self, n: int) -> float:
+        """Chaudhuri-Monteleoni: lambda >= c / (n (e^{eps/4} - 1)), with the
+        loss's smoothness constant c = x_bound^2 / 4 for logistic loss."""
+        c = self._effective_x_bound ** 2 / 4.0
+        return c / (n * math.expm1(self.epsilon / 4.0))
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "ObjectivePerturbationLogistic":
+        X = self._augment(X)
+        y01 = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y01.shape[0]:
+            raise DataError("X and y must agree on the first dimension")
+        if not set(np.unique(y01)) <= {0.0, 1.0}:
+            raise DataError("labels must be binary {0, 1}")
+        n, d = X.shape
+        signs = 2.0 * y01 - 1.0  # {-1, +1}
+
+        lam = max(self.regularization, self._required_regularization(n))
+        self.effective_regularization_ = lam
+        # Half the budget pays for the (possibly raised) regularizer's
+        # sensitivity argument; half scales the noise, per the algorithm's
+        # eps' = eps - log(1 + c/(n lam) ...) simplification.  We use the
+        # conservative split eps' = eps / 2.
+        eps_noise = self.epsilon / 2.0
+
+        # Noise: direction uniform on the sphere, norm ~ Gamma(d, 2 x_bound/eps').
+        direction = rng.normal(size=d)
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        norm = rng.gamma(shape=d, scale=2.0 * self._effective_x_bound / eps_noise)
+        b = norm * direction
+
+        # Minimize f(w) = mean log(1+exp(-s w.x)) + lam/2 ||w||^2 + (b.w)/n
+        w = np.zeros(d)
+        lr = self.learning_rate
+        prev = math.inf
+        for _ in range(self.iterations):
+            margins = signs * (X @ w)
+            p = sigmoid(-margins)  # d/dm log(1+e^{-m}) = -sigmoid(-m)
+            grad = -(X * (signs * p)[:, None]).mean(axis=0) + lam * w + b / n
+            w_new = w - lr * grad
+            value = (
+                float(np.mean(np.logaddexp(0.0, -signs * (X @ w_new))))
+                + 0.5 * lam * float(w_new @ w_new)
+                + float(b @ w_new) / n
+            )
+            if value > prev + 1e-12:
+                lr *= 0.5  # backtrack: smooth convex objective, halve step
+                continue
+            prev = value
+            w = w_new
+            if np.linalg.norm(grad) < 1e-8:
+                break
+        self.coef_ = w
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Click probabilities (threshold at 0.5 for labels)."""
+        if self.coef_ is None:
+            raise DataError("ObjectivePerturbationLogistic used before fit")
+        return sigmoid(self._augment(X) @ self.coef_)
+
+    def predict_labels(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict(X) >= 0.5).astype(float)

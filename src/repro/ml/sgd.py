@@ -1,0 +1,104 @@
+"""Minibatch SGD with momentum for :class:`~repro.ml.base.DifferentiableModel`.
+
+The non-private trainer behind the paper's "NP" curves.  The DP variant
+(``repro.ml.dpsgd``) reuses the same batching/momentum machinery and differs
+only in how the per-batch gradient estimate is formed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.ml.base import DifferentiableModel, Params
+
+__all__ = ["SGDConfig", "minibatch_indices", "sgd_train", "MomentumState"]
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Hyperparameters shared by SGD and DP-SGD (Table 1's Config rows)."""
+
+    learning_rate: float = 0.01
+    epochs: int = 3
+    batch_size: int = 1024
+    momentum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise DataError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if self.epochs <= 0:
+            raise DataError(f"epochs must be > 0, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise DataError(f"batch_size must be > 0, got {self.batch_size}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise DataError(f"momentum must be in [0, 1), got {self.momentum}")
+
+    def steps_for(self, n: int) -> int:
+        """Total optimizer steps for an n-example training set."""
+        batches = max(1, int(np.ceil(n / min(self.batch_size, n))))
+        return self.epochs * batches
+
+
+def minibatch_indices(
+    n: int, batch_size: int, epochs: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Shuffled epoch-wise minibatches (standard DP-SGD practice; the RDP
+    analysis assumes Poisson sampling -- shuffling is the common, slightly
+    optimistic stand-in used by TF-Privacy and the paper's pipelines)."""
+    if n <= 0:
+        raise DataError("cannot iterate over an empty dataset")
+    batch_size = min(batch_size, n)
+    for _ in range(epochs):
+        perm = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            batch = perm[start: start + batch_size]
+            if batch.size:
+                yield batch
+
+
+class MomentumState:
+    """Classic momentum: v <- mu * v + g; params <- params - lr * v."""
+
+    def __init__(self, momentum: float) -> None:
+        self.momentum = momentum
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self, params: Params, grads: Params, lr: float) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(g) for g in grads]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v += g
+            p -= lr * v
+
+
+def sgd_train(
+    model: DifferentiableModel,
+    X: np.ndarray,
+    y: np.ndarray,
+    config: SGDConfig,
+    rng: np.random.Generator,
+    params: Optional[Params] = None,
+) -> Tuple[Params, List[float]]:
+    """Train (non-privately) and return (params, per-epoch mean losses)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).reshape(-1)
+    if X.shape[0] != y.shape[0]:
+        raise DataError("X and y must agree on the first dimension")
+    if params is None:
+        params = model.init_params(X.shape[1], rng)
+    state = MomentumState(config.momentum)
+    epoch_losses: List[float] = []
+    batch_size = min(config.batch_size, X.shape[0])
+    for _ in range(config.epochs):
+        losses = []
+        for batch in minibatch_indices(X.shape[0], batch_size, 1, rng):
+            loss, grads = model.mean_gradients(params, X[batch], y[batch])
+            state.step(params, grads, config.learning_rate)
+            losses.append(loss)
+        epoch_losses.append(float(np.mean(losses)))
+    return params, epoch_losses

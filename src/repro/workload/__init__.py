@@ -1,0 +1,36 @@
+"""Multi-pipeline workload simulation (Fig. 8) and prior-work baselines."""
+
+from repro.workload.arrivals import (
+    GammaArrivals,
+    PowerLawComplexity,
+    requirement_at_epsilon,
+)
+from repro.workload.baselines import (
+    PendingPipeline,
+    QueryCompositionScheduler,
+    StreamingCompositionScheduler,
+)
+from repro.workload.oracle import CountStreamSource, OraclePipeline
+from repro.workload.simulator import (
+    STRATEGIES,
+    WorkloadConfig,
+    WorkloadReport,
+    WorkloadSimulator,
+    sweep_arrival_rates,
+)
+
+__all__ = [
+    "GammaArrivals",
+    "PowerLawComplexity",
+    "requirement_at_epsilon",
+    "PendingPipeline",
+    "QueryCompositionScheduler",
+    "StreamingCompositionScheduler",
+    "CountStreamSource",
+    "OraclePipeline",
+    "STRATEGIES",
+    "WorkloadConfig",
+    "WorkloadReport",
+    "WorkloadSimulator",
+    "sweep_arrival_rates",
+]

@@ -1,0 +1,105 @@
+"""Abstract (count-based) stream source and requirement-oracle pipelines.
+
+The §5.4 workload simulation cares about *when* pipelines release, not what
+they compute, so models are replaced by a requirement oracle: a pipeline
+ACCEPTs once its assembled window holds at least ``requirement_at_epsilon(n1,
+epsilon)`` samples.  The oracle pipeline plugs into the **real** Sage
+platform -- sessions, allocator, accountant and all -- so Fig. 8's block
+strategies exercise exactly the production code path, just with the ML
+replaced by its sample-complexity profile.
+
+Record counts are expressed in units of ``scale`` real points (default 1000)
+so hundreds of simulated hours stay memory-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import PipelineRun
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.data.stream import StreamBatch
+from repro.dp.budget import PrivacyBudget
+from repro.errors import SimulationError
+from repro.workload.arrivals import requirement_at_epsilon
+
+__all__ = ["CountStreamSource", "OraclePipeline"]
+
+
+class CountStreamSource:
+    """A stream whose batches carry only (scaled) record counts.
+
+    ``points_per_hour`` is in *real* points; each generated row stands for
+    ``scale`` of them.  Features are zero-width so blocks cost almost nothing
+    to store while flowing through the ordinary ingestion path.
+    """
+
+    label_range = (0.0, 1.0)
+    feature_dim = 0
+
+    def __init__(self, points_per_hour: int, scale: int = 1000) -> None:
+        if points_per_hour <= 0:
+            raise SimulationError(f"points_per_hour must be > 0, got {points_per_hour}")
+        if scale <= 0:
+            raise SimulationError(f"scale must be > 0, got {scale}")
+        if points_per_hour < scale:
+            raise SimulationError("points_per_hour must be >= scale")
+        self.real_points_per_hour = points_per_hour
+        self.scale = scale
+        self.points_per_hour = max(1, points_per_hour // scale)
+
+    def generate_interval(
+        self, start_hour: float, hours: float, rng: np.random.Generator
+    ) -> StreamBatch:
+        n = max(1, int(round(self.points_per_hour * hours)))
+        timestamps = np.sort(rng.uniform(start_hour, start_hour + hours, size=n))
+        return StreamBatch(
+            X=np.zeros((n, 0)),
+            y=np.zeros(n),
+            timestamps=timestamps,
+            user_ids=np.zeros(n, dtype=np.int64),
+        )
+
+
+@dataclass
+class OraclePipeline:
+    """ACCEPTs iff the window holds ``requirement_at_epsilon(n_at_eps1, eps)``.
+
+    ``n_at_eps1`` is in real points; ``scale`` must match the source's.
+    The granted budget's *training share* is what a real pipeline would
+    train with, but the requirement curve is calibrated end-to-end (Fig. 5
+    measures whole-pipeline sample complexity), so the full epsilon is used.
+    """
+
+    name: str
+    n_at_eps1: float
+    scale: int = 1000
+    exchange_exponent: float = 1.0
+
+    def run(
+        self,
+        batch: StreamBatch,
+        budget: PrivacyBudget,
+        rng: np.random.Generator,
+        correct_for_dp: bool = True,
+    ) -> PipelineRun:
+        real_points = len(batch) * self.scale
+        needed = requirement_at_epsilon(
+            self.n_at_eps1, budget.epsilon, self.exchange_exponent
+        )
+        outcome = Outcome.ACCEPT if real_points >= needed else Outcome.RETRY
+        validation = ValidationResult(
+            outcome,
+            PrivacyBudget(budget.epsilon, 0.0),
+            {"real_points": real_points, "needed": needed},
+        )
+        return PipelineRun(
+            name=self.name,
+            outcome=outcome,
+            validation=validation,
+            budget_charged=budget,
+            model=None,
+            train_size=real_points,
+        )

@@ -1,0 +1,179 @@
+"""BlockAccountant: atomic charges, retirement, the stream-wide bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accountant import BlockAccountant
+from repro.core.filters import StrongCompositionFilter
+from repro.dp.budget import PrivacyBudget
+from repro.errors import BlockRetiredError, BudgetExceededError, InvalidBudgetError
+
+
+@pytest.fixture
+def accountant():
+    acc = BlockAccountant(1.0, 1e-6)
+    acc.register_blocks([0, 1, 2, 3])
+    return acc
+
+
+class TestRegistration:
+    def test_new_blocks_have_full_budget(self, accountant):
+        assert accountant.max_epsilon([0], 0.0) == pytest.approx(1.0)
+
+    def test_duplicate_registration_rejected(self, accountant):
+        with pytest.raises(InvalidBudgetError):
+            accountant.register_block(0)
+
+    def test_unknown_block_rejected(self, accountant):
+        with pytest.raises(InvalidBudgetError):
+            accountant.charge([99], PrivacyBudget(0.1))
+
+    def test_contains(self, accountant):
+        assert 0 in accountant
+        assert 99 not in accountant
+
+
+class TestCharging:
+    def test_charge_hits_every_named_block(self, accountant):
+        accountant.charge([0, 1], PrivacyBudget(0.4, 0.0))
+        assert accountant.max_epsilon([0], 0.0) == pytest.approx(0.6)
+        assert accountant.max_epsilon([1], 0.0) == pytest.approx(0.6)
+        assert accountant.max_epsilon([2], 0.0) == pytest.approx(1.0)
+
+    def test_charge_is_atomic(self, accountant):
+        """A failure on one block must leave all the others untouched."""
+        accountant.charge([0], PrivacyBudget(0.9, 0.0))
+        with pytest.raises(BudgetExceededError):
+            accountant.charge([0, 1], PrivacyBudget(0.4, 0.0))
+        assert accountant.max_epsilon([1], 0.0) == pytest.approx(1.0)
+
+    def test_empty_charge_rejected(self, accountant):
+        with pytest.raises(InvalidBudgetError):
+            accountant.charge([], PrivacyBudget(0.1))
+
+    def test_duplicate_keys_in_charge_rejected(self, accountant):
+        with pytest.raises(InvalidBudgetError):
+            accountant.charge([0, 0], PrivacyBudget(0.1))
+
+    def test_charge_records_label(self, accountant):
+        accountant.charge([0], PrivacyBudget(0.1), label="taxi-lr")
+        assert accountant.charges[-1].label == "taxi-lr"
+        assert accountant.charges[-1].block_keys == (0,)
+
+    def test_can_charge_mirror(self, accountant):
+        assert accountant.can_charge([0, 1], PrivacyBudget(1.0, 1e-6))
+        accountant.charge([0], PrivacyBudget(0.7, 0.0))
+        assert not accountant.can_charge([0, 1], PrivacyBudget(0.5, 0.0))
+        assert not accountant.can_charge([], PrivacyBudget(0.1))
+
+
+class TestRetirement:
+    def test_exhausted_block_retires(self, accountant):
+        accountant.charge([0], PrivacyBudget(1.0, 1e-6))
+        assert 0 in accountant.retired_blocks()
+        assert 0 not in accountant.usable_blocks()
+
+    def test_retired_block_raises_block_retired(self, accountant):
+        accountant.charge([0], PrivacyBudget(1.0, 1e-6))
+        with pytest.raises(BlockRetiredError):
+            accountant.charge([0], PrivacyBudget(0.01, 0.0))
+
+    def test_retirement_is_permanent(self, accountant):
+        """Privacy loss never decreases; a retired block stays retired."""
+        accountant.charge([0], PrivacyBudget(1.0, 1e-6))
+        for _ in range(3):
+            assert 0 in accountant.retired_blocks()
+
+    def test_usable_blocks_with_floor(self, accountant):
+        accountant.charge([0], PrivacyBudget(0.95, 0.0))
+        usable = accountant.usable_blocks(PrivacyBudget(0.1, 0.0))
+        assert usable == [1, 2, 3]
+
+
+class TestStreamBound:
+    def test_bound_is_max_over_blocks(self, accountant):
+        accountant.charge([0], PrivacyBudget(0.5, 0.0))
+        accountant.charge([1], PrivacyBudget(0.3, 1e-7))
+        bound = accountant.stream_loss_bound()
+        assert bound.epsilon == pytest.approx(0.5)
+
+    def test_bound_never_exceeds_global(self):
+        """The paper's core claim (Theorem 4.3), exercised randomly."""
+        rng = np.random.default_rng(0)
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks(range(10))
+        for _ in range(300):
+            keys = list(rng.choice(10, size=rng.integers(1, 4), replace=False))
+            budget = PrivacyBudget(float(rng.uniform(0.01, 0.4)), float(rng.uniform(0, 2e-7)))
+            if acc.can_charge(keys, budget):
+                acc.charge(keys, budget)
+        bound = acc.stream_loss_bound()
+        assert bound.epsilon <= 1.0 + 1e-9
+        assert bound.delta <= 1e-6 + 1e-15
+
+    def test_strong_filter_variant(self):
+        acc = BlockAccountant(
+            1.0, 1e-6, filter_factory=StrongCompositionFilter
+        )
+        acc.register_blocks([0])
+        for _ in range(12):
+            if acc.can_charge([0], PrivacyBudget(0.05, 0.0)):
+                acc.charge([0], PrivacyBudget(0.05, 0.0))
+        bound = acc.stream_loss_bound()
+        assert bound.epsilon <= 1.0 + 1e-9
+
+
+class TestTailScan:
+    def test_tail_returns_newest_first_in_chrono_order(self, accountant):
+        tail = accountant.usable_blocks_tail(PrivacyBudget(0.1, 0.0), 2)
+        assert tail == [2, 3]
+
+    def test_tail_skips_drained_blocks(self, accountant):
+        accountant.charge([3], PrivacyBudget(1.0, 1e-6))
+        tail = accountant.usable_blocks_tail(PrivacyBudget(0.5, 0.0), 2)
+        assert tail == [1, 2]
+
+    def test_tail_respects_key_filter(self, accountant):
+        tail = accountant.usable_blocks_tail(
+            PrivacyBudget(0.1, 0.0), 3, key_filter=lambda k: k % 2 == 0
+        )
+        assert tail == [0, 2]
+
+    def test_tail_short_when_not_enough(self, accountant):
+        tail = accountant.usable_blocks_tail(PrivacyBudget(0.1, 0.0), 99)
+        assert tail == [0, 1, 2, 3]
+
+    def test_ledger_totals_cache_matches_slow_path(self, accountant):
+        """The O(1) admits path must agree with a fresh recomputation."""
+        from repro.core.filters import BasicCompositionFilter
+
+        ledger = accountant.ledger(0)
+        for eps in (0.1, 0.2, 0.3):
+            ledger.charge(PrivacyBudget(eps, 1e-8))
+        fresh = BasicCompositionFilter(1.0, 1e-6)
+        for candidate in (PrivacyBudget(0.39, 0.0), PrivacyBudget(0.41, 0.0)):
+            assert ledger.admits(candidate) == fresh.admits(ledger.history, candidate)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.floats(min_value=0.01, max_value=0.5),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_no_block_ever_exceeds_global(charges):
+    """Whatever the charge sequence, per-block spend stays within eps_g."""
+    acc = BlockAccountant(1.0, 1e-6)
+    acc.register_blocks(range(5))
+    for key, eps in charges:
+        budget = PrivacyBudget(eps, 0.0)
+        if acc.can_charge([key], budget):
+            acc.charge([key], budget)
+    for key in range(5):
+        spent = sum(b.epsilon for b in acc.ledger(key).history)
+        assert spent <= 1.0 + 1e-9

@@ -1,0 +1,220 @@
+"""Privacy-adaptive training: escalation, conservation, terminal states."""
+
+import numpy as np
+import pytest
+
+from repro.core.access_control import SageAccessControl
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveSession,
+    PrivacyAdaptiveTrainer,
+    SessionStatus,
+)
+from repro.core.pipeline import PipelineRun
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.data.database import GrowingDatabase, StreamIngestor
+from repro.data.stream import TimePartitioner
+from repro.data.taxi import TaxiGenerator
+from repro.dp.budget import PrivacyBudget
+from repro.errors import PipelineError
+
+
+class ThresholdPipeline:
+    """Accepts when n * epsilon crosses a threshold (a pure test double)."""
+
+    def __init__(self, name="oracle", threshold=4000.0):
+        self.name = name
+        self.threshold = threshold
+        self.calls = []
+
+    def run(self, batch, budget, rng, correct_for_dp=True):
+        self.calls.append((len(batch), budget))
+        score = len(batch) * budget.epsilon
+        outcome = Outcome.ACCEPT if score >= self.threshold else Outcome.RETRY
+        return PipelineRun(
+            name=self.name,
+            outcome=outcome,
+            validation=ValidationResult(outcome, PrivacyBudget(budget.epsilon, 0.0)),
+            budget_charged=budget,
+        )
+
+
+def build_world(hours=20, points_per_hour=1000, epsilon_global=1.0):
+    db = GrowingDatabase()
+    ingestor = StreamIngestor(
+        TaxiGenerator(points_per_hour=points_per_hour), db,
+        TimePartitioner(1.0), rng=np.random.default_rng(0),
+    )
+    access = SageAccessControl(epsilon_global, 1e-6)
+    for block in ingestor.advance(hours):
+        access.register_block(block.key)
+    return db, access
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon_start": 0.0},
+            {"epsilon_start": 2.0, "epsilon_cap": 1.0},
+            {"delta": 1.5},
+            {"min_window_blocks": 0},
+            {"max_attempts": 0},
+            {"strategy": "yolo"},
+            {"epsilon_floor": 0.5, "epsilon_start": 0.25},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(PipelineError):
+            AdaptiveConfig(**kwargs)
+
+    def test_delta_defaults_to_rationed_share(self):
+        db, access = build_world(hours=2)
+        session = AdaptiveSession(
+            ThresholdPipeline(), access, db,
+            AdaptiveConfig(max_attempts=10), np.random.default_rng(0),
+        )
+        assert session.delta == pytest.approx(1e-6 / 10)
+
+
+class TestEscalation:
+    def test_accepts_after_doubling(self):
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=900.0)  # needs eps ~0.9 on 1 block
+        session = AdaptiveSession(
+            pipeline, access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        status = session.step()
+        assert status == SessionStatus.ACCEPTED
+        # epsilon escalated by doubling from 1/16
+        epsilons = [b.epsilon for _, b in pipeline.calls]
+        assert epsilons == sorted(epsilons)
+        assert epsilons[0] == pytest.approx(1.0 / 16.0)
+
+    def test_budget_doubles_before_window(self):
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=1e12)  # never accepts
+        session = AdaptiveSession(
+            pipeline, access, db,
+            AdaptiveConfig(max_attempts=6), np.random.default_rng(0),
+        )
+        session.step()
+        epsilons = [b.epsilon for _, b in pipeline.calls]
+        # First escalations double epsilon toward the cap.
+        assert epsilons[:5] == [1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0]
+
+    def test_window_grows_after_budget_cap(self):
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=1e12)
+        session = AdaptiveSession(
+            pipeline, access, db,
+            AdaptiveConfig(max_attempts=8), np.random.default_rng(0),
+        )
+        session.step()
+        sizes = [n for n, _ in pipeline.calls]
+        assert sizes[-1] > sizes[0]
+
+    def test_per_block_spend_never_exceeds_global(self):
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=1e12)
+        session = AdaptiveSession(
+            pipeline, access, db,
+            AdaptiveConfig(max_attempts=30), np.random.default_rng(0),
+        )
+        session.step()
+        for key in access.accountant.block_keys:
+            spent = sum(b.epsilon for b in access.accountant.ledger(key).history)
+            assert spent <= 1.0 + 1e-9
+
+    def test_conservation_bound_per_block(self):
+        """Doubling guarantee: any single block's failed-attempt spend is at
+        most ~2x the final accepted budget on it (so <= 4x optimal)."""
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=950.0)
+        session = AdaptiveSession(
+            pipeline, access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        assert session.step() == SessionStatus.ACCEPTED
+        final_eps = session.attempts[-1].budget.epsilon
+        for key in access.accountant.block_keys:
+            spent = sum(b.epsilon for b in access.accountant.ledger(key).history)
+            assert spent <= 2.0 * final_eps + 1e-9
+
+    def test_timeout(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(threshold=1e12), access, db,
+            AdaptiveConfig(max_attempts=3), np.random.default_rng(0),
+        )
+        assert session.step() == SessionStatus.TIMEOUT
+
+    def test_need_data_when_database_empty(self):
+        db = GrowingDatabase()
+        access = SageAccessControl(1.0, 1e-6)
+        session = AdaptiveSession(
+            ThresholdPipeline(), access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        assert session.step() == SessionStatus.NEED_DATA
+
+    def test_resume_after_new_data(self):
+        db = GrowingDatabase()
+        ingestor = StreamIngestor(
+            TaxiGenerator(points_per_hour=1000), db,
+            TimePartitioner(1.0), rng=np.random.default_rng(0),
+        )
+        access = SageAccessControl(1.0, 1e-6)
+        pipeline = ThresholdPipeline(threshold=900.0)
+        session = AdaptiveSession(
+            pipeline, access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        assert session.step() == SessionStatus.NEED_DATA
+        for block in ingestor.advance(3.0):
+            access.register_block(block.key)
+        assert session.resume() == SessionStatus.ACCEPTED
+
+    def test_aggressive_spends_everything_available(self):
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=900.0)
+        session = AdaptiveSession(
+            pipeline, access, db,
+            AdaptiveConfig(strategy="aggressive"), np.random.default_rng(0),
+        )
+        assert session.step() == SessionStatus.ACCEPTED
+        # First attempt already used the full block budget.
+        assert pipeline.calls[0][1].epsilon == pytest.approx(1.0, rel=1e-6)
+
+    def test_allocation_hook_respected(self):
+        db, access = build_world()
+        pipeline = ThresholdPipeline(threshold=1e12)
+        session = AdaptiveSession(
+            pipeline, access, db,
+            AdaptiveConfig(max_attempts=6), np.random.default_rng(0),
+            epsilon_limit_fn=lambda window: 0.25,
+        )
+        session.step()
+        assert max(b.epsilon for _, b in pipeline.calls) <= 0.25 + 1e-12
+
+
+class TestTrainerWrapper:
+    def test_one_shot_accept(self):
+        db, access = build_world()
+        trainer = PrivacyAdaptiveTrainer(access, db)
+        result = trainer.train(ThresholdPipeline(threshold=900.0), np.random.default_rng(0))
+        assert result.accepted
+        assert result.run is not None
+        assert result.total_spent.epsilon > 0
+
+    def test_reject_terminal(self):
+        class RejectingPipeline(ThresholdPipeline):
+            def run(self, batch, budget, rng, correct_for_dp=True):
+                run = super().run(batch, budget, rng)
+                return PipelineRun(
+                    name=self.name, outcome=Outcome.REJECT,
+                    validation=ValidationResult(Outcome.REJECT, budget),
+                    budget_charged=budget,
+                )
+
+        db, access = build_world()
+        trainer = PrivacyAdaptiveTrainer(access, db)
+        result = trainer.train(RejectingPipeline(), np.random.default_rng(0))
+        assert result.status == SessionStatus.REJECTED

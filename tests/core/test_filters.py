@@ -1,0 +1,138 @@
+"""Per-block privacy filters (basic + Rogers strong composition)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filters import BasicCompositionFilter, StrongCompositionFilter
+from repro.dp.budget import PrivacyBudget
+from repro.errors import InvalidBudgetError
+
+SMALL_BUDGETS = st.lists(
+    st.builds(
+        PrivacyBudget,
+        st.floats(min_value=0.001, max_value=0.3),
+        st.floats(min_value=0.0, max_value=1e-8),
+    ),
+    max_size=12,
+)
+
+
+class TestBasicFilter:
+    def test_admits_until_exhaustion(self):
+        f = BasicCompositionFilter(1.0, 1e-6)
+        history = []
+        charge = PrivacyBudget(0.3, 1e-7)
+        for _ in range(3):
+            assert f.admits(history, charge)
+            history.append(charge)
+        # 0.9 spent; 0.3 more would overflow epsilon.
+        assert not f.admits(history, charge)
+        assert f.admits(history, PrivacyBudget(0.1, 0.0))
+
+    def test_remaining_exact(self):
+        f = BasicCompositionFilter(1.0, 1e-6)
+        left = f.remaining([PrivacyBudget(0.25, 4e-7)])
+        assert left.epsilon == pytest.approx(0.75)
+        assert left.delta == pytest.approx(6e-7)
+
+    def test_delta_dimension_enforced(self):
+        f = BasicCompositionFilter(10.0, 1e-6)
+        history = [PrivacyBudget(0.1, 1e-6)]
+        assert not f.admits(history, PrivacyBudget(0.1, 1e-7))
+        assert f.admits(history, PrivacyBudget(0.1, 0.0))
+
+    def test_max_epsilon(self):
+        f = BasicCompositionFilter(1.0, 1e-6)
+        assert f.max_epsilon([PrivacyBudget(0.4, 0.0)], 0.0) == pytest.approx(0.6)
+        assert f.max_epsilon([], 2e-6) == 0.0  # delta unaffordable
+
+    def test_loss_bound_is_sum(self):
+        f = BasicCompositionFilter(1.0, 1e-6)
+        bound = f.loss_bound([PrivacyBudget(0.2), PrivacyBudget(0.3)])
+        assert bound.epsilon == pytest.approx(0.5)
+
+    def test_invalid_global_params(self):
+        with pytest.raises(InvalidBudgetError):
+            BasicCompositionFilter(0.0, 1e-6)
+        with pytest.raises(InvalidBudgetError):
+            BasicCompositionFilter(1.0, 2.0)
+
+    @given(SMALL_BUDGETS)
+    @settings(max_examples=50)
+    def test_never_admits_past_global(self, history):
+        f = BasicCompositionFilter(1.0, 1e-6)
+        admitted = []
+        for b in history:
+            if f.admits(admitted, b):
+                admitted.append(b)
+        total = sum(b.epsilon for b in admitted)
+        assert total <= 1.0 + 1e-9
+
+
+class TestStrongFilter:
+    def test_requires_positive_slack(self):
+        with pytest.raises(InvalidBudgetError):
+            StrongCompositionFilter(1.0, 0.0)
+
+    def test_slack_cannot_exceed_delta(self):
+        with pytest.raises(InvalidBudgetError):
+            StrongCompositionFilter(1.0, 1e-6, delta_slack=1e-5)
+
+    def test_admits_more_small_queries_than_basic(self):
+        """Strong composition's payoff regime: many queries much smaller
+        than the global budget (here 0.005 vs eps_g = 1)."""
+        basic = BasicCompositionFilter(1.0, 1e-6)
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        charge = PrivacyBudget(0.005, 0.0)
+        history = []
+        while basic.admits(history, charge):
+            history.append(charge)
+        k_basic = len(history)
+        while strong.admits(history, charge):
+            history.append(charge)
+        assert len(history) > 1.5 * k_basic
+
+    def test_single_big_query_behaves_like_basic(self):
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        assert not strong.admits([], PrivacyBudget(1.5, 0.0))
+
+    def test_delta_budget_shared_with_slack(self):
+        strong = StrongCompositionFilter(1.0, 1e-6, delta_slack=5e-7)
+        # Queries may consume at most delta_global - slack = 5e-7 in total.
+        assert strong.admits([], PrivacyBudget(0.1, 4e-7))
+        assert not strong.admits([PrivacyBudget(0.1, 4e-7)], PrivacyBudget(0.1, 2e-7))
+
+    def test_max_epsilon_bisection(self):
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        history = [PrivacyBudget(0.01, 0.0)] * 10
+        limit = strong.max_epsilon(history, 0.0)
+        assert 0.0 < limit < 1.0
+        assert strong.admits(history, PrivacyBudget(limit * 0.999, 0.0))
+        assert not strong.admits(history, PrivacyBudget(min(1.0, limit * 1.01), 0.0))
+
+    def test_basic_fallback_keeps_moderate_queries_admissible(self):
+        """A lone eps=0.125 query trivially fits eps_g=1 by basic
+        composition even though the Rogers bound alone would refuse it."""
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        assert strong.admits([], PrivacyBudget(0.125, 0.0))
+        # Basic fallback also gives exact headroom after moderate spends.
+        limit = strong.max_epsilon([PrivacyBudget(0.1, 0.0)] * 5, 0.0)
+        assert limit == pytest.approx(0.5, abs=1e-6)
+
+    def test_loss_bound_grows_with_history(self):
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        a = strong.loss_bound([PrivacyBudget(0.1)] * 2)
+        b = strong.loss_bound([PrivacyBudget(0.1)] * 6)
+        assert b.epsilon > a.epsilon
+
+    @given(SMALL_BUDGETS)
+    @settings(max_examples=30)
+    def test_filter_never_admits_past_global(self, history):
+        """Whatever gets admitted, the reported loss bound fits eps_g."""
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        admitted = []
+        for b in history:
+            if strong.admits(admitted, b):
+                admitted.append(b)
+        if admitted:
+            assert strong.loss_bound(admitted).epsilon <= 1.0 + 1e-9

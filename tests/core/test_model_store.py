@@ -1,0 +1,58 @@
+"""ModelFeatureStore release registry."""
+
+import pytest
+
+from repro.core.model_store import ModelFeatureStore
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.dp.budget import PrivacyBudget
+from repro.errors import PipelineError
+
+
+def validation(outcome=Outcome.ACCEPT):
+    return ValidationResult(outcome, PrivacyBudget(0.5, 0.0))
+
+
+class TestRelease:
+    def test_versions_increment(self):
+        store = ModelFeatureStore()
+        first = store.release("m", object(), {}, validation(), PrivacyBudget(0.5), [0])
+        second = store.release("m", object(), {}, validation(), PrivacyBudget(0.5), [1])
+        assert (first.version, second.version) == (1, 2)
+        assert store.latest("m") is second
+        assert len(store.versions("m")) == 2
+
+    def test_refuses_unvalidated_models(self):
+        store = ModelFeatureStore()
+        for outcome in (Outcome.RETRY, Outcome.REJECT):
+            with pytest.raises(PipelineError):
+                store.release("m", object(), {}, validation(outcome), PrivacyBudget(0.1), [0])
+
+    def test_lookup_missing(self):
+        store = ModelFeatureStore()
+        assert store.latest("ghost") is None
+        assert store.versions("ghost") == []
+
+    def test_names_and_len(self):
+        store = ModelFeatureStore()
+        store.release("a", object(), {}, validation(), PrivacyBudget(0.1), [0])
+        store.release("b", object(), {}, validation(), PrivacyBudget(0.2), [0])
+        assert sorted(store.names()) == ["a", "b"]
+        assert len(store) == 2
+
+    def test_total_released_budget(self):
+        store = ModelFeatureStore()
+        store.release("a", object(), {}, validation(), PrivacyBudget(0.1, 1e-7), [0])
+        store.release("b", object(), {}, validation(), PrivacyBudget(0.2, 1e-7), [0])
+        total = store.total_released_budget()
+        assert total.epsilon == pytest.approx(0.3)
+        assert total.delta == pytest.approx(2e-7)
+
+    def test_bundle_provenance(self):
+        store = ModelFeatureStore()
+        bundle = store.release(
+            "m", "model-obj", {"f": 1}, validation(), PrivacyBudget(0.5),
+            block_keys=[3, 4], release_time_hours=17.0,
+        )
+        assert bundle.block_keys == (3, 4)
+        assert bundle.release_time_hours == 17.0
+        assert bundle.features == {"f": 1}

@@ -1,0 +1,83 @@
+"""Privacy odometers (pay-as-you-go loss tracking)."""
+
+import pytest
+
+from repro.core.accountant import BlockAccountant
+from repro.core.odometer import BasicOdometer, StrongOdometer, loss_dashboard
+from repro.dp.budget import PrivacyBudget
+from repro.errors import InvalidBudgetError
+
+
+class TestBasicOdometer:
+    def test_exact_running_totals(self):
+        odo = BasicOdometer()
+        odo.record_all([PrivacyBudget(0.1, 1e-8), PrivacyBudget(0.3, 2e-8)])
+        assert odo.loss.epsilon == pytest.approx(0.4)
+        assert odo.loss.delta == pytest.approx(3e-8)
+
+    def test_empty_is_zero(self):
+        assert BasicOdometer().loss.is_zero
+
+
+class TestStrongOdometer:
+    def test_invalid_params(self):
+        with pytest.raises(InvalidBudgetError):
+            StrongOdometer(epsilon_unit=0.0)
+        with pytest.raises(InvalidBudgetError):
+            StrongOdometer(delta_slack_per_level=0.0)
+
+    def test_empty_is_zero(self):
+        assert StrongOdometer().loss.is_zero
+
+    def test_bound_is_valid_at_every_prefix(self):
+        """The odometer must upper-bound basic composition's *intent*: it may
+        be loose but never claims less than zero and never decreases."""
+        odo = StrongOdometer()
+        previous = 0.0
+        for _ in range(50):
+            odo.record(PrivacyBudget(0.02, 0.0))
+            current = odo.loss.epsilon
+            assert current >= previous - 1e-12
+            previous = current
+
+    def test_sublinear_for_many_small_queries(self):
+        """The point of the strong odometer: after many tiny queries its
+        bound is far below the basic sum."""
+        odo = StrongOdometer()
+        for _ in range(2000):
+            odo.record(PrivacyBudget(0.002, 0.0))
+        basic = odo.basic_loss.epsilon  # 4.0
+        strong = odo.loss.epsilon
+        assert basic == pytest.approx(4.0)
+        assert strong < 0.75 * basic
+
+    def test_never_above_basic(self):
+        """For few large queries the reported bound falls back to basic."""
+        odo = StrongOdometer()
+        odo.record(PrivacyBudget(0.5, 0.0))
+        assert odo.loss.epsilon <= odo.basic_loss.epsilon + 1e-12
+
+    def test_delta_accounts_slack_levels(self):
+        odo = StrongOdometer(delta_slack_per_level=1e-9)
+        for _ in range(100):
+            odo.record(PrivacyBudget(0.05, 1e-9))
+        assert odo.loss.delta >= 100 * 1e-9  # query deltas plus slack
+
+
+class TestDashboard:
+    def test_per_block_losses(self):
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks([0, 1])
+        acc.charge([0], PrivacyBudget(0.25, 0.0))
+        acc.charge([0, 1], PrivacyBudget(0.1, 0.0))
+        dash = loss_dashboard(acc)
+        assert dash[0].epsilon == pytest.approx(0.35)
+        assert dash[1].epsilon == pytest.approx(0.1)
+
+    def test_strong_dashboard_runs(self):
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks([0])
+        for _ in range(20):
+            acc.charge([0], PrivacyBudget(0.01, 0.0))
+        dash = loss_dashboard(acc, strong=True)
+        assert 0.0 < dash[0].epsilon <= 0.2 + 1e-9

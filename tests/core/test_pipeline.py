@@ -1,0 +1,159 @@
+"""Training, statistic, and histogram pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import HistogramPipeline, StatisticPipeline, TrainingPipeline
+from repro.core.validation.accuracy import DPAccuracyValidator
+from repro.core.validation.loss import DPLossValidator
+from repro.core.validation.outcomes import Outcome
+from repro.data.stream import StreamBatch
+from repro.dp.budget import PrivacyBudget
+from repro.errors import PipelineError
+from repro.ml.linear import RidgeRegression
+
+
+def ridge_trainer(X, y, budget, rng):
+    # Stands in for a DP trainer in pipeline-flow tests.
+    return RidgeRegression(regularization=1e-3).fit(X, y)
+
+
+def regression_batch(rng, n=20_000, noise=0.01):
+    X = rng.normal(size=(n, 4))
+    y = X @ np.array([0.2, -0.1, 0.05, 0.0]) + noise * rng.normal(size=n)
+    return StreamBatch(
+        X=X, y=y,
+        timestamps=np.sort(rng.uniform(0, 1, n)),
+        user_ids=rng.integers(0, 100, n),
+        extras={
+            "speed": rng.uniform(10, 50, n),
+            "hour": rng.integers(0, 4, n),
+        },
+    )
+
+
+class TestTrainingPipeline:
+    def test_metric_validator_consistency_enforced(self):
+        with pytest.raises(PipelineError):
+            TrainingPipeline("p", ridge_trainer, DPAccuracyValidator(0.7), metric="mse")
+        with pytest.raises(PipelineError):
+            TrainingPipeline("p", ridge_trainer, DPLossValidator(0.1), metric="accuracy")
+
+    def test_unknown_metric(self):
+        with pytest.raises(PipelineError):
+            TrainingPipeline("p", ridge_trainer, DPLossValidator(0.1), metric="auc")
+
+    def test_accepts_learnable_task(self, rng):
+        # Target sized so the B=1 worst-case DP corrections (which dominate
+        # at 2K test points and eps/3 validation) still clear it.
+        pipeline = TrainingPipeline(
+            "p", ridge_trainer, DPLossValidator(target=0.05), metric="mse"
+        )
+        run = pipeline.run(regression_batch(rng), PrivacyBudget(1.0, 1e-6), rng)
+        assert run.outcome is Outcome.ACCEPT
+        assert run.model is not None
+        assert run.train_size + run.test_size == 20_000
+
+    def test_budget_split_without_preprocessing(self, rng):
+        pipeline = TrainingPipeline(
+            "p", ridge_trainer, DPLossValidator(0.01), metric="mse"
+        )
+        eps_pre, train_budget, eps_val = pipeline._stage_budgets(PrivacyBudget(0.9, 1e-6))
+        assert eps_pre == 0.0
+        assert train_budget.epsilon == pytest.approx(0.6)
+        assert train_budget.delta == 1e-6
+        assert eps_val == pytest.approx(0.3)
+
+    def test_budget_split_with_preprocessing(self, rng):
+        def identity_pre(batch, epsilon, rng):
+            return batch.X, batch.y, {"used_eps": epsilon}
+
+        pipeline = TrainingPipeline(
+            "p", ridge_trainer, DPLossValidator(0.01), metric="mse",
+            preprocessing_fn=identity_pre,
+        )
+        eps_pre, train_budget, eps_val = pipeline._stage_budgets(PrivacyBudget(0.9, 1e-6))
+        assert eps_pre == pytest.approx(0.3)
+        assert train_budget.epsilon == pytest.approx(0.3)
+        run = pipeline.run(regression_batch(rng), PrivacyBudget(0.9, 1e-6), rng)
+        assert run.features["used_eps"] == pytest.approx(0.3)
+
+    def test_reject_with_erm(self, rng):
+        batch = regression_batch(rng, noise=0.5)  # irreducible noise
+        def erm(X, y):
+            model = RidgeRegression(1e-6).fit(X, y)
+            return (y - model.predict(X)) ** 2
+
+        pipeline = TrainingPipeline(
+            "p", ridge_trainer, DPLossValidator(target=0.001), metric="mse", erm_fn=erm
+        )
+        run = pipeline.run(batch, PrivacyBudget(1.0, 1e-6), rng)
+        assert run.outcome is Outcome.REJECT
+
+    def test_accuracy_metric_path(self, rng):
+        def trainer(X, y, budget, rng_):
+            from repro.ml.estimators import MLPClassifierEstimator
+            from repro.ml.sgd import SGDConfig
+            est = MLPClassifierEstimator((), SGDConfig(learning_rate=0.5, epochs=2, batch_size=128))
+            return est.fit(X, y, rng_)
+
+        rng2 = np.random.default_rng(0)
+        X = rng2.normal(size=(10_000, 3))
+        y = (X[:, 0] > 0).astype(float)
+        batch = StreamBatch(
+            X=X, y=y, timestamps=np.sort(rng2.uniform(0, 1, 10_000)),
+            user_ids=np.zeros(10_000, dtype=int),
+        )
+        pipeline = TrainingPipeline(
+            "clf", trainer, DPAccuracyValidator(0.9), metric="accuracy"
+        )
+        run = pipeline.run(batch, PrivacyBudget(1.0, 1e-6), rng2)
+        assert run.outcome is Outcome.ACCEPT
+
+
+class TestStatisticPipeline:
+    def test_accepts_and_releases_group_means(self, rng):
+        batch = regression_batch(rng, n=40_000)
+        pipeline = StatisticPipeline(
+            "speed", key_column="hour", value_column="speed",
+            nkeys=4, value_range=60.0, target=5.0,
+        )
+        run = pipeline.run(batch, PrivacyBudget(1.0, 0.0), rng)
+        assert run.outcome is Outcome.ACCEPT
+        assert run.model.shape == (4,)
+        # Released means should be near the true per-key means (~30).
+        assert np.all(np.abs(run.model - 30.0) < 5.0)
+
+    def test_retry_when_key_missing(self, rng):
+        batch = regression_batch(rng, n=1000)
+        pipeline = StatisticPipeline(
+            "speed", key_column="hour", value_column="speed",
+            nkeys=10, value_range=60.0, target=5.0,  # keys 4..9 never occur
+        )
+        run = pipeline.run(batch, PrivacyBudget(1.0, 0.0), rng)
+        assert run.outcome is Outcome.RETRY
+
+    def test_invalid_nkeys(self):
+        with pytest.raises(PipelineError):
+            StatisticPipeline("s", "hour", "speed", 0, 60.0, 5.0)
+
+
+class TestHistogramPipeline:
+    def test_accepts_on_large_data(self, rng):
+        batch = regression_batch(rng, n=50_000)
+        pipeline = HistogramPipeline("h", key_column="hour", nkeys=4, target=0.05)
+        run = pipeline.run(batch, PrivacyBudget(1.0, 0.0), rng)
+        assert run.outcome is Outcome.ACCEPT
+        freqs = run.model
+        assert freqs.shape == (4,)
+        assert np.all(np.abs(freqs - 0.25) < 0.05)
+
+    def test_retries_on_small_data(self, rng):
+        batch = regression_batch(rng, n=300)
+        pipeline = HistogramPipeline("h", key_column="hour", nkeys=4, target=0.01)
+        run = pipeline.run(batch, PrivacyBudget(0.5, 0.0), rng)
+        assert run.outcome is Outcome.RETRY
+
+    def test_invalid_target(self):
+        with pytest.raises(PipelineError):
+            HistogramPipeline("h", "hour", 4, 0.0)

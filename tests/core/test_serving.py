@@ -1,0 +1,101 @@
+"""Serving infrastructure: prediction servers + continuous evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_store import ModelFeatureStore
+from repro.core.serving import ContinuousEvaluator, PredictionServer
+from repro.core.validation.outcomes import Outcome, ValidationResult
+from repro.dp.budget import PrivacyBudget
+from repro.errors import PipelineError
+from repro.ml.linear import RidgeRegression
+
+
+@pytest.fixture
+def bundle(rng):
+    X = rng.normal(size=(2000, 3))
+    y = X @ np.array([1.0, -0.5, 0.2])
+    model = RidgeRegression(1e-6).fit(X, y)
+    store = ModelFeatureStore()
+    return store.release(
+        "m", model, {}, ValidationResult(Outcome.ACCEPT, PrivacyBudget(0.5)),
+        PrivacyBudget(0.5), [0],
+    )
+
+
+class TestPredictionServer:
+    def test_serves_and_counts(self, bundle, rng):
+        server = PredictionServer(bundle, region="eu")
+        out = server.predict(rng.normal(size=(10, 3)))
+        assert out.shape == (10,)
+        assert server.requests_served == 10
+
+    def test_rollout_newer_version(self, bundle, rng):
+        store = ModelFeatureStore()
+        v1 = store.release(
+            "m", bundle.model, {}, ValidationResult(Outcome.ACCEPT, PrivacyBudget(0.1)),
+            PrivacyBudget(0.1), [0],
+        )
+        v2 = store.release(
+            "m", bundle.model, {}, ValidationResult(Outcome.ACCEPT, PrivacyBudget(0.1)),
+            PrivacyBudget(0.1), [1],
+        )
+        server = PredictionServer(v1)
+        server.rollout(v2)
+        assert server.bundle.version == 2
+        with pytest.raises(PipelineError):
+            server.rollout(v1)  # no rollback
+
+    def test_rollout_name_mismatch(self, bundle):
+        store = ModelFeatureStore()
+        other = store.release(
+            "other", bundle.model, {},
+            ValidationResult(Outcome.ACCEPT, PrivacyBudget(0.1)),
+            PrivacyBudget(0.1), [0],
+        )
+        with pytest.raises(PipelineError):
+            PredictionServer(bundle).rollout(other)
+
+
+class TestContinuousEvaluator:
+    def test_healthy_model_not_flagged(self, bundle, rng):
+        server = PredictionServer(bundle)
+        evaluator = ContinuousEvaluator(server, target=0.05, loss_bound=0.5)
+        X = rng.normal(size=(5000, 3))
+        y = X @ np.array([1.0, -0.5, 0.2])  # same distribution: near-zero loss
+        for hour in range(3):
+            tick = evaluator.tick(X, y, epsilon=0.5, clock_hours=float(hour), rng=rng)
+            assert not tick.regressed
+        assert not evaluator.regression_flagged
+
+    def test_drifted_traffic_flags_regression(self, bundle, rng):
+        server = PredictionServer(bundle)
+        evaluator = ContinuousEvaluator(server, target=0.01, loss_bound=0.5)
+        X = rng.normal(size=(5000, 3))
+        y_drifted = X @ np.array([-1.0, 0.5, 0.2])  # the world changed
+        for hour in range(2):
+            evaluator.tick(X, y_drifted, epsilon=1.0, clock_hours=float(hour), rng=rng)
+        assert evaluator.regression_flagged
+
+    def test_single_bad_tick_is_debounced(self, bundle, rng):
+        server = PredictionServer(bundle)
+        evaluator = ContinuousEvaluator(server, target=0.01, loss_bound=0.5)
+        X = rng.normal(size=(3000, 3))
+        evaluator.tick(X, X @ np.array([-1.0, 0.5, 0.2]), 1.0, 0.0, rng)
+        assert not evaluator.regression_flagged  # needs two in a row
+
+    def test_dp_metric_reported(self, bundle, rng):
+        server = PredictionServer(bundle)
+        evaluator = ContinuousEvaluator(server, target=0.05)
+        X = rng.normal(size=(2000, 3))
+        y = X @ np.array([1.0, -0.5, 0.2])
+        tick = evaluator.tick(X, y, epsilon=1.0, clock_hours=0.0, rng=rng)
+        assert tick.dp_metric >= 0.0
+        assert tick.samples == 2000
+
+    def test_invalid_params(self, bundle):
+        server = PredictionServer(bundle)
+        with pytest.raises(PipelineError):
+            ContinuousEvaluator(server, target=0.0)
+        with pytest.raises(PipelineError):
+            ContinuousEvaluator(server, target=0.1, tolerance=0.5)

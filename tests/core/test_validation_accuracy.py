@@ -1,0 +1,93 @@
+"""DPAccuracyValidator (Appendix B.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation.accuracy import DPAccuracyValidator
+from repro.core.validation.outcomes import Outcome
+from repro.errors import ValidationError
+
+
+def correctness(rng, acc, n):
+    return (rng.random(n) < acc).astype(float)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5])
+    def test_target_must_be_interior(self, target):
+        with pytest.raises(ValidationError):
+            DPAccuracyValidator(target)
+
+
+class TestAcceptTest:
+    def test_accepts_good_classifier(self, rng):
+        validator = DPAccuracyValidator(target=0.74)
+        result = validator.accept_test(correctness(rng, 0.78, 50_000), 1.0, 0.05, rng)
+        assert result.outcome is Outcome.ACCEPT
+
+    def test_retries_bad_classifier(self, rng):
+        validator = DPAccuracyValidator(target=0.78)
+        result = validator.accept_test(correctness(rng, 0.74, 50_000), 1.0, 0.05, rng)
+        assert result.outcome is Outcome.RETRY
+
+    def test_accept_guarantee(self):
+        """Accepting a below-target classifier happens at rate <= eta."""
+        eta, target = 0.1, 0.75
+        true_acc = 0.74
+        wrong = 0
+        for seed in range(300):
+            rng = np.random.default_rng(seed)
+            validator = DPAccuracyValidator(target, confidence=1 - eta)
+            result = validator.accept_test(
+                correctness(rng, true_acc, 20_000), 1.0, eta, rng
+            )
+            wrong += result.outcome is Outcome.ACCEPT
+        assert wrong / 300 <= eta
+
+    def test_uncorrected_overaccepts_under_noise(self):
+        target, true_acc, n = 0.75, 0.735, 500
+        accepts = {True: 0, False: 0}
+        for corrected in (True, False):
+            for seed in range(300):
+                rng = np.random.default_rng(seed)
+                validator = DPAccuracyValidator(target, confidence=0.9)
+                result = validator.accept_test(
+                    correctness(rng, true_acc, n), 0.5, 0.1, rng,
+                    correct_for_dp=corrected,
+                )
+                accepts[corrected] += result.outcome is Outcome.ACCEPT
+        assert accepts[False] >= accepts[True]
+
+    def test_budget_is_pure_epsilon(self, rng):
+        validator = DPAccuracyValidator(0.5)
+        result = validator.accept_test(correctness(rng, 0.6, 1000), 0.3, 0.05, rng)
+        assert result.budget_spent.epsilon == 0.3
+        assert result.budget_spent.delta == 0.0
+
+
+class TestRejectTest:
+    def test_rejects_unreachable_target(self, rng):
+        validator = DPAccuracyValidator(target=0.9)
+        # Best-in-class achieves only ~0.75 on the training set.
+        result = validator.reject_test(correctness(rng, 0.75, 50_000), 1.0, 0.05, rng)
+        assert result.outcome is Outcome.REJECT
+
+    def test_keeps_reachable_target(self, rng):
+        validator = DPAccuracyValidator(target=0.7)
+        result = validator.reject_test(correctness(rng, 0.75, 50_000), 1.0, 0.05, rng)
+        assert result.outcome is Outcome.RETRY
+
+
+class TestValidateFlow:
+    def test_accept_then_reject_then_retry(self, rng):
+        good = DPAccuracyValidator(0.7).validate(correctness(rng, 0.8, 30_000), 1.0, rng)
+        assert good.outcome is Outcome.ACCEPT
+        doomed = DPAccuracyValidator(0.9).validate(
+            correctness(rng, 0.75, 30_000), 1.0, rng,
+            best_correct_train=correctness(rng, 0.76, 30_000),
+        )
+        assert doomed.outcome is Outcome.REJECT
+        undecided = DPAccuracyValidator(0.78).validate(
+            correctness(rng, 0.77, 3_000), 1.0, rng
+        )
+        assert undecided.outcome is Outcome.RETRY

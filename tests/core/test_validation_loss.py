@@ -1,0 +1,136 @@
+"""DPLossValidator: Prop 3.1 / B.2 guarantees and the correction ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation.loss import DPLossValidator
+from repro.core.validation.outcomes import Outcome
+from repro.errors import ValidationError
+
+
+def bernoulli_losses(rng, mean, n):
+    return (rng.random(n) < mean).astype(float)
+
+
+class TestConstruction:
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            DPLossValidator(-0.1)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValidationError):
+            DPLossValidator(0.1, loss_bound=0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValidationError):
+            DPLossValidator(0.1, confidence=1.0)
+
+
+class TestAcceptTest:
+    def test_accepts_clearly_good_model(self, rng):
+        validator = DPLossValidator(target=0.2, confidence=0.95)
+        losses = bernoulli_losses(rng, 0.05, 50_000)
+        result = validator.accept_test(losses, epsilon=1.0, eta=0.05, rng=rng)
+        assert result.outcome is Outcome.ACCEPT
+
+    def test_retries_clearly_bad_model(self, rng):
+        validator = DPLossValidator(target=0.05)
+        losses = bernoulli_losses(rng, 0.3, 50_000)
+        result = validator.accept_test(losses, epsilon=1.0, eta=0.05, rng=rng)
+        assert result.outcome is Outcome.RETRY
+
+    def test_retries_on_tiny_samples(self, rng):
+        validator = DPLossValidator(target=0.5)
+        result = validator.accept_test(np.zeros(3), epsilon=0.1, eta=0.05, rng=rng)
+        assert result.outcome is Outcome.RETRY
+
+    def test_budget_reported_pure_dp(self, rng):
+        validator = DPLossValidator(target=0.2)
+        result = validator.accept_test(np.zeros(100), 0.7, 0.05, rng)
+        assert result.budget_spent.epsilon == 0.7
+        assert result.budget_spent.delta == 0.0
+
+    def test_accept_guarantee_prop31(self):
+        """Accepted models violate their target on the true distribution at
+        a rate far below eta (Prop. 3.1)."""
+        eta, target = 0.1, 0.12
+        true_mean = 0.13  # a model that genuinely misses the target
+        violations = accepted = 0
+        for seed in range(300):
+            rng = np.random.default_rng(seed)
+            losses = bernoulli_losses(rng, true_mean, 20_000)
+            validator = DPLossValidator(target=target, confidence=1 - eta)
+            result = validator.accept_test(losses, epsilon=1.0, eta=eta, rng=rng)
+            if result.outcome is Outcome.ACCEPT:
+                accepted += 1
+                violations += 1  # every accept is a violation by design
+        assert accepted / 300 <= eta  # accepting at all is the failure event
+
+    def test_uncorrected_is_overconfident(self):
+        """Table 2's UC ablation: without the worst-case corrections, a
+        lucky negative Laplace draw on a small test set accepts a bad model;
+        the corrected validator never does."""
+        target = 0.25
+        true_mean = 0.30  # bad model
+        n = 150           # small test set at small epsilon: noise dominates
+        accepts = {True: 0, False: 0}
+        for corrected in (True, False):
+            for seed in range(400):
+                rng = np.random.default_rng(seed)
+                losses = bernoulli_losses(rng, true_mean, n)
+                validator = DPLossValidator(target=target, confidence=0.9)
+                result = validator.accept_test(
+                    losses, epsilon=0.15, eta=0.1, rng=rng, correct_for_dp=corrected
+                )
+                accepts[corrected] += result.outcome is Outcome.ACCEPT
+        assert accepts[False] > accepts[True]
+        assert accepts[False] >= 5  # the ablation visibly misbehaves
+        assert accepts[True] <= 2   # the correction keeps its promise
+
+
+class TestRejectTest:
+    def test_rejects_unreachable_target(self, rng):
+        validator = DPLossValidator(target=0.02)
+        # Even the ERM has loss ~0.3: the class cannot reach 0.02.
+        erm_losses = bernoulli_losses(rng, 0.3, 50_000)
+        result = validator.reject_test(erm_losses, epsilon=1.0, eta=0.05, rng=rng)
+        assert result.outcome is Outcome.REJECT
+
+    def test_no_reject_when_target_reachable(self, rng):
+        validator = DPLossValidator(target=0.4)
+        erm_losses = bernoulli_losses(rng, 0.3, 50_000)
+        result = validator.reject_test(erm_losses, epsilon=1.0, eta=0.05, rng=rng)
+        assert result.outcome is Outcome.RETRY
+
+    def test_reject_guarantee_propB2(self):
+        """REJECT fires on a reachable target at rate <= eta (Prop. B.2)."""
+        eta, target = 0.1, 0.3
+        true_erm_mean = 0.29  # the class can achieve the target
+        wrong_rejects = 0
+        for seed in range(300):
+            rng = np.random.default_rng(seed)
+            erm_losses = bernoulli_losses(rng, true_erm_mean, 20_000)
+            validator = DPLossValidator(target=target, confidence=1 - eta)
+            result = validator.reject_test(erm_losses, 1.0, eta, rng)
+            wrong_rejects += result.outcome is Outcome.REJECT
+        assert wrong_rejects / 300 <= eta
+
+
+class TestValidateFlow:
+    def test_accept_short_circuits(self, rng):
+        validator = DPLossValidator(target=0.5)
+        result = validator.validate(bernoulli_losses(rng, 0.05, 20_000), 1.0, rng)
+        assert result.outcome is Outcome.ACCEPT
+
+    def test_reject_path(self, rng):
+        validator = DPLossValidator(target=0.01)
+        losses = bernoulli_losses(rng, 0.4, 50_000)
+        result = validator.validate(
+            losses, 1.0, rng, erm_train_losses=bernoulli_losses(rng, 0.35, 50_000)
+        )
+        assert result.outcome is Outcome.REJECT
+
+    def test_retry_without_erm(self, rng):
+        validator = DPLossValidator(target=0.01)
+        result = validator.validate(bernoulli_losses(rng, 0.4, 5_000), 1.0, rng)
+        assert result.outcome is Outcome.RETRY

@@ -1,0 +1,83 @@
+"""DPStatisticValidator (Appendix B.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation.outcomes import Outcome
+from repro.core.validation.statistics import DPStatisticValidator
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            DPStatisticValidator(0.0, 60.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValidationError):
+            DPStatisticValidator(1.0, 0.0)
+
+
+class TestReleaseAndValidate:
+    def test_accepts_with_enough_data(self, rng):
+        validator = DPStatisticValidator(target=2.0, value_range=60.0)
+        values = rng.uniform(20, 40, size=100_000)
+        mean, result = validator.release_and_validate(values, 1.0, rng)
+        assert result.outcome is Outcome.ACCEPT
+        assert abs(mean - float(values.mean())) < 2.0
+
+    def test_retries_with_scarce_data(self, rng):
+        validator = DPStatisticValidator(target=1.0, value_range=60.0)
+        mean, result = validator.release_and_validate(
+            rng.uniform(20, 40, size=200), 0.5, rng
+        )
+        assert result.outcome is Outcome.RETRY
+
+    def test_released_mean_within_range(self, rng):
+        validator = DPStatisticValidator(target=5.0, value_range=10.0)
+        for _ in range(30):
+            mean, _ = validator.release_and_validate(np.full(50, 9.0), 0.2, rng)
+            assert 0.0 <= mean <= 10.0
+
+    def test_error_guarantee_on_accept(self):
+        """ACCEPTed releases are within target of the population mean with
+        frequency >= 1 - eta (the §B.3 guarantee, law of large numbers)."""
+        eta, target = 0.1, 1.5
+        population_mean = 30.0
+        violations = accepted = 0
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            values = rng.uniform(20, 40, size=40_000)  # mean 30
+            validator = DPStatisticValidator(target, 60.0, confidence=1 - eta)
+            mean, result = validator.release_and_validate(values, 1.0, rng)
+            if result.outcome is Outcome.ACCEPT:
+                accepted += 1
+                violations += abs(mean - population_mean) > target
+        assert accepted > 0
+        assert violations / max(accepted, 1) <= eta
+
+    def test_tighter_target_needs_more_data(self):
+        """Find the acceptance sample size for two targets; the tighter one
+        must need more."""
+        def required_n(target):
+            for n in (500, 2_000, 8_000, 32_000, 128_000, 512_000):
+                rng = np.random.default_rng(0)
+                validator = DPStatisticValidator(target, 60.0)
+                _, result = validator.release_and_validate(
+                    rng.uniform(25, 35, size=n), 1.0, rng
+                )
+                if result.outcome is Outcome.ACCEPT:
+                    return n
+            return float("inf")
+
+        assert required_n(1.0) > required_n(10.0)
+
+    def test_empty_values_raise(self, rng):
+        with pytest.raises(ValidationError):
+            DPStatisticValidator(1.0, 60.0).release_and_validate(np.array([]), 1.0, rng)
+
+    def test_budget_pure_epsilon(self, rng):
+        validator = DPStatisticValidator(5.0, 60.0)
+        _, result = validator.release_and_validate(np.full(1000, 30.0), 0.4, rng)
+        assert result.budget_spent.epsilon == 0.4
+        assert result.budget_spent.delta == 0.0

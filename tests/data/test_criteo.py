@@ -1,0 +1,100 @@
+"""Synthetic Criteo generator: schema and calibration bands."""
+
+import numpy as np
+import pytest
+
+from repro.data.criteo import (
+    CRITEO_CARDINALITIES,
+    CRITEO_NAIVE_ACCURACY,
+    CriteoGenerator,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return CriteoGenerator()
+
+
+@pytest.fixture(scope="module")
+def impressions(gen):
+    return gen.sample_impressions(40_000, np.random.default_rng(5))
+
+
+class TestSchema:
+    def test_26_categorical_features(self, impressions):
+        assert impressions.categorical.shape[1] == 26
+
+    def test_13_numeric_features(self, impressions):
+        assert impressions.numeric.shape[1] == 13
+
+    def test_numeric_in_unit_interval(self, impressions):
+        assert impressions.numeric.min() >= 0.0
+        assert impressions.numeric.max() <= 1.0
+
+    def test_categories_within_cardinalities(self, impressions):
+        for j, card in enumerate(CRITEO_CARDINALITIES):
+            col = impressions.categorical[:, j]
+            assert col.min() >= 0 and col.max() < card
+
+    def test_featurized_dim(self, gen, impressions):
+        X = gen.featurize(impressions)
+        assert X.shape[1] == 13 + sum(CRITEO_CARDINALITIES)
+        assert X.shape[1] == gen.feature_dim
+
+    def test_one_hot_blocks_sum_to_one(self, gen, impressions):
+        X = gen.featurize(impressions)
+        assert np.all(X[:, 13:].sum(axis=1) == 26.0)
+
+    def test_labels_binary(self, impressions):
+        assert set(np.unique(impressions.clicked)) <= {0.0, 1.0}
+
+
+class TestCalibration:
+    def test_click_rate_near_paper(self, impressions):
+        rate = float(impressions.clicked.mean())
+        assert abs(rate - (1.0 - CRITEO_NAIVE_ACCURACY)) < 0.02
+
+    def test_bayes_accuracy_near_paper(self, gen, impressions):
+        probs = gen.bayes_probabilities(impressions)
+        bayes = float(np.mean(np.maximum(probs, 1.0 - probs)))
+        assert 0.775 <= bayes <= 0.80  # paper's achievable ceiling ~0.78
+
+    def test_probabilities_consistent_with_labels(self, gen):
+        """Labels drawn from the stated probabilities: calibration check."""
+        imp = gen.sample_impressions(60_000, np.random.default_rng(8))
+        probs = gen.bayes_probabilities(imp)
+        hi = probs > 0.5
+        assert imp.clicked[hi].mean() > imp.clicked[~hi].mean() + 0.2
+
+    def test_logistic_regression_approaches_bayes(self, gen):
+        """The ground truth is (nearly) linear in the featurization, so LG
+        should close most of the gap from majority to Bayes."""
+        from repro.ml.estimators import MLPClassifierEstimator
+        from repro.ml.sgd import SGDConfig
+
+        rng = np.random.default_rng(2)
+        batch = gen.generate(40_000, rng)
+        est = MLPClassifierEstimator(
+            (), SGDConfig(learning_rate=0.5, epochs=4, batch_size=256)
+        )
+        est.fit(batch.X[:36_000], batch.y[:36_000], rng)
+        acc = float(np.mean(est.predict_labels(batch.X[36_000:]) == batch.y[36_000:]))
+        assert acc > 0.765  # naive = 0.743, bayes ~= 0.786
+
+
+class TestStreamInterface:
+    def test_interval_and_extras(self, gen):
+        batch = gen.generate_interval(0.0, 0.5, np.random.default_rng(0))
+        assert len(batch) == gen.points_per_hour // 2
+        assert "cat_0" in batch.extras and "cat_25" in batch.extras
+
+    def test_same_population_across_batches(self):
+        """Two generators with the same seed share ground-truth weights."""
+        g1, g2 = CriteoGenerator(seed=7), CriteoGenerator(seed=7)
+        imp = g1.sample_impressions(100, np.random.default_rng(0))
+        assert np.allclose(g1.bayes_probabilities(imp), g2.bayes_probabilities(imp))
+
+    def test_invalid_rate(self):
+        with pytest.raises(DataError):
+            CriteoGenerator(points_per_hour=0)

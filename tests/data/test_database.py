@@ -1,0 +1,102 @@
+"""GrowingDatabase and StreamIngestor."""
+
+import numpy as np
+import pytest
+
+from repro.data.database import GrowingDatabase, StreamIngestor
+from repro.data.stream import RawBlock, StreamBatch, TimePartitioner
+from repro.data.taxi import TaxiGenerator
+from repro.errors import DataError
+
+
+def raw_block(key, n=10):
+    rng = np.random.default_rng(key if isinstance(key, int) else 0)
+    return RawBlock(
+        key=key,
+        batch=StreamBatch(
+            X=rng.normal(size=(n, 2)), y=rng.normal(size=n),
+            timestamps=np.sort(rng.uniform(0, 1, n)),
+            user_ids=rng.integers(0, 5, n),
+        ),
+    )
+
+
+class TestGrowingDatabase:
+    def test_append_and_get(self):
+        db = GrowingDatabase()
+        db.append(raw_block(0))
+        assert 0 in db
+        assert len(db) == 1
+        assert len(db.get(0)) == 10
+
+    def test_duplicate_key_rejected(self):
+        db = GrowingDatabase()
+        db.append(raw_block(0))
+        with pytest.raises(DataError):
+            db.append(raw_block(0))
+
+    def test_insertion_order_preserved(self):
+        db = GrowingDatabase()
+        db.extend([raw_block(k) for k in (5, 1, 9)])
+        assert db.keys == [5, 1, 9]
+        assert db.latest_keys(2) == [1, 9]
+
+    def test_assemble_concatenates(self):
+        db = GrowingDatabase()
+        db.extend([raw_block(0, 5), raw_block(1, 7)])
+        batch = db.assemble([0, 1])
+        assert len(batch) == 12
+        assert db.rows_in([0, 1]) == 12
+
+    def test_assemble_empty_raises(self):
+        with pytest.raises(DataError):
+            GrowingDatabase().assemble([])
+
+    def test_missing_key_raises(self):
+        with pytest.raises(DataError):
+            GrowingDatabase().get(42)
+
+    def test_total_rows_and_sizes(self):
+        db = GrowingDatabase()
+        db.extend([raw_block(0, 3), raw_block(1, 4)])
+        assert db.total_rows() == 7
+        assert db.block_sizes() == {0: 3, 1: 4}
+
+
+class TestStreamIngestor:
+    def test_advance_creates_hourly_blocks(self):
+        db = GrowingDatabase()
+        ing = StreamIngestor(
+            TaxiGenerator(points_per_hour=500), db,
+            TimePartitioner(1.0), rng=np.random.default_rng(0),
+        )
+        blocks = ing.advance(3.0)
+        assert len(blocks) == 3
+        assert db.keys == [0, 1, 2]
+        assert ing.clock_hours == 3.0
+
+    def test_repeated_advances_continue_keys(self):
+        db = GrowingDatabase()
+        ing = StreamIngestor(
+            TaxiGenerator(points_per_hour=500), db,
+            TimePartitioner(1.0), rng=np.random.default_rng(0),
+        )
+        ing.advance(2.0)
+        ing.advance(2.0)
+        assert db.keys == [0, 1, 2, 3]
+
+    def test_block_sizes_match_rate(self):
+        db = GrowingDatabase()
+        ing = StreamIngestor(
+            TaxiGenerator(points_per_hour=600), db,
+            TimePartitioner(1.0), rng=np.random.default_rng(0),
+        )
+        ing.advance(2.0)
+        sizes = db.block_sizes()
+        assert sum(sizes.values()) == 1200
+
+    def test_invalid_hours(self):
+        db = GrowingDatabase()
+        ing = StreamIngestor(TaxiGenerator(500), db, rng=np.random.default_rng(0))
+        with pytest.raises(DataError):
+            ing.advance(0.0)

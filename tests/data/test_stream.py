@@ -1,0 +1,118 @@
+"""StreamBatch, partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import StreamBatch, TimePartitioner, UserPartitioner
+from repro.errors import DataError
+
+
+def make_batch(n=20, extras=True):
+    rng = np.random.default_rng(0)
+    return StreamBatch(
+        X=rng.normal(size=(n, 3)),
+        y=rng.normal(size=n),
+        timestamps=np.sort(rng.uniform(0, 5, size=n)),
+        user_ids=rng.integers(0, 7, size=n),
+        extras={"speed": rng.uniform(0, 60, size=n)} if extras else {},
+    )
+
+
+class TestStreamBatch:
+    def test_len(self):
+        assert len(make_batch(15)) == 15
+
+    def test_row_count_validation(self):
+        with pytest.raises(DataError):
+            StreamBatch(
+                X=np.ones((3, 2)), y=np.ones(2),
+                timestamps=np.ones(3), user_ids=np.ones(3, dtype=int),
+            )
+
+    def test_extras_validation(self):
+        with pytest.raises(DataError):
+            StreamBatch(
+                X=np.ones((3, 2)), y=np.ones(3),
+                timestamps=np.ones(3), user_ids=np.ones(3, dtype=int),
+                extras={"bad": np.ones(2)},
+            )
+
+    def test_select_preserves_columns(self):
+        batch = make_batch()
+        sub = batch.select(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.X, batch.X[[0, 2, 4]])
+        assert np.array_equal(sub.extras["speed"], batch.extras["speed"][[0, 2, 4]])
+
+    def test_concatenate_roundtrip(self):
+        batch = make_batch(10)
+        a = batch.select(np.arange(4))
+        b = batch.select(np.arange(4, 10))
+        joined = StreamBatch.concatenate([a, b])
+        assert np.array_equal(joined.X, batch.X)
+        assert np.array_equal(joined.extras["speed"], batch.extras["speed"])
+
+    def test_concatenate_empty_list_raises(self):
+        with pytest.raises(DataError):
+            StreamBatch.concatenate([])
+
+    def test_concatenate_mismatched_extras_raises(self):
+        with pytest.raises(DataError):
+            StreamBatch.concatenate([make_batch(extras=True), make_batch(extras=False)])
+
+
+class TestTimePartitioner:
+    def test_keys_are_absolute_windows(self):
+        batch = make_batch(50)
+        blocks = TimePartitioner(1.0).partition(batch)
+        for block in blocks:
+            lo, hi = block.key * 1.0, (block.key + 1) * 1.0
+            assert np.all((block.batch.timestamps >= lo) & (block.batch.timestamps < hi))
+
+    def test_blocks_cover_all_rows(self):
+        batch = make_batch(50)
+        blocks = TimePartitioner(0.5).partition(batch)
+        assert sum(len(b) for b in blocks) == 50
+
+    def test_consistent_keys_across_batches(self):
+        """Adjacent batches produce non-overlapping, consistent window keys."""
+        rng = np.random.default_rng(1)
+        early = StreamBatch(
+            X=np.ones((10, 1)), y=np.ones(10),
+            timestamps=rng.uniform(0, 1, 10), user_ids=np.zeros(10, dtype=int),
+        )
+        late = StreamBatch(
+            X=np.ones((10, 1)), y=np.ones(10),
+            timestamps=rng.uniform(1, 2, 10), user_ids=np.zeros(10, dtype=int),
+        )
+        part = TimePartitioner(1.0)
+        keys_early = {b.key for b in part.partition(early)}
+        keys_late = {b.key for b in part.partition(late)}
+        assert keys_early == {0} and keys_late == {1}
+
+    def test_invalid_window(self):
+        with pytest.raises(DataError):
+            TimePartitioner(0.0)
+
+
+class TestUserPartitioner:
+    def test_same_user_lands_in_one_block(self):
+        batch = make_batch(100)
+        blocks = UserPartitioner(num_buckets=4).partition(batch)
+        for block in blocks:
+            buckets = set((block.batch.user_ids % 4).tolist())
+            assert len(buckets) == 1
+
+    def test_covers_all_rows(self):
+        batch = make_batch(100)
+        blocks = UserPartitioner(num_buckets=4).partition(batch)
+        assert sum(len(b) for b in blocks) == 100
+
+    def test_keys_are_tagged(self):
+        blocks = UserPartitioner(num_buckets=3).partition(make_batch(30))
+        for block in blocks:
+            assert block.key[0] == "user"
+
+    def test_invalid_buckets(self):
+        with pytest.raises(DataError):
+            UserPartitioner(0)

@@ -1,0 +1,98 @@
+"""Synthetic taxi generator: schema, calibration bands, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.taxi import TAXI_FEATURE_DIM, TaxiGenerator
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def rides():
+    return TaxiGenerator().sample_rides(30_000, np.random.default_rng(11))
+
+
+class TestSchema:
+    def test_feature_dim_is_61(self, rides):
+        X = TaxiGenerator.featurize(rides)
+        assert X.shape == (len(rides), TAXI_FEATURE_DIM)
+
+    def test_features_are_binary(self, rides):
+        X = TaxiGenerator.featurize(rides)
+        assert set(np.unique(X)) <= {0.0, 1.0}
+
+    def test_each_row_has_eight_active_groups(self, rides):
+        """One active bit per one-hot group: 8 groups -> row sums of 8."""
+        X = TaxiGenerator.featurize(rides)
+        assert np.all(X.sum(axis=1) == 8.0)
+
+    def test_labels_in_unit_interval(self, rides):
+        y = TaxiGenerator.labels(rides)
+        assert y.min() >= 0.0 and y.max() <= 1.0
+
+    def test_contextual_ranges(self, rides):
+        assert rides.hour.min() >= 0 and rides.hour.max() < 24
+        assert rides.day_of_week.max() < 7
+        assert rides.week_of_month.max() < 5
+        assert rides.passengers.min() >= 1 and rides.passengers.max() <= 6
+        assert rides.distance_km.min() > 0
+
+
+class TestCalibration:
+    """The paper-anchored bands (Fig. 5a axes)."""
+
+    def test_naive_mse_near_paper_value(self, rides):
+        y = TaxiGenerator.labels(rides)
+        assert 0.0055 <= float(np.var(y)) <= 0.0085  # paper: 0.0069
+
+    def test_linear_model_floor_near_paper_value(self, rides):
+        from repro.ml.linear import RidgeRegression
+        from repro.ml.metrics import mse
+
+        X = TaxiGenerator.featurize(rides)
+        y = TaxiGenerator.labels(rides)
+        model = RidgeRegression(regularization=1e-3).fit(X[:25_000], y[:25_000])
+        floor = mse(y[25_000:], model.predict(X[25_000:]))
+        assert 0.0018 <= floor <= 0.0032  # paper: ~0.0024-0.0027
+
+    def test_rush_hour_is_slower(self, rides):
+        """The hour-of-day structure the Avg.Speed pipelines aggregate."""
+        speeds = TaxiGenerator.true_mean_speed_by("hour_of_day", rides)
+        assert speeds[8] < speeds[3]   # 8am rush vs 3am
+        assert speeds[17] < speeds[3]  # evening rush
+
+
+class TestStreamInterface:
+    def test_interval_rate(self):
+        gen = TaxiGenerator(points_per_hour=1000)
+        batch = gen.generate_interval(5.0, 2.0, np.random.default_rng(0))
+        assert len(batch) == 2000
+        assert batch.timestamps.min() >= 5.0
+        assert batch.timestamps.max() < 7.0
+
+    def test_timestamps_sorted(self):
+        batch = TaxiGenerator(1000).generate_interval(0.0, 1.0, np.random.default_rng(0))
+        assert np.all(np.diff(batch.timestamps) >= 0)
+
+    def test_extras_carry_statistic_columns(self):
+        batch = TaxiGenerator(1000).generate_interval(0.0, 1.0, np.random.default_rng(0))
+        for key in ("speed_kmh", "hour_of_day", "day_of_week", "week_of_month"):
+            assert key in batch.extras
+
+    def test_deterministic_under_seed(self):
+        a = TaxiGenerator(500).generate(1000, np.random.default_rng(3))
+        b = TaxiGenerator(500).generate(1000, np.random.default_rng(3))
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_invalid_args(self):
+        with pytest.raises(DataError):
+            TaxiGenerator(points_per_hour=0)
+        with pytest.raises(DataError):
+            TaxiGenerator().sample_rides(0, np.random.default_rng(0))
+        with pytest.raises(DataError):
+            TaxiGenerator().generate_interval(0.0, 0.0, np.random.default_rng(0))
+
+    def test_unknown_statistic_key(self, rides):
+        with pytest.raises(DataError):
+            TaxiGenerator.true_mean_speed_by("month", rides)

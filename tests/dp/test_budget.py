@@ -1,0 +1,137 @@
+"""PrivacyBudget arithmetic and ordering."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dp.budget import PrivacyBudget, ZERO_BUDGET, sum_budgets
+from repro.errors import InvalidBudgetError
+
+EPS = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+DELTA = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+BUDGETS = st.builds(PrivacyBudget, EPS, DELTA)
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = PrivacyBudget(1.0, 1e-6)
+        assert b.epsilon == 1.0
+        assert b.delta == 1e-6
+
+    def test_delta_defaults_to_zero(self):
+        assert PrivacyBudget(0.5).delta == 0.0
+
+    def test_zero_budget_is_zero(self):
+        assert ZERO_BUDGET.is_zero
+        assert not PrivacyBudget(0.1).is_zero
+
+    def test_pure_dp(self):
+        assert PrivacyBudget(1.0).is_pure
+        assert not PrivacyBudget(1.0, 1e-9).is_pure
+
+    @pytest.mark.parametrize("eps", [-1.0, -1e-12, float("nan"), float("inf")])
+    def test_invalid_epsilon_rejected(self, eps):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(eps, 0.0)
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.1, float("nan")])
+    def test_invalid_delta_rejected(self, delta):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(1.0, delta)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PrivacyBudget(1.0).epsilon = 2.0
+
+
+class TestArithmetic:
+    def test_addition_composes(self):
+        total = PrivacyBudget(0.3, 1e-7) + PrivacyBudget(0.7, 2e-7)
+        assert math.isclose(total.epsilon, 1.0)
+        assert math.isclose(total.delta, 3e-7)
+
+    def test_delta_saturates_at_one(self):
+        total = PrivacyBudget(1.0, 0.8) + PrivacyBudget(1.0, 0.8)
+        assert total.delta == 1.0
+
+    def test_subtraction(self):
+        left = PrivacyBudget(1.0, 1e-6) - PrivacyBudget(0.25, 5e-7)
+        assert math.isclose(left.epsilon, 0.75)
+        assert math.isclose(left.delta, 5e-7)
+
+    def test_subtraction_underflow_raises(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(0.1) - PrivacyBudget(0.2)
+
+    def test_subtract_to_exact_zero(self):
+        result = PrivacyBudget(0.5, 1e-6) - PrivacyBudget(0.5, 1e-6)
+        assert result.is_zero
+
+    def test_division_splits_evenly(self):
+        share = PrivacyBudget(1.0, 3e-6) / 3
+        assert math.isclose(share.epsilon, 1.0 / 3.0)
+        assert math.isclose(share.delta, 1e-6)
+
+    def test_division_by_nonpositive_raises(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(1.0) / 0
+
+    def test_scalar_multiplication(self):
+        doubled = PrivacyBudget(0.5, 1e-7) * 2
+        assert math.isclose(doubled.epsilon, 1.0)
+        assert math.isclose(doubled.delta, 2e-7)
+
+    def test_negative_scale_raises(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(1.0) * -1
+
+    def test_split_parts_recompose(self):
+        b = PrivacyBudget(0.9, 9e-7)
+        parts = list(b.split(9))
+        assert len(parts) == 9
+        assert sum_budgets(parts).approx_eq(b)
+
+    def test_sum_budgets_empty_is_zero(self):
+        assert sum_budgets([]).is_zero
+
+
+class TestOrdering:
+    def test_fits_within(self):
+        assert PrivacyBudget(0.5, 1e-7).fits_within(PrivacyBudget(1.0, 1e-6))
+        assert not PrivacyBudget(1.5, 0.0).fits_within(PrivacyBudget(1.0, 1e-6))
+        assert not PrivacyBudget(0.5, 1e-5).fits_within(PrivacyBudget(1.0, 1e-6))
+
+    def test_le_is_componentwise(self):
+        assert PrivacyBudget(1.0, 1e-6) <= PrivacyBudget(1.0, 1e-6)
+        assert PrivacyBudget(0.9, 0.0) < PrivacyBudget(1.0, 0.0)
+
+    def test_repeated_halving_still_fits(self):
+        # Floating-point dust must not make an exact split unusable.
+        whole = PrivacyBudget(1.0, 1e-6)
+        pieces = [whole / 7 for _ in range(7)]
+        assert sum_budgets(pieces).fits_within(whole)
+
+
+class TestProperties:
+    @given(BUDGETS, BUDGETS)
+    def test_addition_commutes(self, a, b):
+        assert (a + b).approx_eq(b + a)
+
+    @given(BUDGETS, BUDGETS)
+    def test_sum_dominates_parts(self, a, b):
+        assert a.fits_within(a + b)
+        assert b.fits_within(a + b)
+
+    @given(BUDGETS)
+    def test_add_zero_is_identity(self, a):
+        assert (a + ZERO_BUDGET).approx_eq(a)
+
+    @given(BUDGETS)
+    def test_sub_self_is_zero(self, a):
+        assert (a - a).is_zero
+
+    @given(BUDGETS, st.integers(min_value=1, max_value=20))
+    def test_split_recomposes(self, a, parts):
+        total = sum_budgets(a.split(parts))
+        assert total.approx_eq(a) or abs(total.epsilon - a.epsilon) < 1e-9

@@ -1,0 +1,121 @@
+"""Laplace/Gaussian mechanisms: calibration, tails, randomization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    gaussian_noise,
+    gaussian_sigma,
+    laplace_noise,
+    laplace_scale,
+    make_rng,
+)
+from repro.errors import CalibrationError, InvalidBudgetError
+
+
+class TestCalibration:
+    def test_laplace_scale_formula(self):
+        assert laplace_scale(2.0, 0.5) == 4.0
+
+    def test_gaussian_sigma_formula(self):
+        sigma = gaussian_sigma(1.0, 1.0, 1e-5)
+        assert math.isclose(sigma, math.sqrt(2.0 * math.log(1.25e5)), rel_tol=1e-12)
+
+    def test_gaussian_sigma_shrinks_with_epsilon(self):
+        assert gaussian_sigma(1.0, 2.0, 1e-6) < gaussian_sigma(1.0, 1.0, 1e-6)
+
+    def test_gaussian_sigma_grows_with_sensitivity(self):
+        assert gaussian_sigma(2.0, 1.0, 1e-6) == 2.0 * gaussian_sigma(1.0, 1.0, 1e-6)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0])
+    def test_nonpositive_epsilon_rejected(self, eps):
+        with pytest.raises(CalibrationError):
+            laplace_scale(1.0, eps)
+        with pytest.raises(CalibrationError):
+            gaussian_sigma(1.0, eps, 1e-6)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0])
+    def test_gaussian_needs_open_delta(self, delta):
+        with pytest.raises(CalibrationError):
+            gaussian_sigma(1.0, 1.0, delta)
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(CalibrationError):
+            laplace_scale(-1.0, 1.0)
+
+
+class TestNoiseDraws:
+    def test_zero_scale_is_exact(self, rng):
+        assert laplace_noise(rng, 0.0) == 0.0
+        assert np.all(gaussian_noise(rng, 0.0, size=5) == 0.0)
+
+    def test_laplace_empirical_variance(self):
+        rng = make_rng(0)
+        draws = laplace_noise(rng, 2.0, size=200_000)
+        # Var(Laplace(b)) = 2 b^2 = 8.
+        assert abs(np.var(draws) - 8.0) < 0.2
+
+    def test_gaussian_empirical_variance(self):
+        rng = make_rng(0)
+        draws = gaussian_noise(rng, 3.0, size=200_000)
+        assert abs(np.var(draws) - 9.0) < 0.2
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(CalibrationError):
+            laplace_noise(rng, -1.0)
+        with pytest.raises(CalibrationError):
+            gaussian_noise(rng, -1.0)
+
+    def test_deterministic_under_seed(self):
+        a = laplace_noise(make_rng(42), 1.0, size=10)
+        b = laplace_noise(make_rng(42), 1.0, size=10)
+        assert np.array_equal(a, b)
+
+
+class TestMechanismObjects:
+    def test_laplace_budget(self):
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=0.5)
+        assert mech.budget == PrivacyBudget(0.5, 0.0)
+        assert mech.scale == 2.0
+
+    def test_gaussian_budget(self):
+        mech = GaussianMechanism(sensitivity=1.0, epsilon=0.5, delta=1e-6)
+        assert mech.budget == PrivacyBudget(0.5, 1e-6)
+
+    def test_randomize_scalar_returns_float(self, rng):
+        out = LaplaceMechanism(1.0, 1.0).randomize(5.0, rng)
+        assert isinstance(out, float)
+
+    def test_randomize_vector_shape(self, rng):
+        out = GaussianMechanism(1.0, 1.0, 1e-6).randomize(np.zeros(7), rng)
+        assert out.shape == (7,)
+
+    def test_laplace_tail_bound_probability(self):
+        """P(|noise| > tail_bound(eta)) should be ~eta."""
+        mech = LaplaceMechanism(1.0, 1.0)
+        bound = mech.tail_bound(0.05)
+        rng = make_rng(3)
+        draws = laplace_noise(rng, mech.scale, size=100_000)
+        rate = np.mean(np.abs(draws) > bound)
+        assert rate <= 0.06  # valid bound
+        assert rate >= 0.03  # not absurdly loose
+
+    def test_gaussian_tail_bound_probability(self):
+        mech = GaussianMechanism(1.0, 1.0, 1e-6)
+        bound = mech.tail_bound(0.05)
+        rng = make_rng(3)
+        draws = gaussian_noise(rng, mech.sigma, size=100_000)
+        assert np.mean(np.abs(draws) > bound) <= 0.05
+
+    def test_tail_bound_invalid_eta(self):
+        with pytest.raises(InvalidBudgetError):
+            LaplaceMechanism(1.0, 1.0).tail_bound(0.0)
+
+    def test_tail_bound_monotone_in_eta(self):
+        mech = LaplaceMechanism(1.0, 1.0)
+        assert mech.tail_bound(0.01) > mech.tail_bound(0.1)

@@ -1,0 +1,73 @@
+"""Parallel composition over disjoint partitions."""
+
+import numpy as np
+import pytest
+
+from repro.dp.budget import PrivacyBudget
+from repro.dp.partition import PartitionedQuery, parallel_composition, partition_indices
+from repro.errors import DataError
+
+
+class TestParallelComposition:
+    def test_max_not_sum(self):
+        budgets = [PrivacyBudget(0.3, 1e-7), PrivacyBudget(0.5, 0.0), PrivacyBudget(0.2, 2e-7)]
+        combined = parallel_composition(budgets)
+        assert combined.epsilon == 0.5
+        assert combined.delta == 2e-7
+
+    def test_empty_is_zero(self):
+        assert parallel_composition([]).is_zero
+
+
+class TestPartitionIndices:
+    def test_partitions_cover_everything(self, rng):
+        keys = rng.integers(0, 5, size=100)
+        parts = partition_indices(keys, 5)
+        recovered = np.sort(np.concatenate(parts))
+        assert np.array_equal(recovered, np.arange(100))
+
+    def test_partitions_are_disjoint(self, rng):
+        keys = rng.integers(0, 4, size=60)
+        parts = partition_indices(keys, 4)
+        seen = set()
+        for idx in parts:
+            as_set = set(idx.tolist())
+            assert not (seen & as_set)
+            seen |= as_set
+
+    def test_keys_route_correctly(self):
+        keys = np.array([2, 0, 1, 2])
+        parts = partition_indices(keys, 3)
+        assert np.array_equal(parts[0], [1])
+        assert np.array_equal(parts[1], [2])
+        assert np.array_equal(parts[2], [0, 3])
+
+    def test_empty_partition_allowed(self):
+        parts = partition_indices(np.array([0, 0]), 3)
+        assert parts[1].size == 0
+        assert parts[2].size == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DataError):
+            partition_indices(np.array([0, 7]), 3)
+
+
+class TestPartitionedQuery:
+    def test_runs_per_partition(self, rng):
+        query = PartitionedQuery(
+            fn=lambda rows, _rng: float(rows.sum()), budget=PrivacyBudget(0.1)
+        )
+        rows = np.arange(6, dtype=float)
+        keys = np.array([0, 0, 1, 1, 1, 0])
+        out = query.run(rows, keys, 2, rng)
+        assert out[0] == 0 + 1 + 5
+        assert out[1] == 2 + 3 + 4
+
+    def test_budget_is_per_partition(self):
+        query = PartitionedQuery(fn=lambda r, g: None, budget=PrivacyBudget(0.7))
+        assert query.budget.epsilon == 0.7
+
+    def test_shape_mismatch(self, rng):
+        query = PartitionedQuery(fn=lambda r, g: None, budget=PrivacyBudget(0.1))
+        with pytest.raises(DataError):
+            query.run(np.ones(3), np.array([0, 1]), 2, rng)

@@ -1,0 +1,121 @@
+"""RDP accountant: known values, monotonicity, calibration round trips."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.rdp import (
+    DEFAULT_ORDERS,
+    calibrate_sigma,
+    compute_epsilon,
+    compute_rdp,
+    gaussian_rdp,
+    rdp_to_epsilon,
+    sampled_gaussian_rdp,
+)
+from repro.errors import CalibrationError
+
+
+class TestGaussianRDP:
+    def test_closed_form(self):
+        assert gaussian_rdp(2.0, 8) == 8 / (2 * 4.0)
+
+    def test_q_one_matches_unsampled(self):
+        for order in (2, 5, 32):
+            assert math.isclose(
+                sampled_gaussian_rdp(1.0, 1.3, order), gaussian_rdp(1.3, order)
+            )
+
+    def test_q_zero_is_free(self):
+        assert sampled_gaussian_rdp(0.0, 1.0, 4) == 0.0
+
+    def test_subsampling_amplifies(self):
+        """RDP at q < 1 must be far below the unsampled value."""
+        full = gaussian_rdp(1.0, 8)
+        sampled = sampled_gaussian_rdp(0.01, 1.0, 8)
+        assert sampled < full / 10
+
+    def test_monotone_in_q(self):
+        values = [sampled_gaussian_rdp(q, 1.0, 8) for q in (0.001, 0.01, 0.1, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_sigma(self):
+        values = [sampled_gaussian_rdp(0.01, s, 8) for s in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp(1.5, 1.0, 4)
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp(0.5, 0.0, 4)
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp(0.5, 1.0, 1)
+
+
+class TestComposition:
+    def test_rdp_is_linear_in_steps(self):
+        one = compute_rdp(0.01, 1.0, 1)
+        many = compute_rdp(0.01, 1.0, 250)
+        assert np.allclose(many, 250 * one)
+
+    def test_zero_steps(self):
+        assert np.all(compute_rdp(0.01, 1.0, 0) == 0.0)
+
+
+class TestConversion:
+    def test_improved_beats_classic(self):
+        rdp = compute_rdp(0.01, 1.0, 1000)
+        eps_improved, _ = rdp_to_epsilon(rdp, DEFAULT_ORDERS, 1e-6, improved=True)
+        eps_classic, _ = rdp_to_epsilon(rdp, DEFAULT_ORDERS, 1e-6, improved=False)
+        assert eps_improved <= eps_classic
+
+    def test_epsilon_monotone_in_steps(self):
+        values = [compute_epsilon(0.01, 1.0, t, 1e-6) for t in (10, 100, 1000, 5000)]
+        assert values == sorted(values)
+
+    def test_epsilon_decreasing_in_sigma(self):
+        values = [compute_epsilon(0.01, s, 1000, 1e-6) for s in (0.6, 1.0, 2.0, 5.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_epsilon_decreasing_in_delta(self):
+        strict = compute_epsilon(0.01, 1.0, 1000, 1e-9)
+        loose = compute_epsilon(0.01, 1.0, 1000, 1e-3)
+        assert loose < strict
+
+    def test_single_full_batch_step_ballpark(self):
+        """One full-batch Gaussian step at sigma=1, delta=1e-6: epsilon in a
+        sane band (classic Gaussian mechanism would give ~4.8-5.5)."""
+        eps = compute_epsilon(1.0, 1.0, 1, 1e-6)
+        assert 3.0 < eps < 6.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(CalibrationError):
+            rdp_to_epsilon([1.0], [2, 3], 1e-6)
+
+
+class TestCalibration:
+    def test_round_trip(self):
+        sigma = calibrate_sigma(0.02, 500, 1.0, 1e-6)
+        achieved = compute_epsilon(0.02, sigma, 500, 1e-6)
+        assert achieved <= 1.0 + 1e-6
+        # And not over-noised: 10% smaller sigma should violate the target.
+        assert compute_epsilon(0.02, sigma * 0.9, 500, 1e-6) > 1.0
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_sigma(0.5, 100_000, 0.001, 1e-9, sigma_max=50.0)
+
+    def test_easy_target_returns_floor(self):
+        sigma = calibrate_sigma(0.001, 1, 50.0, 1e-3)
+        assert sigma == pytest.approx(0.3)
+
+    @given(
+        st.floats(min_value=0.3, max_value=3.0),
+        st.integers(min_value=10, max_value=2000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_calibrated_sigma_always_meets_target(self, eps, steps):
+        sigma = calibrate_sigma(0.01, steps, eps, 1e-6)
+        assert compute_epsilon(0.01, sigma, steps, 1e-6) <= eps * (1 + 1e-6)

@@ -1,0 +1,83 @@
+"""Exponential mechanism and noisy-max selection."""
+
+import numpy as np
+import pytest
+
+from repro.dp.selection import dp_argmax_count, exponential_mechanism, report_noisy_max
+from repro.errors import CalibrationError, DataError
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_utility(self):
+        rng = np.random.default_rng(0)
+        utilities = [0.0, 0.0, 10.0]
+        picks = [
+            exponential_mechanism(utilities, epsilon=2.0, sensitivity=1.0, rng=rng)
+            for _ in range(300)
+        ]
+        assert np.mean(np.array(picks) == 2) > 0.9
+
+    def test_uniform_at_tiny_epsilon(self):
+        rng = np.random.default_rng(1)
+        utilities = [0.0, 1.0]
+        picks = [
+            exponential_mechanism(utilities, epsilon=1e-6, sensitivity=1.0, rng=rng)
+            for _ in range(2000)
+        ]
+        assert 0.4 < np.mean(picks) < 0.6  # ~coin flip
+
+    def test_sharper_with_epsilon(self):
+        utilities = [0.0, 1.0]
+        def hit_rate(eps, seed):
+            rng = np.random.default_rng(seed)
+            return np.mean([
+                exponential_mechanism(utilities, eps, 1.0, rng) for _ in range(1000)
+            ])
+        assert hit_rate(8.0, 2) > hit_rate(0.5, 2)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(CalibrationError):
+            exponential_mechanism([1.0], 0.0, 1.0, rng)
+        with pytest.raises(CalibrationError):
+            exponential_mechanism([1.0], 1.0, 0.0, rng)
+        with pytest.raises(DataError):
+            exponential_mechanism([], 1.0, 1.0, rng)
+
+    def test_numerically_stable_with_huge_utilities(self, rng):
+        idx = exponential_mechanism([1e6, 2e6], 1.0, 1.0, rng)
+        assert idx in (0, 1)
+
+
+class TestNoisyMax:
+    def test_clear_winner(self, rng):
+        picks = [
+            report_noisy_max([0.0, 100.0, 0.0], 1.0, 1.0, rng) for _ in range(100)
+        ]
+        assert np.mean(np.array(picks) == 1) > 0.95
+
+    def test_low_epsilon_randomizes(self, rng):
+        picks = [report_noisy_max([0.0, 1.0], 0.01, 1.0, rng) for _ in range(500)]
+        assert 0.3 < np.mean(picks) < 0.7
+
+    def test_invalid(self, rng):
+        with pytest.raises(CalibrationError):
+            report_noisy_max([1.0], -1.0, 1.0, rng)
+
+
+class TestArgmaxCount:
+    def test_finds_modal_key(self, rng):
+        keys = np.array([0] * 10 + [1] * 500 + [2] * 10)
+        assert dp_argmax_count(keys, 3, 1.0, rng) == 1
+
+    def test_key_bounds(self, rng):
+        with pytest.raises(DataError):
+            dp_argmax_count(np.array([5]), 3, 1.0, rng)
+
+    def test_model_selection_use_case(self, rng):
+        """Pick the best of several candidate models by DP validation loss."""
+        candidate_losses = [0.21, 0.08, 0.19, 0.30]  # per-mean on 1000 points
+        # utility = -loss; sensitivity of a mean of [0,1] losses is 1/n.
+        idx = exponential_mechanism(
+            [-l for l in candidate_losses], epsilon=1.0, sensitivity=1.0 / 1000, rng=rng
+        )
+        assert idx == 1

@@ -1,0 +1,76 @@
+"""The four validation regimes of Table 2 / Fig. 6."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.regimes import Regime, accepts, accepts_accuracy, accepts_loss
+
+
+def losses(rng, mean, n):
+    return (rng.random(n) < mean).astype(float)
+
+
+class TestLossRegimes:
+    def test_no_sla_accepts_tiny_samples(self):
+        """Vanilla validation happily accepts with almost no evidence."""
+        count = 0
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            count += accepts_loss(
+                Regime.NO_SLA, losses(rng, 0.05, 200), 0.08, 1.0, 0.95, rng
+            )
+        assert count > 30
+
+    def test_rigorous_regimes_refuse_tiny_samples(self):
+        for regime in (Regime.NP_SLA, Regime.SAGE_SLA):
+            count = 0
+            for seed in range(50):
+                rng = np.random.default_rng(seed)
+                count += accepts_loss(
+                    regime, losses(rng, 0.05, 200), 0.08, 1.0, 0.95, rng
+                )
+            assert count == 0, regime
+
+    def test_all_regimes_accept_with_abundant_evidence(self):
+        for regime in Regime:
+            rng = np.random.default_rng(1)
+            assert accepts_loss(
+                regime, losses(rng, 0.02, 200_000), 0.08, 1.0, 0.95, rng
+            ), regime
+
+    def test_sage_stricter_than_uncorrected(self):
+        """Sage's corrections only make acceptance harder."""
+        sage = uc = 0
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            sample = losses(rng, 0.055, 3000)
+            rng_a = np.random.default_rng(1000 + seed)
+            rng_b = np.random.default_rng(1000 + seed)
+            uc += accepts_loss(Regime.UC_DP_SLA, sample, 0.08, 0.5, 0.95, rng_a)
+            sage += accepts_loss(Regime.SAGE_SLA, sample, 0.08, 0.5, 0.95, rng_b)
+        assert sage <= uc
+
+
+class TestAccuracyRegimes:
+    def test_dispatch(self):
+        rng = np.random.default_rng(0)
+        correct = (rng.random(50_000) < 0.78).astype(float)
+        assert accepts(Regime.SAGE_SLA, "accuracy", correct, 0.75, 1.0, 0.95, rng)
+        errs = (rng.random(50_000) < 0.02).astype(float)
+        assert accepts(Regime.SAGE_SLA, "mse", errs, 0.05, 1.0, 0.95, rng)
+
+    def test_np_sla_uses_exact_binomial(self):
+        rng = np.random.default_rng(0)
+        correct = (rng.random(10_000) < 0.78).astype(float)
+        assert accepts_accuracy(Regime.NP_SLA, correct, 0.76, 1.0, 0.95, rng)
+        assert not accepts_accuracy(Regime.NP_SLA, correct, 0.79, 1.0, 0.95, rng)
+
+    def test_no_sla_noisy_comparison(self):
+        rng = np.random.default_rng(0)
+        correct = (rng.random(2_000) < 0.78).astype(float)
+        outcomes = [
+            accepts_accuracy(Regime.NO_SLA, correct, 0.775, 0.3, 0.95, rng)
+            for _ in range(60)
+        ]
+        # Around the boundary with noise: both outcomes occur.
+        assert 0 < sum(outcomes) < 60

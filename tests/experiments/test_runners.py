@@ -1,0 +1,113 @@
+"""Experiment runners (small-scale smoke + structural checks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import TAXI_LR
+from repro.experiments.regimes import Regime
+from repro.experiments.reporting import (
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_table2,
+)
+from repro.experiments.runners import (
+    collect_training_runs,
+    fig5_series,
+    fig6_required_samples,
+    run_fig7_lr,
+    run_fig8,
+    table2_violation_rates,
+)
+
+
+@pytest.fixture(scope="module")
+def lr_table():
+    return collect_training_runs(
+        TAXI_LR,
+        schedule=(2_000, 8_000, 32_000),
+        seeds=(0, 1),
+        eval_size=10_000,
+    )
+
+
+class TestCollect:
+    def test_all_cells_present(self, lr_table):
+        assert len(lr_table.runs) == 3 * 2 * 3  # sizes x seeds x modes
+        assert lr_table.seeds == [0, 1]
+
+    def test_np_beats_small_dp(self, lr_table):
+        np_runs = lr_table.select("np")
+        dp_small = lr_table.select("dp-small")
+        assert np.mean([r.heldout_metric for r in np_runs]) < np.mean(
+            [r.heldout_metric for r in dp_small]
+        )
+
+    def test_dp_improves_with_data(self, lr_table):
+        runs = lr_table.select("dp-large", seed=0)
+        assert runs[-1].heldout_metric < runs[0].heldout_metric
+
+
+class TestFig5:
+    def test_series_structure(self, lr_table):
+        series = fig5_series(lr_table)
+        assert set(series) == {"np", "dp-large", "dp-small"}
+        assert [n for n, _ in series["np"]] == [2_000, 8_000, 32_000]
+        out = format_fig5("Fig 5a", series, "mse")
+        assert "samples" in out and "dp-large" in out
+
+
+class TestFig6:
+    def test_required_samples_monotone_regimes(self, lr_table):
+        required = fig6_required_samples(
+            lr_table, targets=(0.005, 0.007), seed=0
+        )
+        out = format_fig6("Fig 6a", required)
+        assert "target" in out
+        # No SLA accepts at most as late as Sage SLA wherever both accept.
+        for target in (0.005, 0.007):
+            no_sla = required[Regime.NO_SLA][target]
+            sage = required[Regime.SAGE_SLA][target]
+            if no_sla is not None and sage is not None:
+                assert no_sla <= sage
+
+
+class TestTable2:
+    def test_rates_in_unit_interval(self, lr_table):
+        rates = table2_violation_rates(
+            lr_table, targets=(0.005, 0.006), eta=0.05, trials_per_cell=5
+        )
+        for regime, rate in rates.items():
+            if rate == rate:  # skip NaN (nothing accepted)
+                assert 0.0 <= rate <= 1.0
+        out = format_table2("Table 2", {0.05: rates})
+        assert "Sage SLA" in out
+
+
+class TestFig7:
+    def test_query_composition_worse(self):
+        curves = run_fig7_lr(
+            sample_sizes=(8_000, 16_000),
+            block_sizes=(4_000,),
+            seeds=(0,),
+            eval_size=8_000,
+        )
+        assert "block" in curves and "query-4000" in curves
+        block = dict(curves["block"])
+        query = dict(curves["query-4000"])
+        assert query[16_000] > block[16_000]
+        out = format_fig7("Fig 7a", curves)
+        assert "query-4000" in out
+
+
+class TestFig8:
+    def test_small_sweep(self):
+        reports = run_fig8(
+            rates=(0.2,),
+            strategies=("block-conserve", "streaming"),
+            horizon_hours=60.0,
+        )
+        assert set(reports) == {"block-conserve", "streaming"}
+        out = format_fig8("Fig 8a", reports)
+        assert "block-conserve" in out

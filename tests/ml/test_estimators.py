@@ -1,0 +1,73 @@
+"""Estimator wrappers around the SGD/DP-SGD trainers."""
+
+import numpy as np
+import pytest
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import DataError
+from repro.ml.estimators import (
+    DPSGDClassifierEstimator,
+    DPSGDRegressorEstimator,
+    MLPClassifierEstimator,
+    MLPRegressorEstimator,
+)
+from repro.ml.sgd import SGDConfig
+
+
+@pytest.fixture
+def regression_data(rng):
+    X = rng.normal(size=(3000, 3))
+    y = X @ np.array([1.0, -0.5, 0.2])
+    return X, y
+
+
+@pytest.fixture
+def classification_data(rng):
+    X = rng.normal(size=(3000, 3))
+    y = (X[:, 0] - X[:, 1] > 0).astype(float)
+    return X, y
+
+
+class TestNonPrivate:
+    def test_regressor_learns(self, rng, regression_data):
+        X, y = regression_data
+        est = MLPRegressorEstimator((), SGDConfig(learning_rate=0.1, epochs=5, batch_size=128))
+        est.fit(X, y, rng)
+        assert np.mean((est.predict(X) - y) ** 2) < 0.1 * np.var(y)
+
+    def test_classifier_labels(self, rng, classification_data):
+        X, y = classification_data
+        est = MLPClassifierEstimator((), SGDConfig(learning_rate=0.5, epochs=5, batch_size=128))
+        est.fit(X, y, rng)
+        labels = est.predict_labels(X)
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+        assert np.mean(labels == y) > 0.9
+
+    def test_predict_before_fit(self):
+        with pytest.raises(DataError):
+            MLPRegressorEstimator(()).predict(np.ones((2, 2)))
+
+
+class TestDP:
+    def test_dp_regressor_records_spend(self, rng, regression_data):
+        X, y = regression_data
+        est = DPSGDRegressorEstimator(
+            PrivacyBudget(2.0, 1e-6), (), SGDConfig(epochs=1, batch_size=256)
+        )
+        est.fit(X, y, rng)
+        assert est.spent_ is not None
+        assert est.spent_.epsilon <= 2.0 + 1e-9
+        assert est.noise_multiplier_ > 0
+
+    def test_dp_classifier_probabilities(self, rng, classification_data):
+        X, y = classification_data
+        est = DPSGDClassifierEstimator(
+            PrivacyBudget(3.0, 1e-6), (), SGDConfig(learning_rate=0.3, epochs=2, batch_size=256)
+        )
+        est.fit(X, y, rng)
+        probs = est.predict(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_rejects_pure_dp_budget(self):
+        with pytest.raises(DataError):
+            DPSGDRegressorEstimator(PrivacyBudget(1.0, 0.0))

@@ -1,0 +1,105 @@
+"""Ridge regression and AdaSSP."""
+
+import numpy as np
+import pytest
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import DataError
+from repro.ml.linear import AdaSSPRegressor, RidgeRegression
+from repro.ml.metrics import mse
+
+
+def make_regression(rng, n=5000, d=5, noise=0.02, scale=0.3):
+    w = rng.normal(size=d) * scale
+    X = rng.normal(size=(n, d)) / np.sqrt(d)  # rows roughly unit norm
+    y = X @ w + noise * rng.normal(size=n)
+    return X, y, w
+
+
+class TestRidge:
+    def test_exact_on_noiseless(self, rng):
+        X, y, w = make_regression(rng, noise=0.0)
+        model = RidgeRegression(regularization=1e-10).fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-6)
+
+    def test_intercept_recovered(self, rng):
+        X, y, _ = make_regression(rng, noise=0.0)
+        model = RidgeRegression(regularization=1e-10).fit(X, y + 3.0)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-6)
+
+    def test_no_intercept_mode(self, rng):
+        X, y, w = make_regression(rng, noise=0.0)
+        model = RidgeRegression(regularization=1e-10, fit_intercept=False).fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-6)
+
+    def test_regularization_shrinks(self, rng):
+        X, y, _ = make_regression(rng)
+        small = RidgeRegression(regularization=1e-8).fit(X, y)
+        large = RidgeRegression(regularization=1e4).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(DataError):
+            RidgeRegression().predict(np.ones((2, 2)))
+
+    def test_negative_regularization_rejected(self):
+        with pytest.raises(DataError):
+            RidgeRegression(regularization=-1.0)
+
+
+class TestAdaSSP:
+    def test_requires_approximate_dp(self):
+        with pytest.raises(DataError):
+            AdaSSPRegressor(PrivacyBudget(1.0, 0.0))
+
+    def test_beats_naive_with_generous_budget(self, rng):
+        X, y, _ = make_regression(rng, n=20_000)
+        model = AdaSSPRegressor(PrivacyBudget(5.0, 1e-6), x_bound=1.5, y_bound=1.0)
+        model.fit(X, y, rng)
+        assert mse(y, model.predict(X)) < 0.5 * float(np.var(y))
+
+    def test_more_data_helps(self):
+        """The Fig. 5a story: DP regression closes the gap as n grows."""
+        errors = []
+        for n in (1000, 8000, 64_000):
+            rng = np.random.default_rng(0)
+            X, y, w = make_regression(rng, n=n, noise=0.05)
+            model = AdaSSPRegressor(PrivacyBudget(1.0, 1e-6), x_bound=1.5, y_bound=1.0)
+            model.fit(X, y, rng)
+            errors.append(float(np.linalg.norm(model.coef_ - w)))
+        assert errors[-1] < errors[0]
+
+    def test_clips_inputs_to_bounds(self, rng):
+        # Wild inputs must not break the privacy invariants (no exceptions,
+        # finite output).
+        X = rng.normal(size=(500, 3)) * 1e3
+        y = rng.normal(size=500) * 1e3
+        model = AdaSSPRegressor(PrivacyBudget(1.0, 1e-6), x_bound=1.0, y_bound=1.0)
+        model.fit(X, y, rng)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_ridge_param_nonnegative(self, rng):
+        X, y, _ = make_regression(rng, n=2000)
+        model = AdaSSPRegressor(PrivacyBudget(0.1, 1e-6), x_bound=1.5, y_bound=1.0)
+        model.fit(X, y, rng)
+        assert model.ridge_ >= 0.0
+
+    def test_tighter_budget_is_less_accurate(self):
+        """Across seeds, eps=0.05 coefficients sit farther from the truth
+        than eps=5 ones (the adaptive ridge shrinks hard at tiny budgets)."""
+        errors = {}
+        for eps in (0.05, 5.0):
+            dists = []
+            for seed in range(8):
+                rng = np.random.default_rng(seed)
+                X, y, w = make_regression(rng, n=2000, noise=0.0)
+                m = AdaSSPRegressor(PrivacyBudget(eps, 1e-6), x_bound=1.5, y_bound=1.0)
+                m.fit(X, y, np.random.default_rng(100 + seed))
+                dists.append(float(np.linalg.norm(m.coef_ - w)))
+            errors[eps] = float(np.mean(dists))
+        assert errors[0.05] > errors[5.0]
+
+    def test_predict_before_fit_raises(self):
+        model = AdaSSPRegressor(PrivacyBudget(1.0, 1e-6))
+        with pytest.raises(DataError):
+            model.predict(np.ones((2, 2)))

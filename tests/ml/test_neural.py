@@ -1,0 +1,136 @@
+"""MLP: gradients (vs finite differences), ghost clipping, heads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.base import per_example_sq_norms
+from repro.ml.neural import MLPModel, relu, sigmoid
+
+
+def finite_difference_grads(model, params, X, y, eps=1e-6):
+    """Central differences of the mean loss for every parameter."""
+    grads = []
+    for arr in params:
+        g = np.zeros_like(arr)
+        it = np.nditer(arr, flags=["multi_index"])
+        for _ in it:
+            idx = it.multi_index
+            old = arr[idx]
+            arr[idx] = old + eps
+            up = float(np.mean(model.per_example_gradients(params, X, y)[0]))
+            arr[idx] = old - eps
+            down = float(np.mean(model.per_example_gradients(params, X, y)[0]))
+            arr[idx] = old
+            g[idx] = (up - down) / (2 * eps)
+        grads.append(g)
+    return grads
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        z = np.linspace(-50, 50, 101)
+        s = sigmoid(z)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + sigmoid(-z), 1.0)
+
+    def test_sigmoid_no_overflow(self):
+        assert np.isfinite(sigmoid(np.array([-1000.0, 1000.0]))).all()
+
+
+class TestConstruction:
+    def test_bad_task(self):
+        with pytest.raises(DataError):
+            MLPModel((4,), task="multiclass")
+
+    def test_bad_hidden(self):
+        with pytest.raises(DataError):
+            MLPModel((0,))
+
+    def test_param_shapes(self, rng):
+        m = MLPModel((8, 4))
+        p = m.init_params(5, rng)
+        shapes = [arr.shape for arr in p]
+        assert shapes == [(5, 8), (8,), (8, 4), (4,), (4, 1), (1,)]
+
+    def test_linear_model_shapes(self, rng):
+        p = MLPModel(()).init_params(3, rng)
+        assert [a.shape for a in p] == [(3, 1), (1,)]
+
+    def test_init_deterministic(self):
+        a = MLPModel((4,)).init_params(3, np.random.default_rng(0))
+        b = MLPModel((4,)).init_params(3, np.random.default_rng(0))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+@pytest.mark.parametrize("hidden,task", [((), "regression"), ((6,), "regression"),
+                                         ((5, 3), "regression"), ((), "binary"),
+                                         ((5, 3), "binary")])
+class TestGradients:
+    def test_mean_gradients_match_finite_differences(self, rng, hidden, task):
+        m = MLPModel(hidden, task=task)
+        X = rng.normal(size=(7, 4))
+        y = (rng.random(7) > 0.5).astype(float) if task == "binary" else rng.normal(size=7)
+        p = m.init_params(4, rng)
+        _, analytic = m.mean_gradients(p, X, y)
+        numeric = finite_difference_grads(m, p, X, y)
+        for a, n in zip(analytic, numeric):
+            assert np.allclose(a, n, atol=1e-7)
+
+    def test_per_example_mean_equals_mean_gradients(self, rng, hidden, task):
+        m = MLPModel(hidden, task=task)
+        X = rng.normal(size=(9, 4))
+        y = (rng.random(9) > 0.5).astype(float) if task == "binary" else rng.normal(size=9)
+        p = m.init_params(4, rng)
+        _, per_ex = m.per_example_gradients(p, X, y)
+        _, mean = m.mean_gradients(p, X, y)
+        for g, gm in zip(per_ex, mean):
+            assert np.allclose(g.mean(axis=0), gm, atol=1e-12)
+
+    def test_ghost_clipping_matches_materialized(self, rng, hidden, task):
+        m = MLPModel(hidden, task=task)
+        X = rng.normal(size=(11, 4))
+        y = (rng.random(11) > 0.5).astype(float) if task == "binary" else rng.normal(size=11)
+        p = m.init_params(4, rng)
+        C = 0.5
+        _, fast = m.clipped_gradient_sums(p, X, y, C)
+        _, grads = m.per_example_gradients(p, X, y)
+        factors = np.minimum(1.0, C / np.sqrt(per_example_sq_norms(grads)))
+        for gf, g in zip(fast, grads):
+            shape = (11,) + (1,) * (g.ndim - 1)
+            assert np.allclose(gf, (g * factors.reshape(shape)).sum(axis=0), atol=1e-10)
+
+
+class TestHeads:
+    def test_binary_predictions_are_probabilities(self, rng):
+        m = MLPModel((4,), task="binary")
+        p = m.init_params(3, rng)
+        out = m.predict_from(p, rng.normal(size=(20, 3)))
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_regression_predictions_unbounded(self, rng):
+        m = MLPModel((), task="regression")
+        p = [np.array([[10.0]]), np.array([0.0])]
+        out = m.predict_from(p, np.array([[5.0]]))
+        assert out[0] == pytest.approx(50.0)
+
+    def test_label_shape_mismatch(self, rng):
+        m = MLPModel(())
+        p = m.init_params(2, rng)
+        with pytest.raises(DataError):
+            m.per_example_gradients(p, np.ones((3, 2)), np.ones(4))
+
+    def test_clipping_caps_norms(self, rng):
+        """Clipped sums never exceed n * C in norm."""
+        m = MLPModel((4,), task="regression")
+        X = rng.normal(size=(13, 3)) * 100  # huge gradients
+        y = rng.normal(size=13) * 100
+        p = m.init_params(3, rng)
+        C = 1.0
+        _, sums = m.clipped_gradient_sums(p, X, y, C)
+        total = np.sqrt(sum(float(np.square(s).sum()) for s in sums))
+        assert total <= 13 * C + 1e-9

@@ -1,0 +1,97 @@
+"""Objective-perturbation DP logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.objective import ObjectivePerturbationLogistic
+
+
+def separable_data(rng, n=6000, d=4):
+    X = rng.normal(size=(n, d)) / np.sqrt(d)
+    w = np.array([2.0, -1.5, 1.0, 0.5])[:d]
+    y = (X @ w + 0.2 * rng.normal(size=n) > 0).astype(float)
+    return X, y
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": 1.0, "regularization": 0.0},
+            {"epsilon": 1.0, "x_bound": 0.0},
+            {"epsilon": 1.0, "iterations": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(DataError):
+            ObjectivePerturbationLogistic(**kwargs)
+
+    def test_pure_dp_budget(self):
+        model = ObjectivePerturbationLogistic(0.5)
+        assert model.budget.epsilon == 0.5
+        assert model.budget.delta == 0.0
+
+
+class TestFit:
+    def test_learns_separable_task(self, rng):
+        X, y = separable_data(rng)
+        model = ObjectivePerturbationLogistic(epsilon=2.0, x_bound=1.5)
+        model.fit(X, y, rng)
+        acc = float(np.mean(model.predict_labels(X) == y))
+        assert acc > 0.85
+
+    def test_probabilities_in_range(self, rng):
+        X, y = separable_data(rng, n=500)
+        model = ObjectivePerturbationLogistic(epsilon=1.0).fit(X, y, rng)
+        probs = model.predict(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_regularization_raised_when_needed(self, rng):
+        """Tiny epsilon on few samples forces the CM lambda floor up."""
+        X, y = separable_data(rng, n=200)
+        model = ObjectivePerturbationLogistic(epsilon=0.05, regularization=1e-6)
+        model.fit(X, y, rng)
+        assert model.effective_regularization_ > 1e-6
+
+    def test_more_budget_more_accurate(self):
+        accs = {}
+        for eps in (0.1, 5.0):
+            scores = []
+            for seed in range(5):
+                rng = np.random.default_rng(seed)
+                X, y = separable_data(rng)
+                m = ObjectivePerturbationLogistic(epsilon=eps, x_bound=1.5)
+                m.fit(X, y, np.random.default_rng(100 + seed))
+                scores.append(float(np.mean(m.predict_labels(X) == y)))
+            accs[eps] = np.mean(scores)
+        assert accs[5.0] >= accs[0.1]
+
+    def test_rejects_nonbinary_labels(self, rng):
+        with pytest.raises(DataError):
+            ObjectivePerturbationLogistic(1.0).fit(
+                np.ones((3, 2)), np.array([0.0, 1.0, 2.0]), rng
+            )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(DataError):
+            ObjectivePerturbationLogistic(1.0).predict(np.ones((2, 2)))
+
+    def test_criteo_beats_majority(self, rng, criteo_batch):
+        """The second DP classifier works on the platform's real featurization.
+
+        Objective perturbation is dimension-sensitive (its noise norm grows
+        with d ~ 250 here), so matching DP-SGD's small-epsilon utility is
+        not expected; with a moderate budget it must clear the majority
+        class, which is the regime the paper's citation [10] targets.
+        """
+        n = 15_000
+        model = ObjectivePerturbationLogistic(
+            epsilon=8.0, x_bound=6.0, regularization=0.01
+        )
+        model.fit(criteo_batch.X[:n], criteo_batch.y[:n], rng)
+        acc = float(
+            np.mean(model.predict_labels(criteo_batch.X[n:]) == criteo_batch.y[n:])
+        )
+        assert acc >= 0.75  # above the 0.743 majority class

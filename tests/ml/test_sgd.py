@@ -1,0 +1,104 @@
+"""Non-private SGD trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.neural import MLPModel
+from repro.ml.sgd import MomentumState, SGDConfig, minibatch_indices, sgd_train
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = SGDConfig()
+        assert cfg.epochs > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"momentum": 1.0},
+            {"momentum": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(DataError):
+            SGDConfig(**kwargs)
+
+    def test_steps_for(self):
+        cfg = SGDConfig(epochs=2, batch_size=100)
+        assert cfg.steps_for(250) == 2 * 3
+        assert cfg.steps_for(50) == 2  # batch capped at n
+
+
+class TestMinibatches:
+    def test_covers_every_index_per_epoch(self, rng):
+        seen = np.concatenate(list(minibatch_indices(103, 10, 1, rng)))
+        assert np.array_equal(np.sort(seen), np.arange(103))
+
+    def test_epoch_count(self, rng):
+        batches = list(minibatch_indices(50, 25, 3, rng))
+        assert len(batches) == 2 * 3
+
+    def test_empty_dataset_raises(self, rng):
+        with pytest.raises(DataError):
+            next(minibatch_indices(0, 10, 1, rng))
+
+
+class TestMomentum:
+    def test_plain_sgd_step(self):
+        state = MomentumState(0.0)
+        params = [np.array([1.0])]
+        state.step(params, [np.array([0.5])], lr=0.1)
+        assert params[0][0] == pytest.approx(0.95)
+
+    def test_momentum_accumulates(self):
+        state = MomentumState(0.9)
+        params = [np.array([0.0])]
+        for _ in range(3):
+            state.step(params, [np.array([1.0])], lr=1.0)
+        # velocities: 1, 1.9, 2.71 -> param: -(1 + 1.9 + 2.71)
+        assert params[0][0] == pytest.approx(-5.61)
+
+
+class TestTraining:
+    def test_linear_regression_convergence(self, rng):
+        w_true = np.array([1.0, -2.0, 0.5])
+        X = rng.normal(size=(4000, 3))
+        y = X @ w_true
+        model = MLPModel(())
+        params, losses = sgd_train(
+            model, X, y, SGDConfig(learning_rate=0.1, epochs=10, batch_size=64), rng
+        )
+        assert losses[-1] < losses[0]
+        assert np.allclose(params[0][:, 0], w_true, atol=0.05)
+
+    def test_binary_classification_learns(self, rng):
+        X = rng.normal(size=(4000, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = MLPModel((), task="binary")
+        params, _ = sgd_train(
+            model, X, y, SGDConfig(learning_rate=0.5, epochs=8, batch_size=128), rng
+        )
+        preds = (model.predict_from(params, X) >= 0.5).astype(float)
+        assert np.mean(preds == y) > 0.95
+
+    def test_loss_history_length(self, rng):
+        X, y = rng.normal(size=(100, 2)), rng.normal(size=100)
+        _, losses = sgd_train(MLPModel(()), X, y, SGDConfig(epochs=4, batch_size=32), rng)
+        assert len(losses) == 4
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(DataError):
+            sgd_train(MLPModel(()), np.ones((5, 2)), np.ones(4), SGDConfig(), rng)
+
+    def test_warm_start_params(self, rng):
+        X, y = rng.normal(size=(200, 2)), rng.normal(size=200)
+        model = MLPModel(())
+        init = model.init_params(2, rng)
+        init_copy = [a.copy() for a in init]
+        params, _ = sgd_train(model, X, y, SGDConfig(epochs=1, batch_size=50), rng, params=init)
+        assert params is init  # trained in place
+        assert not all(np.array_equal(a, b) for a, b in zip(params, init_copy))

@@ -1,0 +1,37 @@
+"""CLI wiring (fast paths only; heavy subcommands smoke-tested in benches)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_args(self):
+        args = build_parser().parse_args(["fig5", "taxi-lr", "--full", "--seeds", "2"])
+        assert args.command == "fig5"
+        assert args.config == "taxi-lr"
+        assert args.full and args.seeds == 2
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "mnist"])
+
+    def test_fig8_rates(self):
+        args = build_parser().parse_args(["fig8", "--rates", "0.1", "0.4"])
+        assert args.rates == [0.1, 0.4]
+
+
+class TestExecution:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "taxi-lr" in out and "Counts x26" in out
+
+    def test_fig8_tiny(self, capsys):
+        assert main(["fig8", "--rates", "0.2", "--horizon", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "block-conserve" in out

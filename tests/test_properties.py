@@ -1,0 +1,131 @@
+"""Cross-cutting hypothesis property tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.accountant import BlockAccountant
+from repro.core.validation.bounds import bernstein_upper_bound
+from repro.data.stream import StreamBatch, TimePartitioner
+from repro.dp.budget import PrivacyBudget
+from repro.dp.sensitivity import clip_rows_l2
+from repro.ml.base import per_example_sq_norms
+from repro.ml.neural import MLPModel
+
+SMALL_FLOATS = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestStreamBatchProperties:
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(2, 30), st.just(3)),
+                   elements=SMALL_FLOATS),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_select_concat_roundtrip(self, X, split_at):
+        n = X.shape[0]
+        split_at = min(split_at, n - 1)
+        batch = StreamBatch(
+            X=X, y=np.zeros(n), timestamps=np.arange(n, dtype=float),
+            user_ids=np.zeros(n, dtype=np.int64),
+        )
+        left = batch.select(np.arange(0, max(1, split_at)))
+        right = batch.select(np.arange(max(1, split_at), n))
+        joined = StreamBatch.concatenate([left, right])
+        assert np.array_equal(joined.X, X)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 200),
+                   elements=st.floats(min_value=0.0, max_value=50.0)),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_partition_is_a_partition(self, timestamps, window):
+        n = timestamps.shape[0]
+        batch = StreamBatch(
+            X=np.zeros((n, 1)), y=np.zeros(n),
+            timestamps=np.sort(timestamps), user_ids=np.zeros(n, dtype=np.int64),
+        )
+        blocks = TimePartitioner(window).partition(batch)
+        assert sum(len(b) for b in blocks) == n
+        keys = [b.key for b in blocks]
+        assert len(keys) == len(set(keys))
+
+
+class TestClippingProperties:
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 20), st.integers(1, 8)),
+                   elements=SMALL_FLOATS),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_l2_clip_is_idempotent(self, rows, max_norm):
+        once = clip_rows_l2(rows, max_norm)
+        twice = clip_rows_l2(once, max_norm)
+        assert np.allclose(once, twice, atol=1e-12)
+
+    @given(st.integers(min_value=1, max_value=16), st.floats(0.05, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_ghost_clipped_sums_norm_bounded(self, n, clip):
+        """||sum of clipped per-example grads|| <= n * C, always."""
+        rng = np.random.default_rng(n)
+        model = MLPModel((5,), task="regression")
+        X = rng.normal(size=(n, 3)) * 10
+        y = rng.normal(size=n) * 10
+        params = model.init_params(3, rng)
+        _, sums = model.clipped_gradient_sums(params, X, y, clip)
+        total = np.sqrt(sum(float(np.square(s).sum()) for s in sums))
+        assert total <= n * clip + 1e-6
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_per_example_norms_match_ghost_factorization(self, n):
+        rng = np.random.default_rng(n)
+        model = MLPModel((4, 3), task="binary")
+        X = rng.normal(size=(n, 5))
+        y = (rng.random(n) > 0.5).astype(float)
+        params = model.init_params(5, rng)
+        _, grads = model.per_example_gradients(params, X, y)
+        direct = per_example_sq_norms(grads)
+        # Recover the same norms through the ghost-clipping path: clip at a
+        # huge bound so factors are 1, then compare sums coordinate-wise.
+        _, sums = model.clipped_gradient_sums(params, X, y, 1e12)
+        for g, s in zip(grads, sums):
+            assert np.allclose(g.sum(axis=0), s, atol=1e-9)
+        assert np.all(direct >= 0)
+
+
+class TestAccountingProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.floats(0.05, 0.6), st.booleans()),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_charges_and_queries_stay_sound(self, ops):
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks(range(4))
+        for key, eps, pair in ops:
+            keys = [key, (key + 1) % 4] if pair else [key]
+            budget = PrivacyBudget(eps, 0.0)
+            if acc.can_charge(keys, budget):
+                acc.charge(keys, budget)
+            # Invariants hold after every operation:
+            bound = acc.stream_loss_bound()
+            assert bound.epsilon <= 1.0 + 1e-9
+            for k in range(4):
+                assert acc.max_epsilon([k], 0.0) >= 0.0
+
+
+class TestBoundMonotonicity:
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=10, max_value=100_000),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    @settings(max_examples=60)
+    def test_bernstein_monotone_in_mean(self, mean, n, eta):
+        low = bernstein_upper_bound(mean, n, eta, 1.0)
+        high = bernstein_upper_bound(mean + 0.1, n, eta, 1.0)
+        assert high >= low

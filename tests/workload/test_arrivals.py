@@ -1,0 +1,87 @@
+"""Arrival processes and the requirement curve."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.workload.arrivals import (
+    GammaArrivals,
+    PowerLawComplexity,
+    requirement_at_epsilon,
+)
+
+
+class TestGammaArrivals:
+    def test_mean_interarrival(self):
+        arrivals = GammaArrivals(rate=0.5)
+        rng = np.random.default_rng(0)
+        draws = [arrivals.sample_interarrival(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.05)
+
+    def test_arrival_times_sorted_and_bounded(self):
+        times = GammaArrivals(0.3).arrival_times(100.0, np.random.default_rng(1))
+        assert np.all(np.diff(times) > 0)
+        assert times.max() < 100.0
+
+    def test_rate_scales_count(self):
+        rng = np.random.default_rng(2)
+        low = GammaArrivals(0.1).arrival_times(2000.0, rng)
+        rng = np.random.default_rng(2)
+        high = GammaArrivals(0.7).arrival_times(2000.0, rng)
+        assert len(high) > 4 * len(low)
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            GammaArrivals(0.0)
+        with pytest.raises(SimulationError):
+            GammaArrivals(1.0, shape=0.0)
+
+
+class TestPowerLawComplexity:
+    def test_bounds_respected(self):
+        sampler = PowerLawComplexity(n_min=1000, n_max=50_000, alpha=1.1)
+        rng = np.random.default_rng(0)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        assert min(draws) >= 1000
+        assert max(draws) <= 50_000
+
+    def test_small_jobs_dominate(self):
+        sampler = PowerLawComplexity(n_min=1000, n_max=1_000_000, alpha=1.1)
+        rng = np.random.default_rng(0)
+        draws = np.array([sampler.sample(rng) for _ in range(5000)])
+        assert np.median(draws) < 5 * 1000  # heavy concentration near n_min
+
+    def test_heavier_alpha_means_lighter_tail(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        light = PowerLawComplexity(1000, 1_000_000, alpha=2.5)
+        heavy = PowerLawComplexity(1000, 1_000_000, alpha=0.8)
+        l = np.mean([light.sample(rng1) for _ in range(3000)])
+        h = np.mean([heavy.sample(rng2) for _ in range(3000)])
+        assert l < h
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            PowerLawComplexity(n_min=0)
+        with pytest.raises(SimulationError):
+            PowerLawComplexity(n_min=100, n_max=50)
+
+
+class TestRequirementCurve:
+    def test_identity_at_eps_one(self):
+        assert requirement_at_epsilon(1000, 1.0) == 1000
+
+    def test_inverse_scaling(self):
+        assert requirement_at_epsilon(1000, 0.5) == pytest.approx(2000)
+        assert requirement_at_epsilon(1000, 0.25) == pytest.approx(4000)
+
+    def test_custom_exponent(self):
+        assert requirement_at_epsilon(1000, 0.25, exchange_exponent=0.5) == pytest.approx(2000)
+
+    def test_zero_exponent_means_no_exchange(self):
+        assert requirement_at_epsilon(1000, 0.01, exchange_exponent=0.0) == 1000
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            requirement_at_epsilon(0, 1.0)
+        with pytest.raises(SimulationError):
+            requirement_at_epsilon(1000, 0.0)

@@ -1,0 +1,57 @@
+"""Count sources and requirement-oracle pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation.outcomes import Outcome
+from repro.dp.budget import PrivacyBudget
+from repro.errors import SimulationError
+from repro.workload.oracle import CountStreamSource, OraclePipeline
+
+
+class TestCountStreamSource:
+    def test_scaled_counts(self):
+        source = CountStreamSource(points_per_hour=16_000, scale=1000)
+        batch = source.generate_interval(0.0, 1.0, np.random.default_rng(0))
+        assert len(batch) == 16
+        assert batch.X.shape == (16, 0)
+
+    def test_timestamps_in_interval(self):
+        source = CountStreamSource(8_000, scale=1000)
+        batch = source.generate_interval(3.0, 2.0, np.random.default_rng(0))
+        assert batch.timestamps.min() >= 3.0
+        assert batch.timestamps.max() < 5.0
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            CountStreamSource(0)
+        with pytest.raises(SimulationError):
+            CountStreamSource(500, scale=1000)  # rate below one unit
+
+
+class TestOraclePipeline:
+    def _batch(self, units):
+        source = CountStreamSource(units * 1000, scale=1000)
+        return source.generate_interval(0.0, 1.0, np.random.default_rng(0))
+
+    def test_accepts_when_requirement_met(self, rng):
+        pipeline = OraclePipeline("p", n_at_eps1=8_000, scale=1000)
+        run = pipeline.run(self._batch(8), PrivacyBudget(1.0, 0.0), rng)
+        assert run.outcome is Outcome.ACCEPT
+
+    def test_retries_when_short(self, rng):
+        pipeline = OraclePipeline("p", n_at_eps1=8_000, scale=1000)
+        run = pipeline.run(self._batch(7), PrivacyBudget(1.0, 0.0), rng)
+        assert run.outcome is Outcome.RETRY
+
+    def test_smaller_epsilon_needs_more_data(self, rng):
+        pipeline = OraclePipeline("p", n_at_eps1=8_000, scale=1000)
+        batch = self._batch(8)
+        assert pipeline.run(batch, PrivacyBudget(1.0, 0.0), rng).outcome is Outcome.ACCEPT
+        assert pipeline.run(batch, PrivacyBudget(0.5, 0.0), rng).outcome is Outcome.RETRY
+
+    def test_details_expose_requirement(self, rng):
+        pipeline = OraclePipeline("p", n_at_eps1=4_000, scale=1000)
+        run = pipeline.run(self._batch(2), PrivacyBudget(0.5, 0.0), rng)
+        assert run.validation.details["needed"] == pytest.approx(8_000)
+        assert run.validation.details["real_points"] == 2_000

@@ -1,0 +1,96 @@
+"""The Fig. 8 workload simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workload.simulator import (
+    STRATEGIES,
+    WorkloadConfig,
+    WorkloadReport,
+    WorkloadSimulator,
+    sweep_arrival_rates,
+)
+
+
+def small_config(strategy, rate=0.2, horizon=60.0):
+    return WorkloadConfig(
+        strategy=strategy,
+        arrival_rate=rate,
+        horizon_hours=horizon,
+        points_per_hour=16_000,
+    )
+
+
+class TestConfig:
+    def test_unknown_strategy(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(strategy="magic")
+
+    def test_bad_horizon(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(horizon_hours=0.0)
+
+
+class TestReports:
+    def test_avg_release_time_includes_censored(self):
+        report = WorkloadReport(
+            strategy="query", arrival_rate=0.1, submitted=2, released=1,
+            release_times=[4.0], censored_times=[20.0],
+        )
+        assert report.avg_release_time == pytest.approx(12.0)
+        assert report.avg_release_time_released_only == pytest.approx(4.0)
+        assert report.release_fraction == 0.5
+
+    def test_empty_report(self):
+        report = WorkloadReport("query", 0.1, 0, 0, [], [])
+        assert report.avg_release_time == 0.0
+        assert report.release_fraction == 1.0
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestStrategiesRun:
+    def test_runs_and_accounts(self, strategy):
+        report = WorkloadSimulator(small_config(strategy), seed=1).run()
+        assert report.submitted > 0
+        assert report.released + len(report.censored_times) == report.submitted
+        assert all(t >= 0 for t in report.release_times)
+
+    def test_deterministic_under_seed(self, strategy):
+        a = WorkloadSimulator(small_config(strategy), seed=5).run()
+        b = WorkloadSimulator(small_config(strategy), seed=5).run()
+        assert a.release_times == b.release_times
+        assert a.submitted == b.submitted
+
+
+class TestShape:
+    """Coarse Fig. 8 shape assertions kept cheap enough for CI."""
+
+    def test_block_beats_streaming_under_load(self):
+        block = WorkloadSimulator(
+            small_config("block-conserve", rate=0.5, horizon=150), seed=2
+        ).run()
+        streaming = WorkloadSimulator(
+            small_config("streaming", rate=0.5, horizon=150), seed=2
+        ).run()
+        assert block.avg_release_time < streaming.avg_release_time
+
+    def test_load_increases_release_time(self):
+        light = WorkloadSimulator(
+            small_config("block-conserve", rate=0.1, horizon=120), seed=3
+        ).run()
+        # Well past the ~0.8/hour sustainable capacity: queueing must show.
+        heavy = WorkloadSimulator(
+            small_config("block-conserve", rate=2.0, horizon=120), seed=3
+        ).run()
+        # Under load, either latency grows or fewer pipelines release.
+        assert (
+            heavy.avg_release_time >= light.avg_release_time
+            or heavy.release_fraction < light.release_fraction
+        )
+
+    def test_sweep_returns_per_rate_reports(self):
+        reports = sweep_arrival_rates(
+            [0.1, 0.2], small_config("streaming"), seed=0
+        )
+        assert set(reports) == {0.1, 0.2}
+        assert all(r.strategy == "streaming" for r in reports.values())
