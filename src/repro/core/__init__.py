@@ -2,7 +2,7 @@
 privacy-adaptive training, and the platform itself."""
 
 from repro.core.access_control import SageAccessControl
-from repro.core.accountant import BlockAccountant, BlockLedger, ChargeRecord
+from repro.core.accountant import BlockAccountant, BlockLedger, ChargeRecord, LedgerStore
 from repro.core.adaptive import (
     AdaptiveConfig,
     AdaptiveSession,
@@ -37,6 +37,7 @@ __all__ = [
     "BlockAccountant",
     "BlockLedger",
     "ChargeRecord",
+    "LedgerStore",
     "SageAccessControl",
     "PrivacyFilter",
     "BasicCompositionFilter",

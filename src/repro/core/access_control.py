@@ -66,6 +66,16 @@ class SageAccessControl:
         for ctx in self._contexts.values():
             ctx.register_block(key)
 
+    def register_blocks(self, keys: Sequence[object]) -> None:
+        """Register a batch of freshly ingested blocks in every ledger set.
+
+        Registered key by key across all ledger sets, so a mid-batch
+        failure (e.g. a duplicate key) leaves the stream and context
+        accountants consistent with each other.
+        """
+        for key in keys:
+            self.register_block(key)
+
     # ------------------------------------------------------------------
     def _check_principal(self, principal: Optional[str]) -> None:
         if self._principals is not None and principal not in self._principals:
@@ -83,9 +93,11 @@ class SageAccessControl:
         self._check_principal(principal)
         keys = self._accountant.usable_blocks(min_budget)
         if context is not None:
-            ctx = self._require_context(context)
-            floor = min_budget or ctx.retirement_budget
-            keys = [k for k in keys if ctx.ledger(k).admits(floor)]
+            ctx = self._require_context(context)  # validate even when empty
+            if keys:
+                floor = min_budget or ctx.retirement_budget
+                admitted = ctx.admits_keys(keys, floor)  # one batched pass
+                keys = [k for k, ok in zip(keys, admitted) if ok]
         return keys
 
     def offer_recent_blocks(

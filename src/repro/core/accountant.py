@@ -11,18 +11,71 @@ privacy loss -- the property that lets Sage run forever.
 A block whose filter no longer admits the configured minimum charge is
 *retired* (the DP-informed retention policy of §3.2): it stays retired for
 good, since privacy loss never decreases.
+
+Struct-of-arrays ledger store
+-----------------------------
+Both composition analyses decide admissibility from four running sums per
+block, so the accountant keeps every block's totals in one contiguous
+float64 matrix (:class:`LedgerStore`) of shape ``(n_blocks, 4)`` with
+columns
+
+====== ==========================================
+column meaning
+====== ==========================================
+0      ``sum eps_i``           (basic composition)
+1      ``sum delta_i``         (basic composition)
+2      ``sum eps_i^2``         (Theorem A.2 variance term)
+3      ``sum (e^{eps_i} - 1) eps_i / 2``  (Theorem A.2 linear term)
+====== ==========================================
+
+plus a parallel boolean *live* mask (False once a block is retired).  Rows
+are in registration order and are never reclaimed; the matrix grows by
+doubling.  Every :class:`BlockLedger` stays the per-block API -- it owns the
+charge history and mirrors its totals into its store row on every commit, so
+the matrix is always in sync no matter whether a charge lands through the
+accountant or directly on a ledger.
+
+Batched-API contract: the accountant evaluates whole-stream scans
+(``usable_blocks``, ``usable_blocks_tail``, ``can_charge``, ``max_epsilon``,
+``retired_blocks``, ``stream_loss_bound``) through a single prototype
+filter's ``admits_batch`` / ``max_epsilon_batch`` over store rows.  This
+assumes the ``filter_factory`` is *homogeneous*: every per-block filter
+built by it must make decisions that depend only on the block's totals (as
+:class:`~repro.core.filters.BasicCompositionFilter` and
+:class:`~repro.core.filters.StrongCompositionFilter` do), not on per-filter
+mutable state.  Custom filter classes that keep the base-class
+``admits_batch`` are assumed to decide from the charge *history* instead;
+the accountant detects them and routes every scan through per-ledger
+scalar ``admits`` so enforcement stays exact (at per-ledger loop speed).
+The detection inspects overrides of ``admits`` / ``admits_batch`` /
+``max_epsilon`` / ``max_epsilon_batch`` only: a subclass that changes
+decisions through a helper those methods call (e.g. ``remaining``) must
+override the decision method (or its batch form) as well, or batched scans
+will not see the change.
 """
 
 from __future__ import annotations
 
+import inspect
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.filters import BasicCompositionFilter, PrivacyFilter
+import numpy as np
+
+from repro.core.filters import (
+    BasicCompositionFilter,
+    PrivacyFilter,
+    StrongCompositionFilter,
+)
 from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
+from repro.dp.composition import rogers_filter_epsilon_from_sums_batch
 from repro.errors import BlockRetiredError, BudgetExceededError, InvalidBudgetError
 
-__all__ = ["BlockLedger", "BlockAccountant", "ChargeRecord"]
+__all__ = ["BlockLedger", "BlockAccountant", "ChargeRecord", "LedgerStore"]
+
+# Column indices of the totals matrix (see module docstring).
+TOT_EPS, TOT_DELTA, TOT_SQ, TOT_LINEAR = range(4)
 
 
 @dataclass(frozen=True)
@@ -34,14 +87,141 @@ class ChargeRecord:
     label: str = ""
 
 
+# Per-class cache: does this filter's loss_bound accept the O(1) ``totals``
+# keyword, or is it a legacy override with the plain (history) signature?
+_LOSS_BOUND_ACCEPTS_TOTALS: Dict[type, bool] = {}
+
+
+def _loss_bound_accepts_totals(filter_obj: PrivacyFilter) -> bool:
+    cls = type(filter_obj)
+    cached = _LOSS_BOUND_ACCEPTS_TOTALS.get(cls)
+    if cached is None:
+        try:
+            params = inspect.signature(cls.loss_bound).parameters
+            cached = "totals" in params or any(
+                p.kind is p.VAR_KEYWORD for p in params.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            cached = False
+        _LOSS_BOUND_ACCEPTS_TOTALS[cls] = cached
+    return cached
+
+
+def _defining_class(cls: type, name: str) -> type:
+    return next(c for c in cls.__mro__ if name in c.__dict__)
+
+
+def _scans_can_vectorize(filter_obj: PrivacyFilter) -> bool:
+    """Whether batched scans are exact for this filter class.
+
+    The base-class ``admits_batch`` sees an empty history, so it is only
+    valid for totals-deciding filters; and an *inherited* concrete
+    ``admits_batch`` must not shadow a subclass's overridden scalar rule
+    (the batch method has to be defined at or below wherever ``admits`` /
+    ``max_epsilon`` were last overridden).
+
+    Only these four decision methods are inspected: a subclass that changes
+    behavior through a *helper* they call (e.g. ``remaining``) without
+    overriding the decision method itself is undetectable here and must
+    override the corresponding batch method too -- see the batched-API
+    contract in the module docstring.
+    """
+    cls = type(filter_obj)
+    batch_owner = _defining_class(cls, "admits_batch")
+    if batch_owner is PrivacyFilter:
+        return False
+    if not issubclass(batch_owner, _defining_class(cls, "admits")):
+        return False
+    max_batch_owner = _defining_class(cls, "max_epsilon_batch")
+    max_owner = _defining_class(cls, "max_epsilon")
+    if max_batch_owner is PrivacyFilter:
+        # The base max_epsilon_batch bisects admits_batch; that is exact
+        # only while the scalar max_epsilon has not been overridden below
+        # the class whose admits_batch the bisection runs against.
+        return issubclass(batch_owner, max_owner)
+    # A concrete batch method must sit at or below the scalar it mirrors.
+    return issubclass(max_batch_owner, max_owner)
+
+
+class LedgerStore:
+    """Contiguous struct-of-arrays running totals for a stream's blocks.
+
+    One row per registered block, in registration order; rows are appended
+    with amortized O(1) doubling growth and never deleted (retirement only
+    clears the live bit -- privacy loss is forever).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        capacity = max(1, int(capacity))
+        self._totals = np.zeros((capacity, 4), dtype=np.float64)
+        self._live = np.zeros(capacity, dtype=bool)
+        self._counts = np.zeros(capacity, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def totals(self) -> np.ndarray:
+        """The (n_blocks, 4) totals matrix.
+
+        A view into the backing buffer: re-read it on each use rather than
+        caching it, since registering a block past the current capacity
+        reallocates the buffer and silently detaches old views.
+        """
+        return self._totals[: self._size]
+
+    @property
+    def live(self) -> np.ndarray:
+        """Boolean mask of blocks not yet retired.
+
+        A writable view with the same caveat as :attr:`totals`: growth
+        reallocates, so never cache it across block registrations.
+        """
+        return self._live[: self._size]
+
+    @property
+    def charge_counts(self) -> np.ndarray:
+        """Number of committed charges per block (view caveat as above)."""
+        return self._counts[: self._size]
+
+    def _grow(self, array: np.ndarray) -> np.ndarray:
+        shape = (2 * array.shape[0],) + array.shape[1:]
+        grown = np.zeros(shape, dtype=array.dtype)
+        grown[: self._size] = array[: self._size]
+        return grown
+
+    def append(self) -> int:
+        """Add a zeroed row for a new block; returns its row index."""
+        if self._size == self._totals.shape[0]:
+            self._totals = self._grow(self._totals)
+            self._live = self._grow(self._live)
+            self._counts = self._grow(self._counts)
+        index = self._size
+        self._totals[index, :] = 0.0
+        self._live[index] = True
+        self._counts[index] = 0
+        self._size += 1
+        return index
+
+    def write_row(self, index: int, totals: Sequence[float], count: int) -> None:
+        self._totals[index, :] = totals
+        self._counts[index] = count
+
+    def retire(self, indices) -> None:
+        self._live[indices] = False
+
+
 @dataclass
 class BlockLedger:
     """Charge history + filter for a single block.
 
     Running totals (epsilon, delta, epsilon^2, and the strong-composition
     linear term) are maintained on every charge so admissibility checks are
-    O(1) instead of O(|history|) -- ledgers sit on the platform's hottest
-    path (every block scan of every session, every hour).
+    O(1) instead of O(|history|).  A ledger registered with a
+    :class:`BlockAccountant` additionally mirrors its totals into the
+    accountant's :class:`LedgerStore` row on every commit, which is what
+    keeps the vectorized block scans exact.
     """
 
     key: object
@@ -49,18 +229,32 @@ class BlockLedger:
     history: List[PrivacyBudget] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        self._store: Optional[LedgerStore] = None
+        self._row = -1
         self._totals = [0.0, 0.0, 0.0, 0.0]  # eps, delta, eps^2, linear
         for budget in self.history:
             self._accumulate(budget)
 
-    def _accumulate(self, budget: PrivacyBudget) -> None:
-        import math
+    def _attach(self, store: LedgerStore, row: int) -> None:
+        """Bind this ledger to its struct-of-arrays row (accountant use)."""
+        self._store = store
+        self._row = row
+        store.write_row(row, self._totals, len(self.history))
 
+    def _accumulate(self, budget: PrivacyBudget) -> None:
         eps = budget.epsilon
-        self._totals[0] += eps
-        self._totals[1] += budget.delta
-        self._totals[2] += eps * eps
-        self._totals[3] += math.expm1(eps) * eps / 2.0
+        totals = self._totals
+        totals[TOT_EPS] += eps
+        totals[TOT_DELTA] += budget.delta
+        totals[TOT_SQ] += eps * eps
+        totals[TOT_LINEAR] += math.expm1(eps) * eps / 2.0
+        if self._store is not None:
+            self._store.write_row(self._row, totals, len(self.history))
+
+    @property
+    def totals(self) -> tuple:
+        """The running (sum eps, sum delta, sum eps^2, sum linear) totals."""
+        return tuple(self._totals)
 
     def record(self, budget: PrivacyBudget) -> None:
         """Append a committed charge, keeping the running totals in sync."""
@@ -84,6 +278,8 @@ class BlockLedger:
 
     def loss_bound(self) -> PrivacyBudget:
         """DP guarantee covering everything charged to this block so far."""
+        if _loss_bound_accepts_totals(self.filter):
+            return self.filter.loss_bound(self.history, totals=tuple(self._totals))
         return self.filter.loss_bound(self.history)
 
     def is_retired(self, min_budget: PrivacyBudget) -> bool:
@@ -101,7 +297,8 @@ class BlockAccountant:
     filter_factory:
         Builds the per-block filter; defaults to basic composition
         (Theorem 4.3).  Pass ``StrongCompositionFilter`` for Theorem A.2
-        accounting.
+        accounting.  Must be homogeneous (see module docstring) for the
+        vectorized scans to be exact.
     retirement_budget:
         Blocks that cannot absorb this charge any more count as retired;
         defaults to (epsilon_global/1000, 0).
@@ -124,6 +321,18 @@ class BlockAccountant:
         )
         self._ledgers: Dict[object, BlockLedger] = {}
         self._charges: List[ChargeRecord] = []
+        # Struct-of-arrays totals + the prototype filter that evaluates the
+        # whole matrix in one pass (all per-block filters share its params).
+        self._store = LedgerStore()
+        self._batch_filter = filter_factory(epsilon_global, delta_global)
+        # A filter whose batch methods are missing or shadowed by scalar
+        # overrides (e.g. it decides from the charge history, or a subclass
+        # tightened admits without re-deriving admits_batch) must scan
+        # through per-ledger scalar admits, or batched scans would silently
+        # admit what the scalar rule refuses.
+        self._vectorized = _scans_can_vectorize(self._batch_filter)
+        self._keys: List[object] = []
+        self._rows: Dict[object, int] = {}
         # Retirement is permanent (privacy loss never decreases), so dead
         # blocks can be pruned from every scan once detected.  This keeps
         # usable_blocks() linear in the number of *live* blocks even when a
@@ -140,7 +349,11 @@ class BlockAccountant:
         ledger = BlockLedger(
             key=key, filter=self._make_filter(self.epsilon_global, self.delta_global)
         )
+        row = self._store.append()
+        ledger._attach(self._store, row)
         self._ledgers[key] = ledger
+        self._keys.append(key)
+        self._rows[key] = row
         return ledger
 
     def register_blocks(self, keys: Sequence[object]) -> None:
@@ -157,16 +370,45 @@ class BlockAccountant:
 
     @property
     def block_keys(self) -> List[object]:
-        return list(self._ledgers)
+        return list(self._keys)
+
+    @property
+    def store(self) -> LedgerStore:
+        """The struct-of-arrays totals store (rows in registration order)."""
+        return self._store
+
+    def _key_rows(self, keys: Sequence[object]) -> np.ndarray:
+        """Store rows for the named keys; rejects unregistered keys."""
+        try:
+            return np.fromiter(
+                (self._rows[k] for k in keys), dtype=np.intp, count=len(keys)
+            )
+        except KeyError as exc:
+            raise InvalidBudgetError(
+                f"block {exc.args[0]!r} was never registered"
+            ) from None
 
     # ------------------------------------------------------------------
     # The AccessControl check (Alg. 4(c) line 8)
     # ------------------------------------------------------------------
+    def admits_keys(self, keys: Sequence[object], budget: PrivacyBudget) -> np.ndarray:
+        """Per-key admit decisions in one batched filter pass."""
+        if not keys:
+            return np.zeros(0, dtype=bool)
+        if not self._vectorized:
+            return np.fromiter(
+                (self.ledger(k).admits(budget) for k in keys),
+                dtype=bool,
+                count=len(keys),
+            )
+        rows = self._key_rows(keys)
+        return self._batch_filter.admits_batch(self._store.totals[rows], budget)
+
     def can_charge(self, keys: Sequence[object], budget: PrivacyBudget) -> bool:
         """True iff every named block admits the charge."""
         if not keys:
             return False
-        return all(self.ledger(k).admits(budget) for k in keys)
+        return bool(self.admits_keys(keys, budget).all())
 
     def charge(
         self, keys: Sequence[object], budget: PrivacyBudget, label: str = ""
@@ -181,11 +423,10 @@ class BlockAccountant:
             raise InvalidBudgetError("a charge must name at least one block")
         if len(set(keys)) != len(keys):
             raise InvalidBudgetError("duplicate block keys in one charge")
-        for key in keys:
-            ledger = self.ledger(key)
-            if ledger.admits(budget):
-                continue
-            if ledger.is_retired(self.retirement_budget):
+        admitted = self.admits_keys(keys, budget)
+        if not admitted.all():
+            key = keys[int(np.argmin(admitted))]  # first refusing block
+            if self._ledgers[key].is_retired(self.retirement_budget):
                 raise BlockRetiredError(f"block {key!r} is retired", block_id=key)
             raise BudgetExceededError(
                 f"block {key!r} cannot absorb {budget}", block_id=key
@@ -197,28 +438,62 @@ class BlockAccountant:
         return record
 
     # ------------------------------------------------------------------
-    # Queries used by the platform / iterators
+    # Queries used by the platform / iterators (vectorized scans)
     # ------------------------------------------------------------------
     def max_epsilon(self, keys: Sequence[object], delta: float = 0.0) -> float:
         """Largest epsilon chargeable to *all* named blocks at once."""
         if not keys:
             return 0.0
-        return min(self.ledger(k).max_epsilon(delta) for k in keys)
+        if not self._vectorized:
+            return min(self.ledger(k).max_epsilon(delta) for k in keys)
+        rows = self._key_rows(keys)
+        return float(
+            self._batch_filter.max_epsilon_batch(self._store.totals[rows], delta)
+        )
+
+    def _live_admit_rows(self, floor: PrivacyBudget) -> np.ndarray:
+        """Rows of live blocks admitting ``floor``, marking newly retired
+        blocks dead along the way -- the shared body of every block scan."""
+        live_rows = np.nonzero(self._store.live)[0]
+        if live_rows.size == 0:
+            return live_rows
+        if not self._vectorized:
+            alive = np.fromiter(
+                (
+                    not self._ledgers[self._keys[i]].is_retired(self.retirement_budget)
+                    for i in live_rows
+                ),
+                dtype=bool,
+                count=live_rows.size,
+            )
+        else:
+            alive = self._batch_filter.admits_batch(
+                self._store.totals[live_rows], self.retirement_budget
+            )
+        if not alive.all():
+            retired_rows = live_rows[~alive]
+            self._store.retire(retired_rows)
+            self._dead.update(self._keys[i] for i in retired_rows)
+            live_rows = live_rows[alive]
+        if floor == self.retirement_budget:
+            return live_rows
+        if not self._vectorized:
+            admitted = np.fromiter(
+                (self._ledgers[self._keys[i]].admits(floor) for i in live_rows),
+                dtype=bool,
+                count=live_rows.size,
+            )
+        else:
+            admitted = self._batch_filter.admits_batch(
+                self._store.totals[live_rows], floor
+            )
+        return live_rows[admitted]
 
     def usable_blocks(self, min_budget: Optional[PrivacyBudget] = None) -> List[object]:
         """Keys of blocks that can still absorb ``min_budget`` (default: the
         retirement threshold), in registration order."""
         floor = min_budget or self.retirement_budget
-        out = []
-        for k, led in self._ledgers.items():
-            if k in self._dead:
-                continue
-            if led.is_retired(self.retirement_budget):
-                self._dead.add(k)
-                continue
-            if led.admits(floor):
-                out.append(k)
-        return out
+        return [self._keys[i] for i in self._live_admit_rows(floor)]
 
     def usable_blocks_tail(
         self,
@@ -226,41 +501,88 @@ class BlockAccountant:
         count: int,
         key_filter=None,
     ) -> List[object]:
-        """The newest ``count`` usable blocks (chronological order), scanning
-        from the tail with early stop -- the hot path of window selection."""
+        """The newest ``count`` usable blocks (chronological order) -- the
+        hot path of window selection.  One vectorized admit pass over live
+        blocks; ``key_filter`` only ever sees blocks that passed it."""
+        if count <= 0:
+            return []
         floor = min_budget or self.retirement_budget
+        if not self._vectorized:
+            # Scalar-filter fallback keeps the seed's early-stopping tail
+            # walk: O(count) ledger evaluations, not O(n_live).
+            out = []
+            live = self._store.live
+            for i in range(len(self._store) - 1, -1, -1):
+                if not live[i]:
+                    continue
+                key = self._keys[i]
+                led = self._ledgers[key]
+                if led.is_retired(self.retirement_budget):
+                    self._store.retire(i)
+                    self._dead.add(key)
+                    continue
+                if not led.admits(floor):
+                    continue
+                if key_filter is not None and not key_filter(key):
+                    continue
+                out.append(key)
+                if len(out) == count:
+                    break
+            out.reverse()
+            return out
+        rows = self._live_admit_rows(floor)
         out: List[object] = []
-        for k in reversed(self._ledgers):  # registration order, newest first
-            if k in self._dead:
+        for i in rows[::-1]:
+            key = self._keys[i]
+            if key_filter is not None and not key_filter(key):
                 continue
-            led = self._ledgers[k]
-            if led.is_retired(self.retirement_budget):
-                self._dead.add(k)
-                continue
-            if not led.admits(floor):
-                continue
-            if key_filter is not None and not key_filter(k):
-                continue
-            out.append(k)
+            out.append(key)
             if len(out) == count:
                 break
         out.reverse()
         return out
 
     def retired_blocks(self) -> List[object]:
-        for k, led in self._ledgers.items():
-            if k not in self._dead and led.is_retired(self.retirement_budget):
-                self._dead.add(k)
-        return [k for k in self._ledgers if k in self._dead]
+        self._live_admit_rows(self.retirement_budget)  # refresh the dead set
+        return [k for k in self._keys if k in self._dead]
 
     def stream_loss_bound(self) -> PrivacyBudget:
-        """The stream-wide guarantee: max over blocks (Theorem 4.2)."""
-        worst = ZERO_BUDGET
+        """The stream-wide guarantee: a bound dominating *every* block
+        (Theorem 4.2), i.e. the component-wise max over block bounds.
+
+        (A lexicographic max would under-report delta whenever the
+        highest-epsilon block is not also the highest-delta one.)
+        """
+        if not self._keys:
+            return ZERO_BUDGET
+        if type(self._batch_filter) is BasicCompositionFilter:
+            # Basic composition's per-block bound is exactly the totals row.
+            totals = self._store.totals
+            eps = float(totals[:, TOT_EPS].max())
+            delta = float(np.minimum(1.0, totals[:, TOT_DELTA]).max())
+            return PrivacyBudget(eps, delta)
+        if type(self._batch_filter) is StrongCompositionFilter:
+            # One vectorized Theorem A.2 pass over the store; blocks with no
+            # charges are excluded (their bound is zero, not the slack).
+            charged = self._store.charge_counts > 0
+            if not charged.any():
+                return ZERO_BUDGET
+            totals = self._store.totals[charged]
+            f = self._batch_filter
+            strong = rogers_filter_epsilon_from_sums_batch(
+                totals[:, TOT_SQ], totals[:, TOT_LINEAR],
+                f.epsilon_global, f.delta_slack,
+            )
+            eps = float(np.minimum(strong, totals[:, TOT_EPS]).max())
+            delta = float(np.minimum(1.0, f.delta_slack + totals[:, TOT_DELTA]).max())
+            return PrivacyBudget(eps, delta)
+        worst_eps = 0.0
+        worst_delta = 0.0
         for led in self._ledgers.values():
             bound = led.loss_bound()
-            if (bound.epsilon, bound.delta) > (worst.epsilon, worst.delta):
-                worst = bound
-        return worst
+            worst_eps = max(worst_eps, bound.epsilon)
+            worst_delta = max(worst_delta, bound.delta)
+        return PrivacyBudget(worst_eps, worst_delta)
 
     @property
     def charges(self) -> List[ChargeRecord]:

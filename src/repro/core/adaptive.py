@@ -153,6 +153,10 @@ class AdaptiveSession:
         A block qualifies when its ledger can absorb the charge AND this
         pipeline's own allocation on it covers the epsilon; blocks reserved
         for other pipelines are skipped rather than vetoing the window.
+
+        Ledger admissibility is decided by the accountant's single batched
+        filter pass over the whole live-block store; the per-key allocation
+        filter below only ever runs on blocks that already passed it.
         """
         if self._epsilon_limit_fn is None:
             key_filter = None

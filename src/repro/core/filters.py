@@ -16,21 +16,74 @@ matching the paper's two composition analyses:
 
 Filters are pure decision logic over a charge history; the ledger/accountant
 layer owns the history itself.
+
+Batched evaluation
+------------------
+Both decision rules reduce to arithmetic on a block's running
+``(sum eps, sum delta, sum eps^2, sum (e^eps - 1) eps / 2)`` totals, so the
+accountant's struct-of-arrays ledger store can evaluate a whole stream's
+blocks in one NumPy pass.  :meth:`PrivacyFilter.admits_batch` takes an
+``(n, 4)`` float64 array of such totals rows and returns a boolean admit
+vector; the contract is that ``admits_batch(totals, c)[i]`` equals
+``admits((), c, totals=tuple(totals[i]))`` decision-for-decision (the
+vectorized arithmetic mirrors the scalar operation order exactly).
+:meth:`PrivacyFilter.max_epsilon_batch` is the batched analogue of
+``max_epsilon`` restricted to the conjunction over rows: the largest epsilon
+every row still admits at the given delta.
+
+The batch contract only holds for filters whose decisions are a pure
+function of the totals row; the accountant detects filters that keep the
+base-class ``admits_batch`` and routes their scans through per-ledger
+scalar ``admits`` (with the real history) instead.
+
+Tolerances: every admissibility comparison carries slack so that charging
+eps_g/k exactly k times is never rejected on the final charge by float
+accumulation drift in the running sums.  The basic filter compares through
+:meth:`PrivacyBudget.fits_within` (absolute 1e-12, relative 1e-9 of the
+global budget), and its ``max_epsilon`` delta-affordability check uses the
+same slack so the two can never disagree; the strong filter uses an
+absolute slack of 1e-12 on epsilon / 1e-15 on delta plus a relative 1e-12
+of the global budget.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 from typing import Sequence
 
-from repro.dp.budget import PrivacyBudget, ZERO_BUDGET, sum_budgets
+import numpy as np
+
+from repro.dp.budget import (
+    PrivacyBudget,
+    ZERO_BUDGET,
+    _ABS_TOL,
+    _REL_TOL,
+    sum_budgets,
+)
 from repro.dp.composition import (
+    DELTA_DRIFT_ABS as _DELTA_DRIFT_ABS,
+    DRIFT_REL as _DRIFT_REL,
+    EPS_DRIFT_ABS as _EPS_DRIFT_ABS,
     rogers_filter_epsilon,
     rogers_filter_epsilon_from_sums as _rogers_from_sums,
+    rogers_filter_epsilon_from_sums_batch as _rogers_from_sums_batch,
 )
 from repro.errors import InvalidBudgetError
 
 __all__ = ["PrivacyFilter", "BasicCompositionFilter", "StrongCompositionFilter"]
+
+
+def _as_totals_matrix(totals) -> np.ndarray:
+    """Coerce ledger totals into the (n, 4) float64 layout batch paths use."""
+    arr = np.asarray(totals, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] != 4:
+        raise InvalidBudgetError(
+            f"totals must be an (n, 4) array of running sums, got shape {arr.shape}"
+        )
+    return arr
 
 
 class PrivacyFilter(abc.ABC):
@@ -62,12 +115,62 @@ class PrivacyFilter(abc.ABC):
         history, making the check O(1).
         """
 
+    def admits_batch(self, totals, candidate: PrivacyBudget) -> np.ndarray:
+        """Vectorized :meth:`admits` over an (n, 4) array of totals rows.
+
+        Subclasses override with a true NumPy pass.  This fallback loops the
+        scalar rule with an *empty history*, so it is only valid for filters
+        that decide from ``totals`` alone; the accountant detects filters
+        that keep this base implementation and uses per-ledger scalar
+        ``admits`` (with the real history) for them instead.
+        """
+        matrix = _as_totals_matrix(totals)
+        return np.fromiter(
+            (self.admits((), candidate, totals=tuple(row)) for row in matrix),
+            dtype=bool,
+            count=matrix.shape[0],
+        )
+
     @abc.abstractmethod
     def max_epsilon(self, history: Sequence[PrivacyBudget], delta: float) -> float:
         """Largest epsilon whose (epsilon, delta) charge would still be admitted."""
 
-    def loss_bound(self, history: Sequence[PrivacyBudget]) -> PrivacyBudget:
-        """A DP guarantee covering everything charged so far (diagnostics)."""
+    def max_epsilon_batch(self, totals, delta: float) -> float:
+        """Largest epsilon that *every* totals row still admits at ``delta``.
+
+        This is the batched form the accountant's multi-block ``max_epsilon``
+        needs (the min over blocks of per-block headroom).  The generic
+        implementation bisects the scalar epsilon against the whole batch;
+        admissibility is monotone decreasing in epsilon, so the joint search
+        converges to the per-block minimum.
+        """
+        matrix = _as_totals_matrix(totals)
+        if matrix.shape[0] == 0:
+            return 0.0
+        if not bool(self.admits_batch(matrix, PrivacyBudget(0.0, delta)).all()):
+            return 0.0
+        lo, hi = 0.0, self.epsilon_global
+        if bool(self.admits_batch(matrix, PrivacyBudget(hi, delta)).all()):
+            return hi
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if bool(self.admits_batch(matrix, PrivacyBudget(mid, delta)).all()):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def loss_bound(
+        self, history: Sequence[PrivacyBudget], totals: tuple = None
+    ) -> PrivacyBudget:
+        """A DP guarantee covering everything charged so far (diagnostics).
+
+        ``totals``, when provided by the ledger, is the precomputed
+        running-sums tuple, making the bound O(1) instead of O(|history|).
+        Overrides must accept (and may ignore) the ``totals`` keyword.
+        """
+        if totals is not None:
+            return PrivacyBudget(totals[0], min(1.0, totals[1]))
         return sum_budgets(history)
 
 
@@ -90,6 +193,16 @@ class BasicCompositionFilter(PrivacyFilter):
         )
         return total.fits_within(self.global_budget)
 
+    def admits_batch(self, totals, candidate: PrivacyBudget) -> np.ndarray:
+        matrix = _as_totals_matrix(totals)
+        # Exactly fits_within's thresholds, computed once in scalar floats so
+        # every row sees the same boundary the scalar path does.
+        eps_thr = self.epsilon_global + _ABS_TOL + _REL_TOL * self.epsilon_global
+        delta_thr = self.delta_global + _ABS_TOL + _REL_TOL * self.delta_global
+        eps_ok = matrix[:, 0] + candidate.epsilon <= eps_thr
+        delta_ok = np.minimum(1.0, matrix[:, 1] + candidate.delta) <= delta_thr
+        return eps_ok & delta_ok
+
     def remaining(self, history: Sequence[PrivacyBudget]) -> PrivacyBudget:
         """Exact leftover budget under basic composition."""
         spent = sum_budgets(history)
@@ -99,11 +212,28 @@ class BasicCompositionFilter(PrivacyFilter):
         delta_left = max(0.0, self.delta_global - spent.delta)
         return PrivacyBudget(eps_left, delta_left)
 
+    def _delta_affordable(self, delta: float, delta_left: float) -> bool:
+        # Same slack as fits_within's delta comparison, so max_epsilon never
+        # reports zero headroom for a delta that admits() would accept.
+        return delta <= delta_left + _ABS_TOL + _REL_TOL * self.delta_global
+
     def max_epsilon(self, history: Sequence[PrivacyBudget], delta: float) -> float:
         left = self.remaining(history)
-        if delta > left.delta + 1e-15:
+        if not self._delta_affordable(delta, left.delta):
             return 0.0
         return left.epsilon
+
+    def max_epsilon_batch(self, totals, delta: float) -> float:
+        matrix = _as_totals_matrix(totals)
+        if matrix.shape[0] == 0:
+            return 0.0
+        spent_ok = self.admits_batch(matrix, ZERO_BUDGET)
+        if not bool(spent_ok.all()):
+            return 0.0
+        delta_left = float(np.min(np.maximum(0.0, self.delta_global - matrix[:, 1])))
+        if not self._delta_affordable(delta, delta_left):
+            return 0.0
+        return float(np.min(np.maximum(0.0, self.epsilon_global - matrix[:, 0])))
 
 
 class StrongCompositionFilter(PrivacyFilter):
@@ -139,6 +269,14 @@ class StrongCompositionFilter(PrivacyFilter):
         if delta_slack > delta_global:
             raise InvalidBudgetError("delta_slack cannot exceed delta_global")
         self.delta_slack = delta_slack
+        # Admission thresholds, precomputed once so the scalar and batched
+        # paths compare against bit-identical boundaries.
+        self._eps_threshold = (
+            self.epsilon_global + _EPS_DRIFT_ABS + _DRIFT_REL * self.epsilon_global
+        )
+        self._delta_threshold = (
+            self.delta_global + _DELTA_DRIFT_ABS + _DRIFT_REL * self.delta_global
+        )
 
     def admits(
         self,
@@ -146,8 +284,6 @@ class StrongCompositionFilter(PrivacyFilter):
         candidate: PrivacyBudget,
         totals: tuple = None,
     ) -> bool:
-        import math
-
         if totals is not None:
             eps_sum, delta_sum, sq_sum, linear_sum = totals
         else:
@@ -163,11 +299,23 @@ class StrongCompositionFilter(PrivacyFilter):
             self.delta_slack,
         )
         basic_value = eps_sum + ce
-        eps_ok = min(strong_value, basic_value) <= self.epsilon_global + 1e-12
-        delta_ok = (
-            self.delta_slack + delta_sum + candidate.delta <= self.delta_global + 1e-15
-        )
+        eps_ok = min(strong_value, basic_value) <= self._eps_threshold
+        delta_ok = self.delta_slack + delta_sum + candidate.delta <= self._delta_threshold
         return eps_ok and delta_ok
+
+    def admits_batch(self, totals, candidate: PrivacyBudget) -> np.ndarray:
+        matrix = _as_totals_matrix(totals)
+        ce = candidate.epsilon
+        strong_value = _rogers_from_sums_batch(
+            matrix[:, 2] + ce * ce,
+            matrix[:, 3] + math.expm1(ce) * ce / 2.0,
+            self.epsilon_global,
+            self.delta_slack,
+        )
+        basic_value = matrix[:, 0] + ce
+        eps_ok = np.minimum(strong_value, basic_value) <= self._eps_threshold
+        delta_ok = self.delta_slack + matrix[:, 1] + candidate.delta <= self._delta_threshold
+        return eps_ok & delta_ok
 
     def max_epsilon(self, history: Sequence[PrivacyBudget], delta: float) -> float:
         if not self.admits(history, PrivacyBudget(0.0, delta)):
@@ -183,9 +331,19 @@ class StrongCompositionFilter(PrivacyFilter):
                 hi = mid
         return lo
 
-    def loss_bound(self, history: Sequence[PrivacyBudget]) -> PrivacyBudget:
+    def loss_bound(
+        self, history: Sequence[PrivacyBudget], totals: tuple = None
+    ) -> PrivacyBudget:
         if not history:
             return ZERO_BUDGET
+        if totals is not None:
+            eps_sum, delta_sum, sq_sum, linear_sum = totals
+            strong = _rogers_from_sums(
+                sq_sum, linear_sum, self.epsilon_global, self.delta_slack
+            )
+            return PrivacyBudget(
+                min(strong, eps_sum), min(1.0, self.delta_slack + delta_sum)
+            )
         strong = rogers_filter_epsilon(
             [b.epsilon for b in history], self.epsilon_global, self.delta_slack
         )

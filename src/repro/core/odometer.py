@@ -25,7 +25,9 @@ from __future__ import annotations
 import math
 from typing import Dict, Sequence
 
-from repro.core.accountant import BlockAccountant
+import numpy as np
+
+from repro.core.accountant import TOT_DELTA, TOT_EPS, BlockAccountant
 from repro.dp.budget import PrivacyBudget
 from repro.dp.composition import rogers_filter_epsilon_from_sums
 from repro.errors import InvalidBudgetError
@@ -94,6 +96,17 @@ class StrongOdometer:
         for budget in budgets:
             self.record(budget)
 
+    def load_totals(
+        self, sum_eps: float, sum_delta: float, sum_sq: float, linear: float
+    ) -> "StrongOdometer":
+        """Absorb a ledger's precomputed running sums in O(1) (equivalent to
+        replaying its whole history through :meth:`record`)."""
+        self._sum_eps += sum_eps
+        self._sum_delta = min(1.0, self._sum_delta + sum_delta)
+        self._sum_sq += sum_sq
+        self._linear += linear
+        return self
+
     def _level_for(self, epsilon: float) -> int:
         """Smallest doubling level whose envelope covers ``epsilon``."""
         level = 0
@@ -104,18 +117,34 @@ class StrongOdometer:
         return level
 
     @property
+    def saturated(self) -> bool:
+        """True once the realized spend exceeds the top doubling envelope.
+
+        Past that point no level's Theorem A.2 bound covers the spend, so
+        :attr:`loss` falls back to exact basic composition.
+        """
+        return self._sum_eps > self.epsilon_unit * (2.0 ** self.max_levels)
+
+    @property
     def loss(self) -> PrivacyBudget:
         """Current high-probability loss bound (valid at any stopping time)."""
         if self._sum_eps == 0.0:
             return PrivacyBudget(0.0, 0.0)
         level = self._level_for(self._sum_eps)
-        envelope = self.epsilon_unit * (2.0 ** level)
-        eps_bound = rogers_filter_epsilon_from_sums(
-            self._sum_sq, self._linear, envelope, self.delta_slack_per_level
-        )
         # Each level up to the active one spends its slack once.
         delta_bound = min(
             1.0, self._sum_delta + (level + 1) * self.delta_slack_per_level
+        )
+        if self.saturated:
+            # The realized spend escaped every envelope (_level_for
+            # saturates): Theorem A.2 evaluated at the top envelope would be
+            # an *invalid* bound (it can claim less loss than was provably
+            # spent).  Fall back to exact basic composition, which needs no
+            # envelope.
+            return PrivacyBudget(self._sum_eps, delta_bound)
+        envelope = self.epsilon_unit * (2.0 ** level)
+        eps_bound = rogers_filter_epsilon_from_sums(
+            self._sum_sq, self._linear, envelope, self.delta_slack_per_level
         )
         # The odometer is a bound: never report less than basic composition
         # would (tiny histories make the strong bound's constant dominate,
@@ -133,12 +162,22 @@ def loss_dashboard(
 ) -> Dict[object, PrivacyBudget]:
     """Per-block current loss bounds for an operator dashboard.
 
-    Reads the live ledgers; does not interfere with enforcement.
+    Reads the ledgers' precomputed running totals (O(1) per block rather
+    than replaying every charge); does not interfere with enforcement.  The
+    basic variant is a single vectorized pass over the accountant's
+    struct-of-arrays store.
     """
+    keys = accountant.block_keys
+    if not strong:
+        totals = accountant.store.totals
+        eps = totals[:, TOT_EPS]
+        delta = np.minimum(1.0, totals[:, TOT_DELTA])
+        return {
+            key: PrivacyBudget(float(e), float(d))
+            for key, e, d in zip(keys, eps, delta)
+        }
     dashboard: Dict[object, PrivacyBudget] = {}
-    for key in accountant.block_keys:
-        ledger = accountant.ledger(key)
-        odometer = StrongOdometer() if strong else BasicOdometer()
-        odometer.record_all(ledger.history)
+    for key in keys:
+        odometer = StrongOdometer().load_totals(*accountant.ledger(key).totals)
         dashboard[key] = odometer.loss
     return dashboard

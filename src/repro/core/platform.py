@@ -191,8 +191,11 @@ class Sage:
         Returns the bundles released during this step.
         """
         new_blocks = self.ingestor.advance(hours)
+        # Register the hour's blocks in every ledger set (stream-wide and
+        # per-context); the access layer interleaves sets per key so a
+        # failure cannot leave them inconsistent.
+        self.access.register_blocks([block.key for block in new_blocks])
         for block in new_blocks:
-            self.access.register_block(block.key)
             self._allocate_block(block.key)
         self._grant_free_pool()
 

@@ -13,6 +13,8 @@ from repro.dp.composition import (
     optimal_composition_homogeneous,
     rogers_filter_admits,
     rogers_filter_epsilon,
+    rogers_filter_epsilon_from_sums,
+    rogers_filter_epsilon_from_sums_batch,
     strong_composition_heterogeneous,
 )
 from repro.dp.mechanisms import (
@@ -69,6 +71,8 @@ __all__ = [
     "optimal_composition_homogeneous",
     "rogers_filter_epsilon",
     "rogers_filter_admits",
+    "rogers_filter_epsilon_from_sums",
+    "rogers_filter_epsilon_from_sums_batch",
     "LaplaceMechanism",
     "GaussianMechanism",
     "laplace_noise",

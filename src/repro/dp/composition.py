@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.dp.budget import PrivacyBudget, sum_budgets
 from repro.errors import InvalidBudgetError
 
@@ -33,12 +35,21 @@ __all__ = [
     "optimal_composition_homogeneous",
     "rogers_filter_epsilon",
     "rogers_filter_epsilon_from_sums",
+    "rogers_filter_epsilon_from_sums_batch",
     "rogers_filter_admits",
 ]
 
 # Constant from Rogers et al. (NeurIPS 2016), Theorem 5.1, as used verbatim in
 # the paper's Theorem A.2.
 _ROGERS_CONSTANT = 28.04
+
+# Shared drift slack for admissibility comparisons (absolute floor plus a
+# relative share of the global budget), so a budget split k ways always
+# recomposes within tolerance.  repro.core.filters imports these so the
+# per-block filters and rogers_filter_admits agree at the boundary.
+EPS_DRIFT_ABS = 1e-12
+DELTA_DRIFT_ABS = 1e-15
+DRIFT_REL = 1e-12
 
 
 def basic_composition(budgets: Iterable[PrivacyBudget]) -> PrivacyBudget:
@@ -154,10 +165,39 @@ def rogers_filter_epsilon_from_sums(
         return 0.0
     log_term = math.log(1.0 / delta_slack)
     inflation = epsilon_global ** 2 / (_ROGERS_CONSTANT * log_term)
-    inner_log = 1.0 + 0.5 * math.log(
-        _ROGERS_CONSTANT * log_term * sum_sq / epsilon_global ** 2 + 1.0
+    # np.log, not math.log: libm's and NumPy's log can disagree in the last
+    # ulp, and this scalar form must be bit-identical to the batched one so
+    # per-ledger and whole-store scans reach the same admit/deny boundary
+    # (sqrt is correctly rounded by IEEE 754, so it needs no such care).
+    inner_log = 1.0 + 0.5 * float(
+        np.log(_ROGERS_CONSTANT * log_term * sum_sq / epsilon_global ** 2 + 1.0)
     )
     return linear + math.sqrt(2.0 * (sum_sq + inflation) * inner_log * log_term)
+
+
+def rogers_filter_epsilon_from_sums_batch(
+    sum_sq: np.ndarray, linear: np.ndarray, epsilon_global: float, delta_slack: float
+) -> np.ndarray:
+    """Vectorized :func:`rogers_filter_epsilon_from_sums` over aligned arrays.
+
+    Operation order mirrors the scalar form exactly so batched filter scans
+    reach the same admit/deny boundary as per-ledger evaluation.
+    """
+    if epsilon_global <= 0:
+        raise InvalidBudgetError(f"epsilon_global must be > 0, got {epsilon_global}")
+    if not 0 < delta_slack < 1:
+        raise InvalidBudgetError(f"delta_slack must be in (0, 1), got {delta_slack}")
+    sum_sq = np.asarray(sum_sq, dtype=np.float64)
+    linear = np.asarray(linear, dtype=np.float64)
+    if (sum_sq < 0).any() or (linear < 0).any():
+        raise InvalidBudgetError("sums must be non-negative")
+    log_term = math.log(1.0 / delta_slack)
+    inflation = epsilon_global ** 2 / (_ROGERS_CONSTANT * log_term)
+    inner_log = 1.0 + 0.5 * np.log(
+        _ROGERS_CONSTANT * log_term * sum_sq / epsilon_global ** 2 + 1.0
+    )
+    value = linear + np.sqrt(2.0 * (sum_sq + inflation) * inner_log * log_term)
+    return np.where(sum_sq == 0.0, 0.0, value)
 
 
 def rogers_filter_admits(
@@ -176,7 +216,10 @@ def rogers_filter_admits(
         raise InvalidBudgetError("epsilons and deltas must have equal length")
     eps_ok = (
         rogers_filter_epsilon(epsilons, epsilon_global, delta_slack)
-        <= epsilon_global + 1e-12
+        <= epsilon_global + EPS_DRIFT_ABS + DRIFT_REL * epsilon_global
     )
-    delta_ok = delta_slack + sum(deltas) <= delta_global + 1e-15
+    delta_ok = (
+        delta_slack + sum(deltas)
+        <= delta_global + DELTA_DRIFT_ABS + DRIFT_REL * delta_global
+    )
     return eps_ok and delta_ok

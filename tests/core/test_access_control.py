@@ -81,6 +81,11 @@ class TestContexts:
         with pytest.raises(AccessDeniedError):
             access.request([0], PrivacyBudget(0.1), context="nope")
 
+    def test_unknown_context_rejected_even_with_no_usable_blocks(self):
+        ac = SageAccessControl(1.0, 1e-6)  # no blocks registered at all
+        with pytest.raises(AccessDeniedError):
+            ac.offer_blocks(context="nope")
+
     def test_duplicate_context_rejected(self, access):
         access.add_context("dev-a", 0.5, 1e-6)
         with pytest.raises(AccessDeniedError):
@@ -89,3 +94,35 @@ class TestContexts:
     def test_max_epsilon_respects_context(self, access):
         access.add_context("dev-a", 0.25, 1e-6)
         assert access.max_epsilon([0], 0.0, context="dev-a") == pytest.approx(0.25)
+
+    def test_batch_registration_reaches_every_ledger_set(self, access):
+        access.add_context("dev-a", 0.5, 1e-6)
+        access.register_blocks([10, 11, 12])
+        assert access.offer_blocks() == [0, 1, 2, 10, 11, 12]
+        access.request([10, 11], PrivacyBudget(0.2, 0.0), context="dev-a")
+        assert access.max_epsilon([10], 0.0, context="dev-a") == pytest.approx(0.3)
+
+    def test_failed_batch_registration_keeps_ledger_sets_consistent(self, access):
+        """A mid-batch duplicate must not leave blocks registered in the
+        stream accountant but missing from the contexts."""
+        from repro.errors import InvalidBudgetError
+
+        access.add_context("dev-a", 0.5, 1e-6)
+        with pytest.raises(InvalidBudgetError):
+            access.register_blocks([10, 11, 11])
+        offered = access.offer_blocks(context="dev-a")  # must not crash
+        assert offered == [0, 1, 2, 10, 11]
+
+    def test_context_offer_uses_batched_filter(self, access):
+        """The context filter in offer_blocks is one batched admit pass and
+        must agree with per-ledger scalar decisions."""
+        access.add_context("dev-a", 0.5, 1e-6)
+        access.request([0], PrivacyBudget(0.45, 0.0), context="dev-a")
+        floor = PrivacyBudget(0.1, 0.0)
+        offered = access.offer_blocks(min_budget=floor, context="dev-a")
+        ctx = access._require_context("dev-a")
+        expected = [
+            k for k in access.offer_blocks(min_budget=floor)
+            if ctx.ledger(k).admits(floor)
+        ]
+        assert offered == expected == [1, 2]

@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.accountant import BlockAccountant
-from repro.core.filters import StrongCompositionFilter
+from repro.core.accountant import TOT_DELTA, TOT_EPS, BlockAccountant, BlockLedger
+from repro.core.filters import (
+    BasicCompositionFilter,
+    PrivacyFilter,
+    StrongCompositionFilter,
+)
 from repro.dp.budget import PrivacyBudget
 from repro.errors import BlockRetiredError, BudgetExceededError, InvalidBudgetError
 
@@ -123,6 +127,46 @@ class TestStreamBound:
         bound = acc.stream_loss_bound()
         assert bound.epsilon <= 1.0 + 1e-9
 
+    def test_bound_dominates_every_block_componentwise(self, accountant):
+        """Regression: Thm 4.2 needs a bound dominating every block in BOTH
+        components.  A lexicographic (eps, delta) max reported delta=0 here
+        because the worst-epsilon block carries no delta."""
+        accountant.charge([0], PrivacyBudget(0.5, 0.0))
+        accountant.charge([1], PrivacyBudget(0.4, 5e-7))
+        bound = accountant.stream_loss_bound()
+        assert bound.epsilon == pytest.approx(0.5)
+        assert bound.delta == pytest.approx(5e-7)
+
+    def test_componentwise_bound_under_strong_filter(self):
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=StrongCompositionFilter)
+        acc.register_blocks([0, 1])
+        acc.charge([0], PrivacyBudget(0.3, 0.0))
+        acc.charge([1], PrivacyBudget(0.1, 4e-7))
+        bound = acc.stream_loss_bound()
+        per_block = [acc.ledger(k).loss_bound() for k in (0, 1)]
+        assert bound.epsilon >= max(b.epsilon for b in per_block) - 1e-12
+        assert bound.delta >= max(b.delta for b in per_block) - 1e-18
+
+    def test_strong_stream_bound_matches_per_ledger_loop(self):
+        """The vectorized Theorem A.2 stream bound must equal the
+        component-wise max of per-ledger loss bounds, and uncharged blocks
+        must contribute zero (not the filter's delta slack)."""
+        rng = np.random.default_rng(5)
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=StrongCompositionFilter)
+        acc.register_blocks(range(20))  # blocks 15-19 never charged
+        for _ in range(60):
+            keys = [int(k) for k in rng.choice(15, size=2, replace=False)]
+            budget = PrivacyBudget(float(rng.uniform(0.005, 0.05)), 1e-9)
+            if acc.can_charge(keys, budget):
+                acc.charge(keys, budget)
+        bound = acc.stream_loss_bound()
+        bounds = [acc.ledger(k).loss_bound() for k in range(20)]
+        assert bound.epsilon == pytest.approx(max(b.epsilon for b in bounds), abs=1e-15)
+        assert bound.delta == pytest.approx(max(b.delta for b in bounds), abs=1e-18)
+        empty = BlockAccountant(1.0, 1e-6, filter_factory=StrongCompositionFilter)
+        empty.register_blocks([0])
+        assert empty.stream_loss_bound().is_zero
+
 
 class TestTailScan:
     def test_tail_returns_newest_first_in_chrono_order(self, accountant):
@@ -144,6 +188,10 @@ class TestTailScan:
         tail = accountant.usable_blocks_tail(PrivacyBudget(0.1, 0.0), 99)
         assert tail == [0, 1, 2, 3]
 
+    def test_tail_zero_count_is_empty(self, accountant):
+        assert accountant.usable_blocks_tail(PrivacyBudget(0.1, 0.0), 0) == []
+        assert accountant.usable_blocks_tail(None, -1) == []
+
     def test_ledger_totals_cache_matches_slow_path(self, accountant):
         """The O(1) admits path must agree with a fresh recomputation."""
         from repro.core.filters import BasicCompositionFilter
@@ -154,6 +202,183 @@ class TestTailScan:
         fresh = BasicCompositionFilter(1.0, 1e-6)
         for candidate in (PrivacyBudget(0.39, 0.0), PrivacyBudget(0.41, 0.0)):
             assert ledger.admits(candidate) == fresh.admits(ledger.history, candidate)
+
+
+class TestLedgerStore:
+    """The struct-of-arrays store must mirror every ledger mutation."""
+
+    def test_rows_track_charges(self, accountant):
+        accountant.charge([1, 3], PrivacyBudget(0.2, 1e-8))
+        totals = accountant.store.totals
+        assert totals.shape == (4, 4)
+        assert totals[1, TOT_EPS] == pytest.approx(0.2)
+        assert totals[3, TOT_DELTA] == pytest.approx(1e-8)
+        assert totals[0, TOT_EPS] == 0.0
+
+    def test_direct_ledger_charge_stays_in_sync(self, accountant):
+        """Charges landing on a ledger (not through the accountant) must
+        still be visible to the vectorized scans."""
+        accountant.ledger(2).charge(PrivacyBudget(0.97, 0.0))
+        assert 2 not in accountant.usable_blocks(PrivacyBudget(0.1, 0.0))
+        assert accountant.store.totals[2, TOT_EPS] == pytest.approx(0.97)
+
+    def test_store_grows_past_initial_capacity(self):
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks(range(200))
+        acc.charge([150], PrivacyBudget(0.4, 0.0))
+        assert len(acc.store) == 200
+        assert acc.store.totals[150, TOT_EPS] == pytest.approx(0.4)
+        assert acc.store.live.all()
+
+    def test_retired_rows_leave_live_mask(self, accountant):
+        accountant.charge([0], PrivacyBudget(1.0, 1e-6))
+        accountant.usable_blocks()
+        assert not accountant.store.live[0]
+        assert accountant.store.live[1:].all()
+
+    def test_accumulate_does_not_import_per_charge(self):
+        """Regression: `import math` used to run inside _accumulate on every
+        committed charge of every block (a per-charge local import)."""
+        assert "math" not in BlockLedger._accumulate.__code__.co_varnames
+
+
+class TestBatchedScansMatchScalar:
+    """The vectorized paths must reproduce per-ledger decisions exactly."""
+
+    @pytest.mark.parametrize(
+        "factory", [BasicCompositionFilter, StrongCompositionFilter]
+    )
+    def test_randomized_histories(self, factory):
+        rng = np.random.default_rng(7)
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=factory)
+        acc.register_blocks(range(30))
+        for _ in range(400):
+            keys = [int(k) for k in rng.choice(30, size=rng.integers(1, 5), replace=False)]
+            budget = PrivacyBudget(float(rng.uniform(0.005, 0.3)), 0.0)
+            batched = acc.can_charge(keys, budget)
+            scalar = all(acc.ledger(k).admits(budget) for k in keys)
+            assert batched == scalar
+            if batched:
+                acc.charge(keys, budget)
+        probe = PrivacyBudget(0.05, 0.0)
+        batched_mask = list(acc.admits_keys(acc.block_keys, probe))
+        scalar_mask = [acc.ledger(k).admits(probe) for k in acc.block_keys]
+        assert batched_mask == scalar_mask
+
+    def test_usable_blocks_matches_per_ledger_loop(self):
+        rng = np.random.default_rng(11)
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks(range(50))
+        for key in range(50):
+            spend = float(rng.uniform(0.0, 1.0))
+            if spend > 0.0:
+                acc.ledger(key).record(PrivacyBudget(spend, 0.0))
+        floor = PrivacyBudget(0.25, 0.0)
+        expected = [
+            k
+            for k in range(50)
+            if not acc.ledger(k).is_retired(acc.retirement_budget)
+            and acc.ledger(k).admits(floor)
+        ]
+        assert acc.usable_blocks(floor) == expected
+
+    def test_history_based_custom_filter_still_enforced(self):
+        """A custom filter that keeps the base-class admits_batch decides
+        from the real charge history: batched scans must not hand it an
+        empty history (which would silently admit everything)."""
+
+        class AtMostThreeCharges(PrivacyFilter):
+            def admits(self, history, candidate, totals=None):
+                return len(history) < 3
+
+            def max_epsilon(self, history, delta):
+                return self.epsilon_global if len(history) < 3 else 0.0
+
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=AtMostThreeCharges)
+        acc.register_blocks([0, 1])
+        for _ in range(3):
+            acc.charge([0], PrivacyBudget(0.01, 0.0))
+        assert not acc.can_charge([0], PrivacyBudget(0.01, 0.0))
+        assert acc.can_charge([1], PrivacyBudget(0.01, 0.0))
+        assert acc.usable_blocks() == [1]
+        assert acc.retired_blocks() == [0]
+        assert acc.max_epsilon([0]) == 0.0
+        with pytest.raises(BlockRetiredError):
+            acc.charge([0], PrivacyBudget(0.01, 0.0))
+
+    def test_subclass_overriding_admits_only_still_enforced(self):
+        """A subclass that tightens the scalar admits rule but inherits a
+        concrete admits_batch must not be scanned through the inherited
+        batch path (it would silently admit what the override refuses)."""
+
+        class AtMostTwoCharges(BasicCompositionFilter):
+            def admits(self, history, candidate, totals=None):
+                return len(history) < 2 and super().admits(
+                    history, candidate, totals=totals
+                )
+
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=AtMostTwoCharges)
+        acc.register_blocks([0, 1])
+        acc.charge([0], PrivacyBudget(0.1, 0.0))
+        acc.charge([0], PrivacyBudget(0.1, 0.0))
+        assert not acc.can_charge([0], PrivacyBudget(0.1, 0.0))
+        with pytest.raises(BlockRetiredError):
+            acc.charge([0], PrivacyBudget(0.1, 0.0))
+        assert acc.usable_blocks() == [1]
+
+    def test_subclass_overriding_max_epsilon_only_still_enforced(self):
+        """Tightening only the scalar max_epsilon must force the scalar
+        scan path too -- the base batch bisection would ignore the cap."""
+
+        class CappedMax(StrongCompositionFilter):
+            def max_epsilon(self, history, delta):
+                return min(0.05, super().max_epsilon(history, delta))
+
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=CappedMax)
+        acc.register_blocks([0])
+        assert acc.max_epsilon([0]) == pytest.approx(0.05)
+        assert acc.max_epsilon([0]) == acc.ledger(0).max_epsilon(0.0)
+
+    def test_legacy_loss_bound_signature_supported(self):
+        """Custom filters overriding loss_bound with the pre-refactor
+        (self, history) signature must keep working (no totals kwarg)."""
+
+        class LegacyFilter(BasicCompositionFilter):
+            def loss_bound(self, history):
+                return PrivacyBudget(2.0 * sum(b.epsilon for b in history), 0.0)
+
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=LegacyFilter)
+        acc.register_blocks([0])
+        acc.charge([0], PrivacyBudget(0.2, 0.0))
+        assert acc.ledger(0).loss_bound().epsilon == pytest.approx(0.4)
+        assert acc.stream_loss_bound().epsilon == pytest.approx(0.4)
+
+    def test_custom_filter_tail_scan(self):
+        class AtMostOne(PrivacyFilter):
+            def admits(self, history, candidate, totals=None):
+                return len(history) < 1
+
+            def max_epsilon(self, history, delta):
+                return self.epsilon_global if not history else 0.0
+
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=AtMostOne)
+        acc.register_blocks(range(6))
+        acc.charge([4, 5], PrivacyBudget(0.1, 0.0))
+        tail = acc.usable_blocks_tail(PrivacyBudget(0.1, 0.0), 3)
+        assert tail == [1, 2, 3]
+        assert acc.usable_blocks_tail(
+            PrivacyBudget(0.1, 0.0), 2, key_filter=lambda k: k % 2 == 0
+        ) == [0, 2]
+
+    def test_max_epsilon_matches_scalar_min(self):
+        for factory in (BasicCompositionFilter, StrongCompositionFilter):
+            acc = BlockAccountant(1.0, 1e-6, filter_factory=factory)
+            acc.register_blocks(range(5))
+            acc.charge([0, 2], PrivacyBudget(0.3, 0.0))
+            acc.charge([2, 4], PrivacyBudget(0.2, 0.0))
+            keys = [0, 2, 4]
+            scalar = min(acc.ledger(k).max_epsilon(0.0) for k in keys)
+            assert acc.max_epsilon(keys, 0.0) == pytest.approx(scalar, abs=1e-9)
 
 
 @given(

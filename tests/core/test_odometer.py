@@ -63,6 +63,41 @@ class TestStrongOdometer:
             odo.record(PrivacyBudget(0.05, 1e-9))
         assert odo.loss.delta >= 100 * 1e-9  # query deltas plus slack
 
+    def test_saturated_envelope_falls_back_to_basic(self):
+        """Regression: driving the spend past the top doubling envelope
+        (epsilon_unit * 2^max_levels) used to keep evaluating Thm A.2 at the
+        saturated envelope, reporting a bound BELOW the provable basic loss
+        -- an invalid high-probability claim."""
+        odo = StrongOdometer(epsilon_unit=1.0 / 16.0, max_levels=2)  # top = 0.25
+        for _ in range(2000):
+            odo.record(PrivacyBudget(0.002, 0.0))
+        assert odo.basic_loss.epsilon == pytest.approx(4.0)
+        assert odo.saturated
+        # The only valid bound without an envelope is exact basic composition.
+        assert odo.loss.epsilon == pytest.approx(odo.basic_loss.epsilon)
+
+    def test_not_saturated_within_envelope(self):
+        odo = StrongOdometer(epsilon_unit=1.0 / 16.0, max_levels=10)
+        for _ in range(50):
+            odo.record(PrivacyBudget(0.02, 0.0))
+        assert not odo.saturated
+        assert odo.loss.epsilon <= odo.basic_loss.epsilon + 1e-12
+
+    def test_load_totals_equals_replay(self):
+        budgets = [PrivacyBudget(0.03, 1e-9)] * 40
+        replayed = StrongOdometer()
+        replayed.record_all(budgets)
+        import math
+
+        loaded = StrongOdometer().load_totals(
+            sum(b.epsilon for b in budgets),
+            sum(b.delta for b in budgets),
+            sum(b.epsilon ** 2 for b in budgets),
+            sum(math.expm1(b.epsilon) * b.epsilon / 2.0 for b in budgets),
+        )
+        assert loaded.loss.epsilon == pytest.approx(replayed.loss.epsilon)
+        assert loaded.loss.delta == pytest.approx(replayed.loss.delta)
+
 
 class TestDashboard:
     def test_per_block_losses(self):
@@ -81,3 +116,26 @@ class TestDashboard:
             acc.charge([0], PrivacyBudget(0.01, 0.0))
         dash = loss_dashboard(acc, strong=True)
         assert 0.0 < dash[0].epsilon <= 0.2 + 1e-9
+
+    def test_dashboard_reads_totals_not_history(self, monkeypatch):
+        """Regression: every dashboard refresh used to replay each block's
+        full charge history through an odometer (O(total charges)); it must
+        read the ledgers' precomputed running totals instead."""
+        acc = BlockAccountant(1.0, 1e-6)
+        acc.register_blocks([0, 1])
+        for _ in range(10):
+            acc.charge([0], PrivacyBudget(0.02, 1e-8))
+        replays = []
+        monkeypatch.setattr(
+            BasicOdometer, "record", lambda self, b: replays.append(b)
+        )
+        monkeypatch.setattr(
+            StrongOdometer, "record", lambda self, b: replays.append(b)
+        )
+        basic_dash = loss_dashboard(acc)
+        strong_dash = loss_dashboard(acc, strong=True)
+        assert replays == []  # no per-charge replay
+        assert basic_dash[0].epsilon == pytest.approx(0.2)
+        assert basic_dash[0].delta == pytest.approx(1e-7)
+        assert basic_dash[1].epsilon == 0.0
+        assert strong_dash[0].epsilon > 0.0
