@@ -23,6 +23,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from benchjson import write_bench_json
 from repro.core.accountant import BlockAccountant
 from repro.dp.budget import PrivacyBudget
 
@@ -98,6 +99,12 @@ def run(sizes=SIZES, assert_speedup: float = 0.0) -> str:
         t_slow, t_fast, speedup = bench_size(n_blocks)
         lines.append(
             f"{n_blocks:>8}  {t_slow * 1e3:>10.2f}ms  {t_fast * 1e3:>10.2f}ms  {speedup:>7.1f}x"
+        )
+        write_bench_json(
+            f"block_scan_{n_blocks}",
+            {"blocks": n_blocks, "charge_fraction": CHARGE_FRACTION, "window": WINDOW},
+            t_slow * 1e3,
+            t_fast * 1e3,
         )
         if assert_speedup and n_blocks >= 10_000 and speedup < assert_speedup:
             raise AssertionError(

@@ -1,0 +1,169 @@
+"""RDP moments-accountant throughput: vectorized expansion vs per-order loop.
+
+DP-SGD pipelines call ``calibrate_sigma`` on every training attempt, and
+each bisection step used to evaluate the sampled-Gaussian RDP with one
+Python loop per order (up to ``order + 1`` terms each).  The vectorized
+accountant computes all orders in one flat log-space binomial expansion
+with cached ``lgamma`` tables, and memoizes per-step RDP vectors across
+calls.  This bench times ``calibrate_sigma`` (cache cleared per round, so
+the figure is pure vectorization) against a faithful reimplementation of
+the seed's scalar path, and always asserts parity of both the per-order
+RDP values (<= 1e-10 relative, 1e-14 absolute floor) and the calibrated
+sigmas.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_rdp_accountant.py``);
+``--assert-speedup`` turns it into the CI perf + parity gate.
+"""
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from benchjson import RESULTS_DIR, write_bench_json
+from repro.dp.rdp import (
+    DEFAULT_ORDERS,
+    calibrate_sigma,
+    clear_rdp_cache,
+    sampled_gaussian_rdp,
+    sampled_gaussian_rdp_orders,
+)
+
+CASES = ((0.01, 1_000, 1.0), (0.02, 500, 0.5), (0.005, 8_000, 2.0))
+DELTA = 1e-6
+
+
+# ----------------------------------------------------------------------
+# The seed's scalar path, preserved as the baseline under test.
+# ----------------------------------------------------------------------
+def scalar_compute_epsilon(q, sigma, steps, delta, orders=DEFAULT_ORDERS):
+    rdp = steps * np.array([sampled_gaussian_rdp(q, sigma, a) for a in orders])
+    best = math.inf
+    for value, alpha in zip(rdp, orders):
+        eps = (
+            value
+            + math.log((alpha - 1.0) / alpha)
+            - (math.log(delta) + math.log(alpha)) / (alpha - 1.0)
+        )
+        best = min(best, eps)
+    return max(0.0, best)
+
+
+def scalar_calibrate_sigma(q, steps, epsilon, delta, sigma_min=0.3, sigma_max=2000.0, tol=1e-3):
+    if scalar_compute_epsilon(q, sigma_max, steps, delta) > epsilon:
+        raise AssertionError("unreachable target in benchmark case")
+    if scalar_compute_epsilon(q, sigma_min, steps, delta) <= epsilon:
+        return sigma_min
+    lo, hi = sigma_min, sigma_max
+    while hi - lo > tol * lo:
+        mid = math.sqrt(lo * hi)
+        if scalar_compute_epsilon(q, mid, steps, delta) > epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def check_parity():
+    """Vectorized expansion and calibration must match the scalar path."""
+    for q in (0.0, 1e-4, 0.001, 0.01, 0.1, 0.5, 1.0):
+        for sigma in (0.35, 1.1, 5.0, 80.0, 500.0):
+            vec = sampled_gaussian_rdp_orders(q, sigma, DEFAULT_ORDERS)
+            ref = np.array(
+                [sampled_gaussian_rdp(q, sigma, a) for a in DEFAULT_ORDERS]
+            )
+            bound = np.maximum(1e-10 * np.abs(ref), 1e-14)
+            if not (np.abs(vec - ref) <= bound).all():
+                worst = float(np.max(np.abs(vec - ref)))
+                raise AssertionError(
+                    f"vectorized RDP diverged from scalar at q={q}, "
+                    f"sigma={sigma}: worst abs diff {worst:.3e}"
+                )
+    for q, steps, epsilon in CASES:
+        ref = scalar_calibrate_sigma(q, steps, epsilon, DELTA)
+        got = calibrate_sigma(q, steps, epsilon, DELTA)
+        if not math.isclose(ref, got, rel_tol=1e-9):
+            raise AssertionError(
+                f"calibrated sigma diverged: scalar {ref} vs vectorized {got}"
+            )
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_case(q, steps, epsilon, repeats=3):
+    t_slow = _best_of(lambda: scalar_calibrate_sigma(q, steps, epsilon, DELTA), repeats)
+
+    def vectorized():
+        clear_rdp_cache()  # time cold vectorization, not the memo hits
+        calibrate_sigma(q, steps, epsilon, DELTA)
+
+    t_fast = _best_of(vectorized, repeats)
+    return t_slow, t_fast, t_slow / t_fast
+
+
+def run(assert_speedup=0.0):
+    check_parity()
+    lines = [
+        "RDP moments accountant: calibrate_sigma (best of 3, cold cache)",
+        f"{'case':>28}  {'scalar':>12}  {'vectorized':>12}  {'speedup':>8}",
+    ]
+    for q, steps, epsilon in CASES:
+        t_slow, t_fast, speedup = bench_case(q, steps, epsilon)
+        name = f"q={q} T={steps} eps={epsilon}"
+        lines.append(
+            f"{name:>28}  {t_slow * 1e3:>10.2f}ms  {t_fast * 1e3:>10.2f}ms"
+            f"  {speedup:>7.1f}x"
+        )
+        write_bench_json(
+            f"rdp_calibrate_q{q}_T{steps}",
+            {"q": q, "steps": steps, "epsilon": epsilon, "delta": DELTA},
+            t_slow * 1e3,
+            t_fast * 1e3,
+        )
+        if assert_speedup and speedup < assert_speedup:
+            raise AssertionError(
+                f"calibrate_sigma speedup {speedup:.1f}x ({name}) is below "
+                f"the required {assert_speedup}x"
+            )
+    return "\n".join(lines)
+
+
+def test_rdp_parity_and_speedup():
+    """CI smoke: parity must hold and vectorization must win >= 5x."""
+    check_parity()
+    q, steps, epsilon = CASES[0]
+    _, _, speedup = bench_case(q, steps, epsilon)
+    assert speedup >= 5.0, f"only {speedup:.1f}x"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless vectorized calibrate_sigma wins by this factor",
+    )
+    args = parser.parse_args()
+    table = run(assert_speedup=args.assert_speedup)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_rdp_accountant.txt").write_text(table + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Machine-readable benchmark results.
+
+Every perf benchmark writes, alongside its rendered text table, one JSON
+document per measured case under ``results/bench_<name>.json`` with the
+fixed schema::
+
+    {"name": ..., "params": {...}, "scalar_ms": ..., "vectorized_ms": ...,
+     "speedup": ...}
+
+so the perf trajectory is diffable and trackable across PRs.
+"""
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_bench_json(
+    name: str, params: dict, scalar_ms: float, vectorized_ms: float
+) -> Path:
+    """Persist one benchmark case; returns the written path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "name": name,
+        "params": params,
+        "scalar_ms": scalar_ms,
+        "vectorized_ms": vectorized_ms,
+        "speedup": (scalar_ms / vectorized_ms) if vectorized_ms > 0 else None,
+    }
+    path = RESULTS_DIR / f"bench_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

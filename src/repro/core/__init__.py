@@ -24,7 +24,7 @@ from repro.core.pipeline import (
     StatisticPipeline,
     TrainingPipeline,
 )
-from repro.core.platform import Sage, SubmittedPipeline
+from repro.core.platform import ReservationTable, Sage, SubmittedPipeline
 from repro.core.validation import (
     DPAccuracyValidator,
     DPLossValidator,
@@ -66,4 +66,5 @@ __all__ = [
     "EvaluationTick",
     "Sage",
     "SubmittedPipeline",
+    "ReservationTable",
 ]

@@ -106,11 +106,16 @@ class SageAccessControl:
         count: int,
         key_filter=None,
         principal: Optional[str] = None,
+        row_filter=None,
     ) -> List[object]:
         """The newest ``count`` blocks that can absorb ``min_budget`` and pass
-        ``key_filter`` (early-stopping tail scan; chronological order)."""
+        the caller's filter (chronological order).  ``row_filter`` is the
+        vectorized form (store-row array -> boolean mask, one pass);
+        ``key_filter`` the scalar per-key form (early-stopping tail walk)."""
         self._check_principal(principal)
-        return self._accountant.usable_blocks_tail(min_budget, count, key_filter)
+        return self._accountant.usable_blocks_tail(
+            min_budget, count, key_filter, row_filter=row_filter
+        )
 
     def can_request(
         self,
@@ -148,6 +153,43 @@ class SageAccessControl:
         if context is not None:
             self._contexts[context].charge(keys, budget, label=label)
         return record
+
+    def can_request_many(
+        self, requests, context: Optional[str] = None
+    ) -> bool:
+        """True iff :meth:`request_many` would commit the whole batch."""
+        requests = list(requests)  # consumed per ledger set
+        ok = self._accountant.can_charge_many(requests)
+        if ok and context is not None:
+            ok = self._require_context(context).can_charge_many(requests)
+        return ok
+
+    def request_many(
+        self,
+        requests,
+        principal: Optional[str] = None,
+        context: Optional[str] = None,
+    ) -> List[ChargeRecord]:
+        """Atomically settle a batch of ``(keys, budget[, label])`` charges.
+
+        One vectorized validation-and-commit pass per ledger set (see the
+        accountant's batch contract): requests are checked with intra-batch
+        accumulation and either the whole batch commits or nothing does.
+        As with :meth:`request`, a context charge follows the stream-wide
+        one after a ``can_charge_many`` pre-check.
+        """
+        self._check_principal(principal)
+        requests = list(requests)  # consumed per ledger set
+        if context is not None:
+            ctx = self._require_context(context)
+            if not ctx.can_charge_many(requests):
+                raise AccessDeniedError(
+                    f"context {context!r} has insufficient budget for the batch"
+                )
+        records = self._accountant.charge_many(requests)
+        if context is not None:
+            self._contexts[context].charge_many(requests)
+        return records
 
     def max_epsilon(
         self, keys: Sequence[object], delta: float = 0.0, context: Optional[str] = None

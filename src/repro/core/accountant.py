@@ -52,6 +52,28 @@ The detection inspects overrides of ``admits`` / ``admits_batch`` /
 decisions through a helper those methods call (e.g. ``remaining``) must
 override the decision method (or its batch form) as well, or batched scans
 will not see the change.
+
+Batched atomic multi-charge (``charge_many``)
+---------------------------------------------
+``charge_many(requests)`` settles a whole batch of ``(block_keys, budget[,
+label])`` charges -- e.g. one simulated hour of allocator settlements -- in
+one pass.  Its contract:
+
+* **Sequential equivalence.**  Requests are validated in order against
+  running totals that already include every earlier request in the batch
+  (intra-batch accumulation), so two charges naming the same block in one
+  batch are checked against their combined total.  A committed batch leaves
+  ledger histories, running totals, store rows, and the charge log exactly
+  as the same charges applied one at a time through ``charge`` would have.
+* **Atomicity.**  The commit is all-or-nothing: if any request is refused,
+  nothing is committed anywhere and the error ``charge`` would have raised
+  for that request (``BlockRetiredError`` / ``BudgetExceededError``)
+  propagates.
+* **Filter routing.**  Homogeneous totals-deciding filters are validated
+  with one vectorized filter pass per request over a scratch copy of the
+  touched store rows and committed with a single bulk row write; custom
+  scalar-only filter classes route through the exact per-ledger path
+  (sequential apply with snapshot rollback), at per-ledger loop speed.
 """
 
 from __future__ import annotations
@@ -207,6 +229,11 @@ class LedgerStore:
     def write_row(self, index: int, totals: Sequence[float], count: int) -> None:
         self._totals[index, :] = totals
         self._counts[index] = count
+
+    def write_rows(self, indices, totals: np.ndarray, counts: np.ndarray) -> None:
+        """Bulk row update (the batched ``charge_many`` commit path)."""
+        self._totals[indices] = totals
+        self._counts[indices] = counts
 
     def retire(self, indices) -> None:
         self._live[indices] = False
@@ -388,6 +415,14 @@ class BlockAccountant:
                 f"block {exc.args[0]!r} was never registered"
             ) from None
 
+    def rows_for_keys(self, keys: Sequence[object]) -> np.ndarray:
+        """Store row indices (registration order) for the named keys.
+
+        This is the alignment contract the platform's ``ReservationTable``
+        relies on: its block columns are indexed by exactly these rows.
+        """
+        return self._key_rows(keys)
+
     # ------------------------------------------------------------------
     # The AccessControl check (Alg. 4(c) line 8)
     # ------------------------------------------------------------------
@@ -436,6 +471,176 @@ class BlockAccountant:
         record = ChargeRecord(budget=budget, block_keys=tuple(keys), label=label)
         self._charges.append(record)
         return record
+
+    # ------------------------------------------------------------------
+    # Batched hourly settlement (atomic multi-request charges)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_requests(requests) -> List[tuple]:
+        """Coerce ``(keys, budget[, label])`` requests into a uniform list,
+        applying the same per-request validation as :meth:`charge`."""
+        norm = []
+        for request in requests:
+            if len(request) == 2:
+                keys, budget = request
+                label = ""
+            else:
+                keys, budget, label = request
+            keys = list(keys)
+            if not keys:
+                raise InvalidBudgetError("a charge must name at least one block")
+            if len(set(keys)) != len(keys):
+                raise InvalidBudgetError("duplicate block keys in one charge")
+            norm.append((keys, budget, label))
+        return norm
+
+    @staticmethod
+    def _contribution(budget: PrivacyBudget) -> np.ndarray:
+        """One charge's totals-row increment (same ops as ``_accumulate``)."""
+        eps = budget.epsilon
+        return np.array(
+            [eps, budget.delta, eps * eps, math.expm1(eps) * eps / 2.0]
+        )
+
+    def _raise_refusal(
+        self, key: object, budget: PrivacyBudget, retired: bool
+    ) -> None:
+        if retired:
+            raise BlockRetiredError(f"block {key!r} is retired", block_id=key)
+        raise BudgetExceededError(
+            f"block {key!r} cannot absorb {budget}", block_id=key
+        )
+
+    def _validate_many_vectorized(self, norm: List[tuple]):
+        """Vectorized all-requests admissibility check with intra-batch
+        accumulation.
+
+        Returns ``(touched_rows, work, counts_delta)`` where ``work`` holds
+        the touched rows' totals *after* the whole batch and ``counts_delta``
+        the per-row number of new charges.  ``work`` starts as a copy of
+        the store rows and absorbs each request's contribution in order, so
+        request ``j`` is checked against exactly the float totals a
+        sequential ``charge`` loop would have produced -- two charges against
+        the same block in one batch are checked against their combined total.
+        Raises (committing nothing) on the first refusing request, with the
+        same error :meth:`charge` raises.
+        """
+        row_lists = [self._key_rows(keys) for keys, _, _ in norm]
+        touched = np.unique(np.concatenate(row_lists))
+        work = self._store.totals[touched].copy()
+        counts_delta = np.zeros(touched.size, dtype=np.int64)
+        for (keys, budget, _), rows in zip(norm, row_lists):
+            # touched is sorted-unique and rows is a subset, so searchsorted
+            # is an exact row -> scratch-index translation.
+            lrows = np.searchsorted(touched, rows)
+            admitted = self._batch_filter.admits_batch(work[lrows], budget)
+            if not admitted.all():
+                pos = int(np.argmin(admitted))
+                retired = not bool(
+                    self._batch_filter.admits_batch(
+                        work[lrows[pos]], self.retirement_budget
+                    )[0]
+                )
+                self._raise_refusal(keys[pos], budget, retired)
+            work[lrows] += self._contribution(budget)
+            counts_delta[lrows] += 1
+        return touched, work, counts_delta
+
+    def _apply_many_scalar(self, norm: List[tuple], commit: bool) -> List[ChargeRecord]:
+        """Per-ledger sequential apply with full rollback -- the exact path
+        for filters whose decisions batched scans cannot reproduce."""
+        touched_keys = {key for keys, _, _ in norm for key in keys}
+        ledgers = {key: self.ledger(key) for key in touched_keys}
+        snapshot = {
+            key: (len(led.history), list(led._totals))
+            for key, led in ledgers.items()
+        }
+
+        def rollback() -> None:
+            for key, (n_history, totals) in snapshot.items():
+                led = ledgers[key]
+                del led.history[n_history:]
+                led._totals = totals
+                self._store.write_row(led._row, totals, n_history)
+
+        records = []
+        try:
+            for keys, budget, label in norm:
+                for key in keys:
+                    if not ledgers[key].admits(budget):
+                        retired = ledgers[key].is_retired(self.retirement_budget)
+                        self._raise_refusal(key, budget, retired)
+                for key in keys:
+                    ledgers[key].record(budget)
+                records.append(
+                    ChargeRecord(budget=budget, block_keys=tuple(keys), label=label)
+                )
+        except Exception:
+            rollback()
+            raise
+        if not commit:
+            rollback()
+            return records
+        self._charges.extend(records)
+        return records
+
+    def charge_many(self, requests) -> List[ChargeRecord]:
+        """Atomically commit a whole batch of ``(keys, budget[, label])`` charges.
+
+        The batch contract: requests are validated in order against running
+        totals that include every earlier request in the batch (intra-batch
+        accumulation), so a committed batch is observationally identical to
+        the same charges applied sequentially via :meth:`charge` -- but the
+        commit is all-or-nothing: one refusing request anywhere leaves every
+        ledger, the totals store, and the charge log untouched, and raises
+        the error :meth:`charge` would have raised for that request.
+
+        For homogeneous totals-deciding filters the whole batch is validated
+        in one vectorized pass over the ledger store and committed with a
+        single bulk row write; custom scalar-only filter classes route
+        through the exact per-ledger path (apply + rollback).
+        """
+        norm = self._normalize_requests(requests)
+        if not norm:
+            return []
+        if not self._vectorized:
+            return self._apply_many_scalar(norm, commit=True)
+        touched, work, counts_delta = self._validate_many_vectorized(norm)
+        ledgers = self._ledgers
+        records = []
+        for keys, budget, label in norm:
+            for key in keys:
+                ledgers[key].history.append(budget)
+            records.append(
+                ChargeRecord(budget=budget, block_keys=tuple(keys), label=label)
+            )
+        self._store.write_rows(
+            touched, work, self._store.charge_counts[touched] + counts_delta
+        )
+        block_keys = self._keys
+        for row, totals in zip(touched.tolist(), work.tolist()):
+            ledgers[block_keys[row]]._totals = totals
+        self._charges.extend(records)
+        return records
+
+    def can_charge_many(self, requests) -> bool:
+        """True iff :meth:`charge_many` would commit the whole batch.
+
+        An empty batch is vacuously committable.  Malformed requests (empty
+        key sets, duplicate keys, unregistered blocks) raise just as
+        ``charge_many`` does.
+        """
+        norm = self._normalize_requests(requests)
+        if not norm:
+            return True
+        try:
+            if not self._vectorized:
+                self._apply_many_scalar(norm, commit=False)
+            else:
+                self._validate_many_vectorized(norm)
+        except (BudgetExceededError, BlockRetiredError):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Queries used by the platform / iterators (vectorized scans)
@@ -500,10 +705,14 @@ class BlockAccountant:
         min_budget: Optional[PrivacyBudget],
         count: int,
         key_filter=None,
+        row_filter=None,
     ) -> List[object]:
         """The newest ``count`` usable blocks (chronological order) -- the
         hot path of window selection.  One vectorized admit pass over live
-        blocks; ``key_filter`` only ever sees blocks that passed it."""
+        blocks.  ``row_filter`` is the vectorized per-caller filter (an
+        ndarray of store rows -> boolean mask, e.g. the platform's
+        reservation check); ``key_filter`` is the scalar per-key form.
+        Either only ever sees blocks whose ledgers admitted the floor."""
         if count <= 0:
             return []
         floor = min_budget or self.retirement_budget
@@ -523,6 +732,10 @@ class BlockAccountant:
                     continue
                 if not led.admits(floor):
                     continue
+                if row_filter is not None and not bool(
+                    np.asarray(row_filter(np.array([i], dtype=np.intp)))[0]
+                ):
+                    continue
                 if key_filter is not None and not key_filter(key):
                     continue
                 out.append(key)
@@ -531,10 +744,14 @@ class BlockAccountant:
             out.reverse()
             return out
         rows = self._live_admit_rows(floor)
+        if row_filter is not None and rows.size:
+            rows = rows[np.asarray(row_filter(rows), dtype=bool)]
+        if key_filter is None:
+            return [self._keys[i] for i in rows[-count:]]
         out: List[object] = []
         for i in rows[::-1]:
             key = self._keys[i]
-            if key_filter is not None and not key_filter(key):
+            if not key_filter(key):
                 continue
             out.append(key)
             if len(out) == count:

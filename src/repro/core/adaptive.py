@@ -108,6 +108,12 @@ class AdaptiveSession:
         this pipeline may spend on that window right now -- the platform
         passes its per-pipeline allocation here; standalone use defaults to
         whatever the blocks themselves can absorb.
+    row_budget_fn:
+        Vectorized form of the same allocation hook: ``(store_rows) ->
+        per-row epsilon`` available to this pipeline, aligned to the
+        accountant's ledger-store rows.  When given it supersedes
+        ``epsilon_limit_fn`` and lets window selection filter candidate
+        blocks in one NumPy pass instead of a per-key Python callback.
     """
 
     def __init__(
@@ -119,6 +125,7 @@ class AdaptiveSession:
         rng: np.random.Generator,
         epsilon_limit_fn: Optional[Callable[[List[object]], float]] = None,
         new_block_epsilon_fn: Optional[Callable[[], float]] = None,
+        row_budget_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> None:
         self.pipeline = pipeline
         self.access = access
@@ -126,6 +133,7 @@ class AdaptiveSession:
         self.config = config
         self.rng = rng
         self._epsilon_limit_fn = epsilon_limit_fn
+        self._row_budget_fn = row_budget_fn
         # Epsilon this pipeline can expect to hold on a brand-new block
         # (the platform's allocation rate); drives the §3.3 escalation
         # choice between doubling budget and doubling data.
@@ -155,17 +163,23 @@ class AdaptiveSession:
         for other pipelines are skipped rather than vetoing the window.
 
         Ledger admissibility is decided by the accountant's single batched
-        filter pass over the whole live-block store; the per-key allocation
-        filter below only ever runs on blocks that already passed it.
+        filter pass over the whole live-block store; the allocation filter
+        below only ever runs on blocks that already passed it -- as one
+        vectorized row pass when the platform supplied ``row_budget_fn``,
+        falling back to the scalar per-key callback otherwise.
         """
-        if self._epsilon_limit_fn is None:
-            key_filter = None
-        else:
+        key_filter = None
+        row_filter = None
+        if self._row_budget_fn is not None:
+            row_filter = (
+                lambda rows: self._row_budget_fn(rows) + 1e-12 >= budget.epsilon
+            )
+        elif self._epsilon_limit_fn is not None:
             key_filter = (
                 lambda key: self._epsilon_limit_fn([key]) + 1e-12 >= budget.epsilon
             )
         window = self.access.offer_recent_blocks(
-            budget, self.window_blocks, key_filter=key_filter
+            budget, self.window_blocks, key_filter=key_filter, row_filter=row_filter
         )
         if len(window) < self.window_blocks:
             return None
@@ -218,7 +232,11 @@ class AdaptiveSession:
         per-pipeline allocation (both strategies honour the even split of
         §5.4; they differ in how much of it each attempt consumes)."""
         limit = self.access.max_epsilon(window, self.delta)
-        if self._epsilon_limit_fn is not None:
+        if self._row_budget_fn is not None:
+            rows = self.access.accountant.rows_for_keys(window)
+            held = self._row_budget_fn(rows)
+            limit = min(limit, float(held.min()) if held.size else 0.0)
+        elif self._epsilon_limit_fn is not None:
             limit = min(limit, self._epsilon_limit_fn(window))
         return min(limit, self.config.epsilon_cap)
 

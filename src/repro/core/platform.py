@@ -17,6 +17,19 @@ Ties every core piece together for one sensitive stream:
 ``advance(hours)`` is the simulation clock: ingest, allocate, resume
 sessions, release.  Real deployments would drive the same calls from wall
 time.
+
+Reservation table
+-----------------
+Per-pipeline epsilon reservations live in one contiguous
+:class:`ReservationTable`: a pipelines x blocks float64 matrix whose rows
+are pipelines (in submission order) and whose columns are aligned to the
+stream accountant's :class:`~repro.core.accountant.LedgerStore` rows (i.e.
+block registration order -- ``BlockAccountant.rows_for_keys`` is the shared
+index space).  Hourly allocation, free-pool grants, redistribution of a
+finished pipeline's leftovers, and settlement of a session's charges are
+each a single NumPy row/column operation instead of O(pipelines x blocks)
+dict loops, and the allocation check during window selection reaches the
+accountant's tail scan as a vectorized ``row_filter``.
 """
 
 from __future__ import annotations
@@ -33,7 +46,131 @@ from repro.data.database import GrowingDatabase, StreamIngestor
 from repro.data.stream import StreamSource, TimePartitioner
 from repro.errors import PipelineError
 
-__all__ = ["Sage", "SubmittedPipeline"]
+__all__ = ["Sage", "SubmittedPipeline", "ReservationTable"]
+
+
+class ReservationTable:
+    """Contiguous pipelines x blocks epsilon reservations.
+
+    Row = pipeline (submission order), column = ledger-store row of the
+    block (registration order).  Rows and columns grow by doubling and are
+    never reclaimed; a parallel free-pool vector holds per-block epsilon
+    not reserved by anybody.  All mutating operations are NumPy row/column
+    arithmetic; amounts match the seed's dict-based allocator float-for-
+    float (same divisions, same accumulation order).
+    """
+
+    def __init__(self, pipeline_capacity: int = 8, block_capacity: int = 64) -> None:
+        self._eps = np.zeros(
+            (max(1, int(pipeline_capacity)), max(1, int(block_capacity)))
+        )
+        self._free = np.zeros(self._eps.shape[1])
+        self._n_pipelines = 0
+        self._n_blocks = 0
+
+    @property
+    def n_pipelines(self) -> int:
+        return self._n_pipelines
+
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (n_pipelines, n_blocks) reservation view (do not cache:
+        growth reallocates the backing buffer)."""
+        return self._eps[: self._n_pipelines, : self._n_blocks]
+
+    @property
+    def free_epsilon(self) -> np.ndarray:
+        """Per-block epsilon not reserved by any pipeline (view caveat as
+        :attr:`matrix`)."""
+        return self._free[: self._n_blocks]
+
+    def add_pipeline(self) -> int:
+        """Add a zeroed reservation row; returns the pipeline's row index."""
+        if self._n_pipelines == self._eps.shape[0]:
+            grown = np.zeros((2 * self._eps.shape[0], self._eps.shape[1]))
+            grown[: self._n_pipelines] = self._eps
+            self._eps = grown
+        row = self._n_pipelines
+        self._n_pipelines += 1
+        return row
+
+    def add_block(self) -> int:
+        """Add a zeroed block column; returns its index (== store row)."""
+        if self._n_blocks == self._eps.shape[1]:
+            grown = np.zeros((self._eps.shape[0], 2 * self._eps.shape[1]))
+            grown[:, : self._n_blocks] = self._eps
+            self._eps = grown
+            free_grown = np.zeros(2 * self._free.shape[0])
+            free_grown[: self._n_blocks] = self._free
+            self._free = free_grown
+        col = self._n_blocks
+        self._n_blocks += 1
+        return col
+
+    def allocate(self, col: int, amount: float, waiting_rows: np.ndarray) -> None:
+        """Divide a new block's budget evenly among the waiting pipelines
+        (into the free pool when nobody waits)."""
+        if len(waiting_rows) == 0:
+            self._free[col] += amount
+        else:
+            self._eps[waiting_rows, col] += amount / len(waiting_rows)
+
+    def grant_free(self, waiting_rows: np.ndarray) -> None:
+        """Hand the whole free pool to the waiting pipelines, evenly."""
+        if len(waiting_rows) == 0 or self._n_blocks == 0:
+            return
+        free = self._free[: self._n_blocks]
+        cols = np.nonzero(free)[0]
+        if cols.size == 0:
+            return
+        self._eps[np.ix_(waiting_rows, cols)] += free[cols] / len(waiting_rows)
+        free[cols] = 0.0
+
+    def release(self, row: int, waiting_rows: np.ndarray) -> None:
+        """Return one pipeline's whole holding to the others (or the free
+        pool), clearing its row.  ``row`` must not be in ``waiting_rows``."""
+        held = self._eps[row, : self._n_blocks]
+        cols = np.nonzero(held > 0.0)[0]
+        if cols.size:
+            if len(waiting_rows):
+                self._eps[np.ix_(waiting_rows, cols)] += held[cols] / len(
+                    waiting_rows
+                )
+            else:
+                self._free[cols] += held[cols]
+            held[cols] = 0.0
+
+    def settle(self, row: int, cols: np.ndarray, epsilon: float) -> None:
+        """Deduct a committed charge from one pipeline's reservations."""
+        self._eps[row, cols] = np.maximum(0.0, self._eps[row, cols] - epsilon)
+
+    def values(self, row: int, cols: np.ndarray) -> np.ndarray:
+        """One pipeline's reservations on the named block columns.
+
+        Columns the table has never seen (blocks registered with the
+        accountant outside the platform's ingest path) read as zero.
+        """
+        cols = np.asarray(cols, dtype=np.intp)
+        if cols.size and int(cols.max()) >= self._n_blocks:
+            out = np.zeros(cols.size)
+            known = cols < self._n_blocks
+            out[known] = self._eps[row, cols[known]]
+            return out
+        return self._eps[row, cols]
+
+    def limit(self, row: int, cols: np.ndarray) -> float:
+        """The smallest reservation the pipeline holds across the columns."""
+        if len(cols) == 0:
+            return 0.0
+        return float(self.values(row, cols).min())
+
+    def row_values(self, row: int) -> np.ndarray:
+        """Copy of one pipeline's full reservation row (diagnostics)."""
+        return self._eps[row, : self._n_blocks].copy()
 
 
 @dataclass
@@ -45,10 +182,12 @@ class SubmittedPipeline:
     submit_time_hours: float
     release_time_hours: Optional[float] = None
     bundle: Optional[ReleasedBundle] = None
-    # Per-block epsilon reservations granted by the allocator.
-    reservations: Dict[object, float] = field(default_factory=dict)
+    # Row of the platform's ReservationTable holding this pipeline's
+    # per-block epsilon reservations.
+    table_row: int = -1
     # Number of session attempts already deducted from reservations.
     settled_attempts: int = 0
+    platform: Optional["Sage"] = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -61,6 +200,14 @@ class SubmittedPipeline:
     @property
     def waiting(self) -> bool:
         return not self.session.is_terminal
+
+    @property
+    def reservations(self) -> Dict[object, float]:
+        """Nonzero per-block epsilon reservations (diagnostic snapshot of
+        this pipeline's ReservationTable row, keyed by block key)."""
+        if self.platform is None:
+            return {}
+        return self.platform.reservations_of(self)
 
 
 class Sage:
@@ -90,13 +237,26 @@ class Sage:
         self.epsilon_global = epsilon_global
         self.delta_global = delta_global
         self._pipelines: List[SubmittedPipeline] = []
-        # Unreserved epsilon still distributable, per block.
-        self._free_epsilon: Dict[object, float] = {}
+        # All pipelines' epsilon reservations plus the unreserved free pool,
+        # columns aligned to the stream accountant's ledger-store rows.
+        self._table = ReservationTable()
 
     # ------------------------------------------------------------------
     @property
     def clock_hours(self) -> float:
         return self.ingestor.clock_hours
+
+    @property
+    def reservation_table(self) -> ReservationTable:
+        return self._table
+
+    def reservations_of(self, entry: "SubmittedPipeline") -> Dict[object, float]:
+        """A pipeline's nonzero reservations as a {block key: epsilon} dict."""
+        values = self._table.row_values(entry.table_row)
+        keys = self.access.accountant.block_keys
+        return {
+            key: float(held) for key, held in zip(keys, values) if held != 0.0
+        }
 
     def submit(
         self, pipeline, config: Optional[AdaptiveConfig] = None
@@ -107,6 +267,8 @@ class Sage:
             pipeline=pipeline,
             session=None,  # type: ignore[arg-type]
             submit_time_hours=self.clock_hours,
+            table_row=self._table.add_pipeline(),
+            platform=self,
         )
         session = AdaptiveSession(
             pipeline,
@@ -114,7 +276,7 @@ class Sage:
             self.database,
             config,
             self.rng,
-            epsilon_limit_fn=lambda window, e=entry: self._reservation_limit(e, window),
+            row_budget_fn=lambda rows, e=entry: self._reservation_values(e, rows),
             new_block_epsilon_fn=self._new_block_share,
         )
         entry.session = session
@@ -122,67 +284,72 @@ class Sage:
         return entry
 
     # ------------------------------------------------------------------
-    # Allocation (conserve strategy of §3.3)
+    # Allocation (conserve strategy of §3.3, one table op per step)
     # ------------------------------------------------------------------
     def _waiting_pipelines(self) -> List[SubmittedPipeline]:
         return [p for p in self._pipelines if p.waiting]
+
+    def _waiting_rows(self) -> np.ndarray:
+        return np.fromiter(
+            (p.table_row for p in self._pipelines if p.waiting), dtype=np.intp
+        )
 
     def _new_block_share(self) -> float:
         """Per-pipeline epsilon a freshly created block would grant now."""
         waiting = max(1, len(self._waiting_pipelines()))
         return self.epsilon_global / waiting
 
-    def _reservation_limit(self, entry: SubmittedPipeline, window) -> float:
-        """The epsilon this pipeline may spend on that window: the smallest
-        reservation it holds across the window's blocks.  Charges made
+    def _reservation_values(
+        self, entry: SubmittedPipeline, rows: np.ndarray
+    ) -> np.ndarray:
+        """Per-store-row epsilon this pipeline may still spend.  Charges made
         earlier in the same session step are settled first so mid-step
         attempts cannot overdraw the reservation."""
         self._settle_charges(entry)
+        return self._table.values(entry.table_row, rows)
+
+    def _reservation_limit(self, entry: SubmittedPipeline, window) -> float:
+        """The epsilon this pipeline may spend on that window: the smallest
+        reservation it holds across the window's blocks."""
+        self._settle_charges(entry)
         if not window:
             return 0.0
-        return min(entry.reservations.get(key, 0.0) for key in window)
+        rows = self.access.accountant.rows_for_keys(window)
+        return self._table.limit(entry.table_row, rows)
 
     def _allocate_block(self, key: object) -> None:
         """Divide a new block's budget evenly among waiting pipelines."""
-        waiting = self._waiting_pipelines()
-        if not waiting:
-            self._free_epsilon[key] = self._free_epsilon.get(key, 0.0) + self.epsilon_global
-            return
-        share = self.epsilon_global / len(waiting)
-        for entry in waiting:
-            entry.reservations[key] = entry.reservations.get(key, 0.0) + share
+        col = self._table.add_block()
+        # Columns mirror the accountant's registration order by
+        # construction; a drifted column (e.g. a block registered with the
+        # accountant outside the platform's ingest path) would silently
+        # misdirect budget, so it must be a hard error.
+        store_row = int(self.access.accountant.rows_for_keys([key])[0])
+        if col != store_row:
+            raise PipelineError(
+                f"reservation column {col} drifted from store row "
+                f"{store_row} for block {key!r}"
+            )
+        self._table.allocate(col, self.epsilon_global, self._waiting_rows())
 
     def _redistribute(self, finished: SubmittedPipeline) -> None:
         """Return a finished pipeline's unused reservations to the others."""
-        leftovers = {k: v for k, v in finished.reservations.items() if v > 0}
-        finished.reservations = {}
-        waiting = self._waiting_pipelines()
-        for key, amount in leftovers.items():
-            if waiting:
-                share = amount / len(waiting)
-                for entry in waiting:
-                    entry.reservations[key] = entry.reservations.get(key, 0.0) + share
-            else:
-                self._free_epsilon[key] = self._free_epsilon.get(key, 0.0) + amount
+        self._table.release(finished.table_row, self._waiting_rows())
 
     def _grant_free_pool(self) -> None:
         """Hand any unreserved budget to newly waiting pipelines."""
-        waiting = self._waiting_pipelines()
-        if not waiting or not self._free_epsilon:
-            return
-        for key, amount in list(self._free_epsilon.items()):
-            share = amount / len(waiting)
-            for entry in waiting:
-                entry.reservations[key] = entry.reservations.get(key, 0.0) + share
-            del self._free_epsilon[key]
+        self._table.grant_free(self._waiting_rows())
 
     def _settle_charges(self, entry: SubmittedPipeline) -> None:
         """Decrement reservations by what the session actually charged."""
-        for record in entry.session.attempts[entry.settled_attempts:]:
-            for key in record.window:
-                held = entry.reservations.get(key, 0.0)
-                entry.reservations[key] = max(0.0, held - record.budget.epsilon)
-        entry.settled_attempts = len(entry.session.attempts)
+        attempts = entry.session.attempts
+        if entry.settled_attempts == len(attempts):
+            return
+        accountant = self.access.accountant
+        for record in attempts[entry.settled_attempts:]:
+            rows = accountant.rows_for_keys(record.window)
+            self._table.settle(entry.table_row, rows, record.budget.epsilon)
+        entry.settled_attempts = len(attempts)
 
     # ------------------------------------------------------------------
     def advance(self, hours: float = 1.0) -> List[ReleasedBundle]:

@@ -85,6 +85,20 @@ class PowerLawComplexity:
         lo, hi = self.n_min ** -a, self.n_max ** -a
         return float((lo - u * (lo - hi)) ** (-1.0 / a))
 
+    def sample_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` draws in one vectorized inverse-CDF pass.
+
+        Consumes the same underlying uniforms as ``count`` successive
+        :meth:`sample` calls, so seeded simulations produce the same
+        workloads either way (values agree to the last ulp of ``pow``).
+        """
+        if count < 0:
+            raise SimulationError(f"count must be >= 0, got {count}")
+        u = rng.random(count)
+        a = self.alpha
+        lo, hi = self.n_min ** -a, self.n_max ** -a
+        return (lo - u * (lo - hi)) ** (-1.0 / a)
+
 
 def requirement_at_epsilon(
     n_at_eps1: float, epsilon: float, exchange_exponent: float = 1.0

@@ -17,6 +17,7 @@ is how the "off the charts" baselines show up as large finite numbers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -108,7 +109,8 @@ class WorkloadSimulator:
         rng = np.random.default_rng(self.seed)
         arrivals = GammaArrivals(cfg.arrival_rate, cfg.arrival_shape)
         arrival_times = arrivals.arrival_times(cfg.horizon_hours, rng)
-        complexities = [cfg.complexity.sample(rng) for _ in arrival_times]
+        # One vectorized draw (same uniform stream as per-arrival sampling).
+        complexities = cfg.complexity.sample_batch(len(arrival_times), rng)
 
         if cfg.strategy.startswith("block-"):
             return self._run_block(arrival_times, complexities, rng)
@@ -141,7 +143,7 @@ class WorkloadSimulator:
             while next_arrival < len(arrival_times) and arrival_times[next_arrival] <= hour:
                 pipeline = OraclePipeline(
                     name=f"p{next_arrival}",
-                    n_at_eps1=complexities[next_arrival],
+                    n_at_eps1=float(complexities[next_arrival]),
                     scale=cfg.count_scale,
                     exchange_exponent=cfg.exchange_exponent,
                 )
@@ -187,7 +189,7 @@ class WorkloadSimulator:
             while next_arrival < len(arrival_times) and arrival_times[next_arrival] <= hour:
                 p = PendingPipeline(
                     name=f"p{next_arrival}",
-                    n_at_eps1=complexities[next_arrival],
+                    n_at_eps1=float(complexities[next_arrival]),
                     submit_hour=float(arrival_times[next_arrival]),
                 )
                 pipelines.append(p)
@@ -219,8 +221,6 @@ def sweep_arrival_rates(
     """Run the same strategy across arrival rates (one Fig. 8 curve)."""
     reports = {}
     for i, rate in enumerate(rates):
-        cfg_kwargs = {**base_config.__dict__, "arrival_rate": float(rate)}
-        reports[float(rate)] = WorkloadSimulator(
-            WorkloadConfig(**cfg_kwargs), seed=seed + i
-        ).run()
+        cfg = dataclasses.replace(base_config, arrival_rate=float(rate))
+        reports[float(rate)] = WorkloadSimulator(cfg, seed=seed + i).run()
     return reports

@@ -381,6 +381,164 @@ class TestBatchedScansMatchScalar:
             assert acc.max_epsilon(keys, 0.0) == pytest.approx(scalar, abs=1e-9)
 
 
+def _store_state(acc):
+    return (
+        acc.store.totals.copy(),
+        acc.store.live.copy(),
+        acc.store.charge_counts.copy(),
+        {k: list(acc.ledger(k).history) for k in acc.block_keys},
+        len(acc.charges),
+    )
+
+
+def _assert_store_equal(a, b):
+    assert np.array_equal(a[0], b[0])  # totals, byte-for-byte
+    assert np.array_equal(a[1], b[1])  # live mask
+    assert np.array_equal(a[2], b[2])  # charge counts
+    assert a[3] == b[3]  # histories
+    assert a[4] == b[4]  # charge log length
+
+
+class TestChargeMany:
+    """The batched settlement path: sequential equivalence + atomicity."""
+
+    @pytest.mark.parametrize(
+        "factory", [BasicCompositionFilter, StrongCompositionFilter]
+    )
+    def test_committed_batch_matches_sequential(self, factory):
+        rng = np.random.default_rng(21)
+        batched = BlockAccountant(1.0, 1e-6, filter_factory=factory)
+        sequential = BlockAccountant(1.0, 1e-6, filter_factory=factory)
+        for acc in (batched, sequential):
+            acc.register_blocks(range(12))
+        requests = []
+        for j in range(20):
+            keys = [int(k) for k in rng.choice(12, size=rng.integers(1, 5), replace=False)]
+            requests.append(
+                (keys, PrivacyBudget(float(rng.uniform(0.001, 0.04)), 1e-9), f"r{j}")
+            )
+        records = batched.charge_many(requests)
+        for keys, budget, label in requests:
+            sequential.charge(keys, budget, label=label)
+        _assert_store_equal(_store_state(batched), _store_state(sequential))
+        assert [r.label for r in records] == [f"r{j}" for j in range(20)]
+        assert batched.charges[-1].block_keys == sequential.charges[-1].block_keys
+
+    def test_intra_batch_accumulation(self, accountant):
+        """Two charges on one block in a batch are checked combined: the
+        pair must be refused even though each alone would be admitted."""
+        budget = PrivacyBudget(0.6, 0.0)
+        assert accountant.can_charge([0], budget)
+        with pytest.raises(BudgetExceededError):
+            accountant.charge_many([([0], budget), ([0, 1], budget)])
+        assert not accountant.can_charge_many([([0], budget), ([0, 1], budget)])
+        assert accountant.can_charge_many([([0], budget), ([1], budget)])
+
+    def test_mid_batch_rejection_rolls_everything_back(self, accountant):
+        accountant.charge([2], PrivacyBudget(0.8, 0.0))  # pre-existing spend
+        before = _store_state(accountant)
+        with pytest.raises(BudgetExceededError):
+            accountant.charge_many(
+                [
+                    ([0, 1], PrivacyBudget(0.3, 0.0)),
+                    ([1, 3], PrivacyBudget(0.2, 1e-8)),
+                    ([2, 3], PrivacyBudget(0.5, 0.0)),  # block 2 refuses
+                ]
+            )
+        _assert_store_equal(_store_state(accountant), before)
+
+    def test_retired_block_error_type(self, accountant):
+        accountant.charge([1], PrivacyBudget(1.0, 1e-6))
+        before = _store_state(accountant)
+        with pytest.raises(BlockRetiredError):
+            accountant.charge_many(
+                [([0], PrivacyBudget(0.1, 0.0)), ([1], PrivacyBudget(0.1, 0.0))]
+            )
+        _assert_store_equal(_store_state(accountant), before)
+
+    def test_malformed_requests_rejected(self, accountant):
+        with pytest.raises(InvalidBudgetError):
+            accountant.charge_many([([], PrivacyBudget(0.1))])
+        with pytest.raises(InvalidBudgetError):
+            accountant.charge_many([([0, 0], PrivacyBudget(0.1))])
+        with pytest.raises(InvalidBudgetError):
+            accountant.charge_many([([99], PrivacyBudget(0.1))])
+        assert accountant.charge_many([]) == []
+        assert accountant.can_charge_many([])
+
+    def test_scalar_filter_routes_through_per_ledger_path(self):
+        """Custom history-deciding filters must get exact sequential
+        semantics (apply + rollback), not the vectorized pass."""
+
+        class AtMostThreeCharges(PrivacyFilter):
+            def admits(self, history, candidate, totals=None):
+                return len(history) < 3
+
+            def max_epsilon(self, history, delta):
+                return self.epsilon_global if len(history) < 3 else 0.0
+
+        acc = BlockAccountant(1.0, 1e-6, filter_factory=AtMostThreeCharges)
+        acc.register_blocks([0, 1])
+        budget = PrivacyBudget(0.01, 0.0)
+        acc.charge_many([([0], budget), ([0, 1], budget)])
+        assert len(acc.ledger(0).history) == 2
+        before = _store_state(acc)
+        # Third request pushes block 0 to its 4th charge mid-batch: refused,
+        # and the first two requests of the batch roll back too.
+        with pytest.raises(BlockRetiredError):
+            acc.charge_many([([0], budget), ([1], budget), ([0, 1], budget)])
+        _assert_store_equal(_store_state(acc), before)
+        assert not acc.can_charge_many([([0], budget), ([0], budget)])
+        assert acc.can_charge_many([([0], budget), ([1], budget)])
+        _assert_store_equal(_store_state(acc), before)  # can-check is pure
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(min_value=0, max_value=5),
+                    min_size=1,
+                    max_size=4,
+                    unique=True,
+                ),
+                st.floats(min_value=0.01, max_value=0.6),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_batch_observationally_identical(self, raw):
+        """charge_many commits iff the same charges applied sequentially via
+        charge all commit; a committed batch leaves identical state and a
+        refused batch leaves the accountant byte-for-byte untouched."""
+        requests = [(keys, PrivacyBudget(eps, 0.0)) for keys, eps in raw]
+        batched = BlockAccountant(1.0, 1e-6)
+        sequential = BlockAccountant(1.0, 1e-6)
+        for acc in (batched, sequential):
+            acc.register_blocks(range(6))
+        before = _store_state(batched)
+        try:
+            batched.charge_many(requests)
+            batch_error = None
+        except (BudgetExceededError, BlockRetiredError) as exc:
+            batch_error = exc
+        seq_error = None
+        for keys, budget in requests:
+            try:
+                sequential.charge(keys, budget)
+            except (BudgetExceededError, BlockRetiredError) as exc:
+                seq_error = exc
+                break
+        assert (batch_error is None) == (seq_error is None)
+        if batch_error is None:
+            _assert_store_equal(_store_state(batched), _store_state(sequential))
+        else:
+            assert type(batch_error) is type(seq_error)
+            assert batch_error.block_id == seq_error.block_id
+            _assert_store_equal(_store_state(batched), before)
+
+
 @given(
     st.lists(
         st.tuples(

@@ -194,6 +194,28 @@ class TestEscalation:
         session.step()
         assert max(b.epsilon for _, b in pipeline.calls) <= 0.25 + 1e-12
 
+    def test_row_budget_hook_matches_scalar_hook(self):
+        """The vectorized allocation hook must reproduce the scalar one:
+        same attempts, same budgets, same terminal state."""
+        runs = []
+        for hook in ("scalar", "rows"):
+            db, access = build_world()
+            pipeline = ThresholdPipeline(threshold=1e12)
+            kwargs = (
+                {"epsilon_limit_fn": lambda window: 0.25}
+                if hook == "scalar"
+                else {"row_budget_fn": lambda rows: np.full(rows.shape, 0.25)}
+            )
+            session = AdaptiveSession(
+                pipeline, access, db,
+                AdaptiveConfig(max_attempts=6), np.random.default_rng(0),
+                **kwargs,
+            )
+            status = session.step()
+            runs.append((status, [(n, b.epsilon) for n, b in pipeline.calls]))
+        assert runs[0] == runs[1]
+        assert max(eps for _, eps in runs[1][1]) <= 0.25 + 1e-12
+
 
 class TestTrainerWrapper:
     def test_one_shot_accept(self):

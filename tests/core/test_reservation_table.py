@@ -1,0 +1,232 @@
+"""ReservationTable: the allocator's contiguous pipelines x blocks matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import BlockAccountant
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.platform import ReservationTable, Sage
+from repro.data.taxi import TaxiGenerator
+from repro.dp.budget import PrivacyBudget
+from repro.errors import AccessDeniedError
+
+
+class DictAllocator:
+    """The seed's dict semantics, as the reference implementation."""
+
+    def __init__(self):
+        self.reservations = {}  # pipeline -> {block: epsilon}
+        self.free = {}
+
+    def add_pipeline(self, p):
+        self.reservations[p] = {}
+
+    def allocate(self, block, amount, waiting):
+        if not waiting:
+            self.free[block] = self.free.get(block, 0.0) + amount
+            return
+        share = amount / len(waiting)
+        for p in waiting:
+            self.reservations[p][block] = self.reservations[p].get(block, 0.0) + share
+
+    def grant_free(self, waiting):
+        if not waiting or not self.free:
+            return
+        for block, amount in list(self.free.items()):
+            share = amount / len(waiting)
+            for p in waiting:
+                self.reservations[p][block] = (
+                    self.reservations[p].get(block, 0.0) + share
+                )
+            del self.free[block]
+
+    def release(self, p, waiting):
+        leftovers = {k: v for k, v in self.reservations[p].items() if v > 0}
+        self.reservations[p] = {}
+        for block, amount in leftovers.items():
+            if waiting:
+                share = amount / len(waiting)
+                for q in waiting:
+                    self.reservations[q][block] = (
+                        self.reservations[q].get(block, 0.0) + share
+                    )
+            else:
+                self.free[block] = self.free.get(block, 0.0) + amount
+
+    def settle(self, p, blocks, epsilon):
+        for block in blocks:
+            held = self.reservations[p].get(block, 0.0)
+            self.reservations[p][block] = max(0.0, held - epsilon)
+
+    def limit(self, p, blocks):
+        if not blocks:
+            return 0.0
+        return min(self.reservations[p].get(b, 0.0) for b in blocks)
+
+
+def test_matches_dict_reference_through_random_schedule():
+    """A random allocate/grant/settle/release schedule must reproduce the
+    seed's dict allocator value-for-value."""
+    rng = np.random.default_rng(9)
+    table = ReservationTable(pipeline_capacity=1, block_capacity=1)  # force growth
+    ref = DictAllocator()
+    n_pipelines, n_blocks = 7, 40
+    for p in range(n_pipelines):
+        assert table.add_pipeline() == p
+        ref.add_pipeline(p)
+    waiting = list(range(n_pipelines))
+    for b in range(n_blocks):
+        assert table.add_block() == b
+        active = [p for p in waiting if rng.random() < 0.8]
+        table.allocate(b, 1.0, np.array(active, dtype=np.intp))
+        ref.allocate(b, 1.0, active)
+        if rng.random() < 0.3:
+            p = int(rng.integers(n_pipelines))
+            blocks = list(rng.choice(b + 1, size=min(b + 1, 3), replace=False))
+            eps = float(rng.uniform(0.0, 0.2))
+            table.settle(p, np.array(blocks, dtype=np.intp), eps)
+            ref.settle(p, blocks, eps)
+        if rng.random() < 0.2:
+            p = waiting.pop(int(rng.integers(len(waiting)))) if len(waiting) > 1 else None
+            if p is not None:
+                table.release(p, np.array(waiting, dtype=np.intp))
+                ref.release(p, waiting)
+        table.grant_free(np.array(waiting, dtype=np.intp))
+        ref.grant_free(waiting)
+    for p in range(n_pipelines):
+        for b in range(n_blocks):
+            assert table.values(p, np.array([b]))[0] == ref.reservations[p].get(b, 0.0)
+        probe = list(range(0, n_blocks, 7))
+        assert table.limit(p, np.array(probe, dtype=np.intp)) == ref.limit(p, probe)
+    free_ref = np.zeros(n_blocks)
+    for b, v in ref.free.items():
+        free_ref[b] = v
+    assert np.array_equal(table.free_epsilon, free_ref)
+
+
+def test_unknown_columns_read_as_zero():
+    table = ReservationTable()
+    row = table.add_pipeline()
+    table.add_block()
+    table.allocate(0, 1.0, np.array([row], dtype=np.intp))
+    values = table.values(row, np.array([0, 5], dtype=np.intp))
+    assert values[0] == pytest.approx(1.0)
+    assert values[1] == 0.0
+    assert table.limit(row, np.array([0, 5], dtype=np.intp)) == 0.0
+    assert table.limit(row, np.array([], dtype=np.intp)) == 0.0
+
+
+def test_epsilon_conservation_on_platform():
+    """Reservations + free pool + settled spend account for every block's
+    epsilon_global exactly, hour after hour."""
+    sage = Sage(TaxiGenerator(points_per_hour=1000), 1.0, 1e-6, seed=4)
+    sage.advance(2.0)  # free-pool hours
+    entries = [
+        sage.submit(_Threshold(f"p{i}", 600.0 * (i + 1))) for i in range(3)
+    ]
+    for _ in range(8):
+        sage.advance(1.0)
+        table = sage.reservation_table
+        accountant = sage.access.accountant
+        n_blocks = table.n_blocks
+        assert n_blocks == len(accountant.store)
+        reserved = table.matrix.sum(axis=0)
+        spent = accountant.store.totals[:, 0]
+        outstanding = reserved + table.free_epsilon + spent
+        assert np.all(outstanding <= 1.0 + 1e-9)
+
+
+def test_platform_reservations_dict_mirrors_table():
+    sage = Sage(TaxiGenerator(points_per_hour=1000), 1.0, 1e-6, seed=4)
+    a = sage.submit(_Threshold("a", 1e12))
+    b = sage.submit(_Threshold("b", 1e12))
+    sage.advance(2.0)
+    key = sage.database.keys[0]
+    row = sage.access.accountant.rows_for_keys([key])[0]
+    for entry in (a, b):
+        held = sage.reservation_table.values(entry.table_row, np.array([row]))[0]
+        assert entry.reservations.get(key, 0.0) == held
+        assert all(v != 0.0 for v in entry.reservations.values())
+
+
+def test_failed_request_many_leaves_table_untouched():
+    """A rejected settlement batch must leave the ReservationTable (and the
+    ledger store) byte-for-byte unchanged."""
+    sage = Sage(TaxiGenerator(points_per_hour=1000), 1.0, 1e-6, seed=4)
+    sage.submit(_Threshold("p", 1e12), AdaptiveConfig(epsilon_start=0.5))
+    sage.advance(3.0)
+    keys = sage.database.keys[:2]
+    table_before = sage.reservation_table.matrix.copy()
+    free_before = sage.reservation_table.free_epsilon.copy()
+    totals_before = sage.access.accountant.store.totals.copy()
+    with pytest.raises(Exception):
+        sage.access.request_many(
+            [
+                (keys, PrivacyBudget(0.3, 0.0)),
+                (keys, PrivacyBudget(0.9, 0.0)),  # overdraws: whole batch dies
+            ]
+        )
+    assert np.array_equal(sage.reservation_table.matrix, table_before)
+    assert np.array_equal(sage.reservation_table.free_epsilon, free_before)
+    assert np.array_equal(sage.access.accountant.store.totals, totals_before)
+
+
+def test_request_many_charges_stream_and_context():
+    from repro.core.access_control import SageAccessControl
+
+    access = SageAccessControl(1.0, 1e-6)
+    access.add_context("dev", 0.5, 1e-6)
+    access.register_blocks([0, 1, 2])
+    records = access.request_many(
+        [([0, 1], PrivacyBudget(0.2, 0.0)), ([1, 2], PrivacyBudget(0.2, 0.0), "x")],
+        context="dev",
+    )
+    assert len(records) == 2
+    assert access.accountant.ledger(1).totals[0] == pytest.approx(0.4)
+    with pytest.raises(AccessDeniedError):
+        # The context (0.5) refuses before the stream (1.0) is touched.
+        access.request_many([([0], PrivacyBudget(0.4, 0.0))], context="dev")
+    assert access.accountant.ledger(0).totals[0] == pytest.approx(0.2)
+    assert access.can_request_many([([0], PrivacyBudget(0.4, 0.0))])
+    assert not access.can_request_many([([0], PrivacyBudget(0.4, 0.0))], context="dev")
+
+
+def test_request_many_accepts_generators():
+    """Regression: the batch endpoints consume ``requests`` once per ledger
+    set; a generator must not be silently exhausted by the context
+    pre-check (which would commit nothing and return success)."""
+    from repro.core.access_control import SageAccessControl
+
+    access = SageAccessControl(1.0, 1e-6)
+    access.add_context("dev", 0.5, 1e-6)
+    access.register_blocks([0, 1])
+    records = access.request_many(
+        ((keys, PrivacyBudget(0.1, 0.0)) for keys in ([0], [0, 1])), context="dev"
+    )
+    assert len(records) == 2
+    assert access.accountant.ledger(0).totals[0] == pytest.approx(0.2)
+    assert not access.can_request_many(
+        (r for r in [([0], PrivacyBudget(0.45, 0.0))]), context="dev"
+    )
+
+
+class _Threshold:
+    def __init__(self, name, threshold):
+        self.name = name
+        self.threshold = threshold
+
+    def run(self, batch, budget, rng, correct_for_dp=True):
+        from repro.core.pipeline import PipelineRun
+        from repro.core.validation.outcomes import Outcome, ValidationResult
+
+        outcome = (
+            Outcome.ACCEPT
+            if len(batch) * budget.epsilon >= self.threshold
+            else Outcome.RETRY
+        )
+        return PipelineRun(
+            name=self.name,
+            outcome=outcome,
+            validation=ValidationResult(outcome, PrivacyBudget(budget.epsilon, 0.0)),
+            budget_charged=budget,
+        )

@@ -9,11 +9,13 @@ from hypothesis import given, settings, strategies as st
 from repro.dp.rdp import (
     DEFAULT_ORDERS,
     calibrate_sigma,
+    clear_rdp_cache,
     compute_epsilon,
     compute_rdp,
     gaussian_rdp,
     rdp_to_epsilon,
     sampled_gaussian_rdp,
+    sampled_gaussian_rdp_orders,
 )
 from repro.errors import CalibrationError
 
@@ -52,6 +54,63 @@ class TestGaussianRDP:
             sampled_gaussian_rdp(0.5, 0.0, 4)
         with pytest.raises(CalibrationError):
             sampled_gaussian_rdp(0.5, 1.0, 1)
+
+
+class TestVectorizedParity:
+    """The 2-D expansion is pinned to the scalar reference: <= 1e-10
+    relative error with a 1e-14 absolute floor (values at float-noise
+    scale, where the log-sum cancels against the leading term)."""
+
+    GRID_Q = (0.0, 1e-5, 1e-4, 0.001, 0.01, 0.1, 0.3, 0.5, 0.9, 1.0)
+    GRID_SIGMA = (0.35, 0.5, 1.1, 5.0, 80.0, 500.0)
+
+    @pytest.mark.parametrize("q", GRID_Q)
+    @pytest.mark.parametrize("sigma", GRID_SIGMA)
+    def test_matches_scalar_over_grid(self, q, sigma):
+        vec = sampled_gaussian_rdp_orders(q, sigma, DEFAULT_ORDERS)
+        ref = np.array([sampled_gaussian_rdp(q, sigma, a) for a in DEFAULT_ORDERS])
+        assert np.all(np.abs(vec - ref) <= np.maximum(1e-10 * np.abs(ref), 1e-14))
+
+    def test_q_zero_is_free_for_all_orders(self):
+        assert np.all(sampled_gaussian_rdp_orders(0.0, 1.3) == 0.0)
+
+    def test_q_one_matches_unsampled_closed_form(self):
+        vec = sampled_gaussian_rdp_orders(1.0, 1.3, DEFAULT_ORDERS)
+        ref = np.array([gaussian_rdp(1.3, a) for a in DEFAULT_ORDERS])
+        assert np.allclose(vec, ref, rtol=1e-12, atol=0.0)
+
+    def test_invalid_inputs_match_scalar_errors(self):
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp_orders(1.5, 1.0)
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp_orders(0.5, 0.0)
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp_orders(0.5, 1.0, orders=(1, 2))
+        with pytest.raises(CalibrationError):
+            sampled_gaussian_rdp_orders(0.5, 1.0, orders=(2, 2.5))
+
+    def test_compute_rdp_memoized(self):
+        clear_rdp_cache()
+        a = compute_rdp(0.01, 1.1, 100)
+        b = compute_rdp(0.01, 1.1, 250)
+        assert np.allclose(2.5 * a, b)
+        # The memoized per-step vector is shared and must be immutable.
+        from repro.dp.rdp import _PER_STEP_CACHE
+
+        (per_step,) = [
+            v for k, v in _PER_STEP_CACHE.items() if k[:2] == (0.01, 1.1)
+        ]
+        with pytest.raises(ValueError):
+            per_step[0] = 1.0
+        # Results handed to callers stay writable copies.
+        a[0] = -1.0
+        assert compute_rdp(0.01, 1.1, 100)[0] != -1.0
+
+    def test_calibrate_unchanged_by_cache(self):
+        clear_rdp_cache()
+        cold = calibrate_sigma(0.02, 300, 0.8, 1e-6)
+        warm = calibrate_sigma(0.02, 300, 0.8, 1e-6)
+        assert cold == warm
 
 
 class TestComposition:

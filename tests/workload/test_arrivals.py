@@ -11,6 +11,33 @@ from repro.workload.arrivals import (
 )
 
 
+class TestPowerLawBatch:
+    def test_batch_matches_sequential_draws(self):
+        """sample_batch must consume the same uniform stream as repeated
+        sample() calls; values agree to the last ulp (numpy's vectorized
+        pow and libm's may round differently)."""
+        complexity = PowerLawComplexity()
+        rng_a, rng_b = np.random.default_rng(11), np.random.default_rng(11)
+        loop = [complexity.sample(rng_a) for _ in range(500)]
+        batch = complexity.sample_batch(500, rng_b)
+        assert batch.shape == (500,)
+        np.testing.assert_allclose(batch, loop, rtol=1e-14)
+        # The generators are left in the same state (same draws consumed).
+        assert rng_a.random() == rng_b.random()
+
+    def test_batch_respects_bounds(self):
+        complexity = PowerLawComplexity(n_min=100.0, n_max=5000.0)
+        batch = complexity.sample_batch(2000, np.random.default_rng(3))
+        assert batch.min() >= 100.0
+        assert batch.max() <= 5000.0
+
+    def test_batch_edge_counts(self):
+        complexity = PowerLawComplexity()
+        assert complexity.sample_batch(0, np.random.default_rng(0)).shape == (0,)
+        with pytest.raises(SimulationError):
+            complexity.sample_batch(-1, np.random.default_rng(0))
+
+
 class TestGammaArrivals:
     def test_mean_interarrival(self):
         arrivals = GammaArrivals(rate=0.5)
