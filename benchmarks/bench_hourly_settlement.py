@@ -1,6 +1,6 @@
 """Hourly settlement throughput: ReservationTable + charge_many vs the seed.
 
-Two hot paths of the Fig. 8 end-to-end loop, timed against faithful
+Three hot paths of the Fig. 8 end-to-end loop, timed against faithful
 reimplementations of the seed's scalar code:
 
 * ``Sage.advance`` under heavy contention (many waiting pipelines over a
@@ -13,11 +13,18 @@ reimplementations of the seed's scalar code:
 * ``BlockAccountant.charge_many``: settling a whole batch of multi-block
   charges in one vectorized validate-and-commit pass, against the
   equivalent loop of per-request ``charge`` calls.
+* ``advance_batched``: the propose/settle hourly batch.  Both sides run the
+  modern ReservationTable allocator; the baseline
+  (:class:`PerSessionSage`) drives the seed's per-session loop where every
+  attempt executes its own ``access.request`` (per-key ledger commits
+  mid-hour), while the batched platform stages every proposal and settles
+  the whole hour through one ``request_many`` bulk commit.
 
 Run as a script (``PYTHONPATH=src python benchmarks/bench_hourly_settlement.py``);
 ``--assert-speedup`` turns it into the CI perf gate.  Parity is always
-asserted: the legacy and vectorized platforms must release the same models
-at the same hours, and batched charges must leave the same ledger totals as
+asserted: the legacy, per-session, and batched platforms must produce
+byte-identical simulations (attempt streams, ledger totals, reservations,
+charge logs), and batched charges must leave the same ledger totals as
 sequential ones.
 """
 
@@ -34,7 +41,7 @@ import numpy as np
 
 from benchjson import RESULTS_DIR, write_bench_json
 from repro.core.accountant import BlockAccountant
-from repro.core.adaptive import AdaptiveConfig, AdaptiveSession
+from repro.core.adaptive import AdaptiveConfig, AdaptiveSession, SessionStatus
 from repro.core.platform import Sage, SubmittedPipeline
 from repro.dp.budget import PrivacyBudget
 from repro.workload.oracle import CountStreamSource, OraclePipeline
@@ -42,12 +49,56 @@ from repro.workload.oracle import CountStreamSource, OraclePipeline
 DEFAULT_PIPELINES = 200
 DEFAULT_BLOCKS = 5_000
 CHARGE_WINDOW = 256  # blocks named per settlement charge
+BATCHED_HOURS = 2  # hours timed for the advance_batched case
+
+
+class SeedAdvanceLoop:
+    """The seed's per-session advance: every waiting session resumes and
+    executes its own ``access.request`` charges mid-loop -- no staging, no
+    hourly bulk commit.  Mixed into the legacy baselines so they keep
+    measuring the pre-propose/settle platform."""
+
+    def advance(self, hours=1.0):
+        new_blocks = self.ingestor.advance(hours)
+        self.access.register_blocks([block.key for block in new_blocks])
+        for block in new_blocks:
+            self._allocate_block(block.key)
+        self._grant_free_pool()
+        released = []
+        for entry in self._pipelines:
+            if not entry.waiting:
+                continue
+            entry.session.resume()
+            self._settle_charges(entry)
+            if entry.session.status == SessionStatus.ACCEPTED:
+                run = entry.session.final_run
+                bundle = self.store.release(
+                    name=entry.name,
+                    model=run.model,
+                    features=run.features,
+                    validation=run.validation,
+                    budget=entry.session.total_spent,
+                    block_keys=entry.session.attempts[-1].window,
+                    release_time_hours=self.clock_hours,
+                )
+                entry.bundle = bundle
+                entry.release_time_hours = self.clock_hours
+                released.append(bundle)
+                self._redistribute(entry)
+            elif entry.session.is_terminal:
+                self._redistribute(entry)
+        return released
+
+
+class PerSessionSage(SeedAdvanceLoop, Sage):
+    """Modern ReservationTable allocator driven by the seed's per-session
+    charge loop -- the baseline that isolates the hourly-batch win."""
 
 
 # ----------------------------------------------------------------------
 # The seed's dict-based allocator, preserved as the baseline under test.
 # ----------------------------------------------------------------------
-class LegacySage(Sage):
+class LegacySage(SeedAdvanceLoop, Sage):
     """Seed allocator: per-pipeline reservation dicts + scalar key filter."""
 
     def __init__(self, *args, **kwargs):
@@ -191,6 +242,83 @@ def bench_advance(n_pipelines, n_blocks, repeats=3):
 
 
 # ----------------------------------------------------------------------
+# Part 1b: batched propose/settle vs the seed per-session charge loop
+# ----------------------------------------------------------------------
+def build_charging_platform(sage_cls, n_pipelines, n_blocks, **sage_kwargs):
+    """A stream where every session fires multi-block charges each hour.
+
+    Sessions commit to a wide minimum window and an epsilon floor of ~0, so
+    under contention each attempt runs at the granted allocation level and
+    RETRYs (the oracle requirement is unreachable), doubling its window --
+    one hour produces a burst of wide overlapping settlement charges per
+    session, the write-heavy shape that separates per-attempt ledger
+    commits from the hourly bulk commit.
+    """
+    sage = sage_cls(CountStreamSource(1000, scale=1000), seed=0, **sage_kwargs)
+    sage.advance(float(n_blocks))  # blocks land with nobody waiting
+    config = AdaptiveConfig(
+        epsilon_start=1.0 / 16.0,
+        epsilon_floor=1e-9,
+        min_window_blocks=min(64, n_blocks // 4),
+        max_attempts=100_000,
+    )
+    for i in range(n_pipelines):
+        sage.submit(OraclePipeline(name=f"p{i}", n_at_eps1=1e15), config)
+    return sage
+
+
+def check_batched_advance_parity(n_pipelines=12, n_blocks=400, hours=3):
+    """The batched hour must reproduce the per-session loop byte-for-byte."""
+    outcomes = []
+    for sage_cls in (PerSessionSage, Sage):
+        sage = build_charging_platform(sage_cls, n_pipelines, n_blocks)
+        for _ in range(hours):
+            sage.advance(1.0)
+        sage.access.accountant.retired_blocks()  # persist pending retirement
+        outcomes.append(
+            (
+                [
+                    [
+                        (a.attempt, a.window, a.budget.epsilon, a.outcome)
+                        for a in e.session.attempts
+                    ]
+                    for e in sage.pipelines
+                ],
+                sage.access.accountant.store.totals.tobytes(),
+                sage.access.accountant.store.live.tobytes(),
+                sage.reservation_table.matrix.tobytes(),
+                [
+                    (r.budget.epsilon, r.block_keys, r.label)
+                    for r in sage.access.accountant.charges
+                ],
+            )
+        )
+    if outcomes[0] != outcomes[1]:
+        raise AssertionError(
+            "batched propose/settle advance diverged from the per-session loop"
+        )
+
+
+def bench_advance_batched(n_pipelines, n_blocks, hours=BATCHED_HOURS, repeats=2):
+    """Time the charging burst end-to-end, fresh platform per repeat (the
+    hour mutates the stream, so the measured loop cannot be replayed)."""
+
+    def timed(sage_cls):
+        best = float("inf")
+        for _ in range(repeats):
+            sage = build_charging_platform(sage_cls, n_pipelines, n_blocks)
+            start = time.perf_counter()
+            for _ in range(hours):
+                sage.advance(1.0)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_slow = timed(PerSessionSage)
+    t_fast = timed(Sage)
+    return t_slow, t_fast, t_slow / t_fast
+
+
+# ----------------------------------------------------------------------
 # Part 2: charge_many vs sequential charge
 # ----------------------------------------------------------------------
 def build_accountant(n_blocks):
@@ -240,8 +368,9 @@ def bench_charge_many(n_requests, n_blocks, repeats=3):
 
 
 # ----------------------------------------------------------------------
-def run(n_pipelines, n_blocks, assert_speedup=0.0):
+def run(n_pipelines, n_blocks, assert_speedup=0.0, assert_batched_speedup=0.0):
     check_platform_parity()
+    check_batched_advance_parity()
     check_charge_parity(min(n_pipelines, 64), n_blocks)
 
     lines = [
@@ -263,6 +392,24 @@ def run(n_pipelines, n_blocks, assert_speedup=0.0):
         raise AssertionError(
             f"Sage.advance speedup {speedup:.1f}x at {n_pipelines} pipelines x "
             f"{n_blocks} blocks is below the required {assert_speedup}x"
+        )
+
+    b_slow, b_fast, b_speedup = bench_advance_batched(n_pipelines, n_blocks)
+    lines.append(
+        f"{f'advance_batched {n_pipelines}x{n_blocks}':>32}  "
+        f"{b_slow * 1e3:>10.2f}ms  {b_fast * 1e3:>10.2f}ms  {b_speedup:>7.1f}x"
+    )
+    write_bench_json(
+        "hourly_settlement_batched",
+        {"pipelines": n_pipelines, "blocks": n_blocks, "hours": BATCHED_HOURS},
+        b_slow * 1e3,
+        b_fast * 1e3,
+    )
+    if assert_batched_speedup and b_speedup < assert_batched_speedup:
+        raise AssertionError(
+            f"batched advance speedup {b_speedup:.2f}x at {n_pipelines} "
+            f"pipelines x {n_blocks} blocks is below the required "
+            f"{assert_batched_speedup}x"
         )
 
     c_slow, c_fast, c_speedup = bench_charge_many(n_pipelines, n_blocks)
@@ -290,6 +437,7 @@ def run(n_pipelines, n_blocks, assert_speedup=0.0):
 def test_settlement_speedup():
     """CI smoke: vectorized settlement must beat the seed loop at small size."""
     check_platform_parity()
+    check_batched_advance_parity()
     check_charge_parity(40, 800)
     t_slow, t_fast, speedup = bench_advance(40, 800)
     assert speedup >= 3.0, f"only {speedup:.1f}x (slow {t_slow:.4f}s fast {t_fast:.4f}s)"
@@ -305,8 +453,20 @@ def main():
         default=0.0,
         help="fail unless Sage.advance beats the legacy allocator by this factor",
     )
+    parser.add_argument(
+        "--assert-batched-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the batched propose/settle hour beats the seed "
+        "per-session charge loop by this factor",
+    )
     args = parser.parse_args()
-    table = run(args.pipelines, args.blocks, assert_speedup=args.assert_speedup)
+    table = run(
+        args.pipelines,
+        args.blocks,
+        assert_speedup=args.assert_speedup,
+        assert_batched_speedup=args.assert_batched_speedup,
+    )
     print(table)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "bench_hourly_settlement.txt").write_text(table + "\n")

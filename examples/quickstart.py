@@ -6,6 +6,10 @@ target, and lets privacy-adaptive training escalate data and budget until
 the SLAed validator ACCEPTs.  Everything released respects the stream's
 global (epsilon_g, delta_g) = (1.0, 1e-6) guarantee -- forever.
 
+Under the hood each simulated hour runs the two-phase propose/settle
+protocol: sessions propose charges, the platform stages them, and the whole
+hour commits through one batched ``request_many`` call.
+
 Run:  python examples/quickstart.py
 """
 
@@ -58,6 +62,8 @@ def main():
         return
     print(f"\nreleased version {bundle.version} at hour {bundle.release_time_hours:.0f}")
     print(f"budget consumed by the search: {entry.session.total_spent}")
+    print(f"charges committed through hourly propose/settle batches: "
+          f"{len(sage.access.accountant.charges)}")
 
     heldout = source.generate(30_000, np.random.default_rng(123))
     print(f"held-out MSE: {mse(heldout.y, bundle.model.predict(heldout.X)):.5f} "

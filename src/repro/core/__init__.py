@@ -7,6 +7,8 @@ from repro.core.adaptive import (
     AdaptiveConfig,
     AdaptiveSession,
     AttemptRecord,
+    ChargeDecision,
+    ChargeProposal,
     PrivacyAdaptiveTrainer,
     SessionStatus,
 )
@@ -54,6 +56,8 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptiveSession",
     "AttemptRecord",
+    "ChargeDecision",
+    "ChargeProposal",
     "PrivacyAdaptiveTrainer",
     "SessionStatus",
     "ModelFeatureStore",

@@ -13,6 +13,18 @@ interaction:
    assemble a training window from);
 2. ``request(keys, budget)`` -- deduct the chosen (epsilon, delta) from the
    chosen blocks, atomically; raises if any block cannot absorb it.
+
+Two-phase platform path (propose/settle)
+----------------------------------------
+The platform validates each session proposal as it arrives but commits the
+whole hour in one batch: ``begin_staging()`` opens the stream accountant's
+staged-batch overlay, ``stage_request(keys, budget, label)`` validates and
+stages one proposal (raising exactly what ``request`` would, staging
+nothing on refusal), and ``commit_staged()`` settles everything staged
+through a single :meth:`request_many` call.  Staging is stream-wide only:
+``supports_staged_requests`` is False when per-context accountants exist
+(their charges must validate per-request) or when the filter class forces
+the scalar accounting path.
 """
 
 from __future__ import annotations
@@ -190,6 +202,63 @@ class SageAccessControl:
         if context is not None:
             self._contexts[context].charge_many(requests)
         return records
+
+    # ------------------------------------------------------------------
+    # Two-phase (propose/settle) staging for the platform's hourly batch
+    # ------------------------------------------------------------------
+    @property
+    def supports_staged_requests(self) -> bool:
+        """Whether the two-phase stage/commit path is exact here: it needs
+        the accountant's vectorized filter path and no per-context
+        accountants (context charges validate per-request, not per-hour)."""
+        return self._accountant.staging_supported and not self._contexts
+
+    @property
+    def staging_active(self) -> bool:
+        return self._accountant.staging_active
+
+    def begin_staging(self) -> None:
+        """Open an hourly staged batch on the stream accountant."""
+        if not self.supports_staged_requests:
+            raise AccessDeniedError(
+                "staged requests are unsupported here (custom scalar-only "
+                "filter or per-context accountants); use request() instead"
+            )
+        self._accountant.begin_staging()
+
+    def stage_request(
+        self,
+        keys: Sequence[object],
+        budget: PrivacyBudget,
+        label: str = "",
+        principal: Optional[str] = None,
+    ) -> None:
+        """Validate and stage one charge against the open batch.
+
+        Refusals raise exactly what :meth:`request` would have raised and
+        leave the batch untouched -- the caller turns them into a denied
+        :class:`~repro.core.adaptive.ChargeDecision`.
+        """
+        self._check_principal(principal)
+        self._accountant.stage_charge(keys, budget, label)
+
+    def commit_staged(self, principal: Optional[str] = None) -> List[ChargeRecord]:
+        """Commit everything staged through one :meth:`request_many` call.
+
+        ``principal`` is the committer (the platform); each staged request
+        already passed its own principal check at stage time.  The check
+        runs *before* the batch closes, so a refused principal leaves the
+        overlay open instead of silently dropping the staged charges.
+        """
+        self._check_principal(principal)
+        requests = self._accountant.pop_staged()
+        if not requests:
+            return []
+        return self.request_many(requests, principal=principal)
+
+    def abort_staged(self) -> List[tuple]:
+        """Drop the open batch without committing; returns what was staged."""
+        return self._accountant.pop_staged()
 
     def max_epsilon(
         self, keys: Sequence[object], delta: float = 0.0, context: Optional[str] = None

@@ -74,6 +74,34 @@ one pass.  Its contract:
   touched store rows and committed with a single bulk row write; custom
   scalar-only filter classes route through the exact per-ledger path
   (sequential apply with snapshot rollback), at per-ledger loop speed.
+
+Staged batches (the propose/settle commit path)
+-----------------------------------------------
+The platform's two-phase session protocol validates charges as sessions
+propose them but commits the whole hour in one ``charge_many`` call.  The
+accountant supports this with a :class:`StagedBatch` overlay opened by
+``begin_staging()``:
+
+* ``stage_charge(keys, budget, label)`` validates a request against the
+  *effective* totals (committed store rows plus every earlier staged
+  charge, accumulated in request order with exactly ``charge_many``'s
+  float operations) and records it without touching any ledger.  A refusal
+  raises the same error ``charge`` would and stages nothing.
+* While a batch is open, every admissibility read (``admits_keys``,
+  ``can_charge``, ``max_epsilon``, ``usable_blocks``/``usable_blocks_tail``)
+  sees the effective totals, so later proposers contend with earlier staged
+  charges exactly as they would with committed ones.  ``stream_loss_bound``
+  and the charge log keep reporting *committed* state only, and retirement
+  is not persisted until the batch closes (scans still filter staged-retired
+  blocks out).
+* ``pop_staged()`` closes the overlay and hands back the request list for a
+  single ``charge_many`` commit.  Because staging replayed the exact
+  accumulation ``charge_many`` validates with, a staged batch can never be
+  refused at commit time.
+
+Staging requires the vectorized filter path (``staging_supported``);
+mutating the accountant through ``charge``/``charge_many`` while a batch is
+open is an error, since the overlay could not see those writes.
 """
 
 from __future__ import annotations
@@ -94,7 +122,13 @@ from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
 from repro.dp.composition import rogers_filter_epsilon_from_sums_batch
 from repro.errors import BlockRetiredError, BudgetExceededError, InvalidBudgetError
 
-__all__ = ["BlockLedger", "BlockAccountant", "ChargeRecord", "LedgerStore"]
+__all__ = [
+    "BlockLedger",
+    "BlockAccountant",
+    "ChargeRecord",
+    "LedgerStore",
+    "StagedBatch",
+]
 
 # Column indices of the totals matrix (see module docstring).
 TOT_EPS, TOT_DELTA, TOT_SQ, TOT_LINEAR = range(4)
@@ -239,6 +273,39 @@ class LedgerStore:
         self._live[indices] = False
 
 
+class StagedBatch:
+    """Charges validated against the accountant but not yet committed.
+
+    Keeps one dense *effective-totals* matrix: a copy of the committed store
+    totals that absorbs each staged request's contribution in request order
+    -- the exact float accumulation ``charge_many``'s validation replays --
+    so staging decisions and the final commit can never disagree, and reads
+    through the overlay are as cheap as reads of the store itself.
+    """
+
+    def __init__(self, accountant: "BlockAccountant") -> None:
+        self._eff = accountant.store.totals.copy()
+        self.requests: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def effective_totals(self, size: int) -> np.ndarray:
+        """The (size, 4) committed-plus-staged totals view.
+
+        Blocks registered after the batch opened have zero committed totals
+        and no staged charges, so their effective rows are zero too.
+        """
+        if size > self._eff.shape[0]:
+            grown = np.zeros((max(size, 2 * self._eff.shape[0]), 4))
+            grown[: self._eff.shape[0]] = self._eff
+            self._eff = grown
+        return self._eff[:size]
+
+    def add(self, rows: np.ndarray, contribution: np.ndarray) -> None:
+        self._eff[rows] += contribution
+
+
 @dataclass
 class BlockLedger:
     """Charge history + filter for a single block.
@@ -360,6 +427,8 @@ class BlockAccountant:
         self._vectorized = _scans_can_vectorize(self._batch_filter)
         self._keys: List[object] = []
         self._rows: Dict[object, int] = {}
+        # Open staged batch (the propose/settle overlay), or None.
+        self._staged: Optional[StagedBatch] = None
         # Retirement is permanent (privacy loss never decreases), so dead
         # blocks can be pruned from every scan once detected.  This keeps
         # usable_blocks() linear in the number of *live* blocks even when a
@@ -423,6 +492,84 @@ class BlockAccountant:
         """
         return self._key_rows(keys)
 
+    def _totals_view(self) -> np.ndarray:
+        """Totals every admissibility read decides from: the committed store
+        rows, overlaid with staged contributions while a batch is open."""
+        if self._staged is not None:
+            return self._staged.effective_totals(len(self._store))
+        return self._store.totals
+
+    # ------------------------------------------------------------------
+    # Staged batches (validate now, commit the hour in one charge_many)
+    # ------------------------------------------------------------------
+    @property
+    def staging_supported(self) -> bool:
+        """Staging needs the vectorized filter path: the overlay replays
+        batched filter decisions over effective totals, which a custom
+        scalar-only (history-deciding) filter cannot reproduce."""
+        return self._vectorized
+
+    @property
+    def staging_active(self) -> bool:
+        return self._staged is not None
+
+    def begin_staging(self) -> StagedBatch:
+        """Open a staged batch; subsequent reads see staged charges."""
+        if self._staged is not None:
+            raise InvalidBudgetError("a staged batch is already open")
+        if not self._vectorized:
+            raise InvalidBudgetError(
+                "staging requires a homogeneous totals-deciding filter; "
+                "this accountant's filter routes through the scalar path"
+            )
+        self._staged = StagedBatch(self)
+        return self._staged
+
+    def stage_charge(
+        self, keys: Sequence[object], budget: PrivacyBudget, label: str = ""
+    ) -> None:
+        """Validate one request against the effective totals and stage it.
+
+        Raises exactly what :meth:`charge` would (``BlockRetiredError`` /
+        ``BudgetExceededError``) and stages nothing on refusal; on success
+        the request joins the batch and becomes visible to every subsequent
+        read and stage decision (intra-batch accumulation).
+        """
+        if self._staged is None:
+            raise InvalidBudgetError("no staged batch is open")
+        keys = list(keys)
+        if not keys:
+            raise InvalidBudgetError("a charge must name at least one block")
+        if len(set(keys)) != len(keys):
+            raise InvalidBudgetError("duplicate block keys in one charge")
+        rows = self._key_rows(keys)
+        eff = self._staged.effective_totals(len(self._store))
+        admitted = self._batch_filter.admits_batch(eff[rows], budget)
+        if not admitted.all():
+            pos = int(np.argmin(admitted))
+            retired = not bool(
+                self._batch_filter.admits_batch(
+                    eff[rows[pos]], self.retirement_budget
+                )[0]
+            )
+            self._raise_refusal(keys[pos], budget, retired)
+        self._staged.add(rows, self._contribution(budget))
+        self._staged.requests.append((keys, budget, label))
+
+    def pop_staged(self) -> List[tuple]:
+        """Close the staged batch, returning its ``(keys, budget, label)``
+        requests for a single :meth:`charge_many` commit (nothing has been
+        committed yet; discarding the return value aborts the batch)."""
+        staged, self._staged = self._staged, None
+        return staged.requests if staged is not None else []
+
+    def _forbid_staging(self, what: str) -> None:
+        if self._staged is not None:
+            raise InvalidBudgetError(
+                f"cannot {what} while a staged batch is open; "
+                "pop_staged() and commit it first"
+            )
+
     # ------------------------------------------------------------------
     # The AccessControl check (Alg. 4(c) line 8)
     # ------------------------------------------------------------------
@@ -437,7 +584,7 @@ class BlockAccountant:
                 count=len(keys),
             )
         rows = self._key_rows(keys)
-        return self._batch_filter.admits_batch(self._store.totals[rows], budget)
+        return self._batch_filter.admits_batch(self._totals_view()[rows], budget)
 
     def can_charge(self, keys: Sequence[object], budget: PrivacyBudget) -> bool:
         """True iff every named block admits the charge."""
@@ -453,6 +600,7 @@ class BlockAccountant:
         Either all ledgers absorb the charge or none do (a failed check on
         any block leaves every other block untouched).
         """
+        self._forbid_staging("charge")
         keys = list(keys)
         if not keys:
             raise InvalidBudgetError("a charge must name at least one block")
@@ -600,6 +748,7 @@ class BlockAccountant:
         single bulk row write; custom scalar-only filter classes route
         through the exact per-ledger path (apply + rollback).
         """
+        self._forbid_staging("charge_many")
         norm = self._normalize_requests(requests)
         if not norm:
             return []
@@ -653,7 +802,7 @@ class BlockAccountant:
             return min(self.ledger(k).max_epsilon(delta) for k in keys)
         rows = self._key_rows(keys)
         return float(
-            self._batch_filter.max_epsilon_batch(self._store.totals[rows], delta)
+            self._batch_filter.max_epsilon_batch(self._totals_view()[rows], delta)
         )
 
     def _live_admit_rows(self, floor: PrivacyBudget) -> np.ndarray:
@@ -673,12 +822,16 @@ class BlockAccountant:
             )
         else:
             alive = self._batch_filter.admits_batch(
-                self._store.totals[live_rows], self.retirement_budget
+                self._totals_view()[live_rows], self.retirement_budget
             )
         if not alive.all():
             retired_rows = live_rows[~alive]
-            self._store.retire(retired_rows)
-            self._dead.update(self._keys[i] for i in retired_rows)
+            # Retirement is persisted only from *committed* totals: while a
+            # staged batch is open, staged-retired blocks are filtered out
+            # of this scan but stay live until the batch commits.
+            if self._staged is None:
+                self._store.retire(retired_rows)
+                self._dead.update(self._keys[i] for i in retired_rows)
             live_rows = live_rows[alive]
         if floor == self.retirement_budget:
             return live_rows
@@ -690,7 +843,7 @@ class BlockAccountant:
             )
         else:
             admitted = self._batch_filter.admits_batch(
-                self._store.totals[live_rows], floor
+                self._totals_view()[live_rows], floor
             )
         return live_rows[admitted]
 

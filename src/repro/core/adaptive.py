@@ -1,4 +1,4 @@
-"""Privacy-adaptive training (§3.3).
+"""Privacy-adaptive training (§3.3) as a two-phase propose/settle protocol.
 
 Wraps a DP pipeline in the escalation loop that addresses the
 privacy-utility tradeoff: start with a small budget (epsilon_0) on a minimal
@@ -11,9 +11,33 @@ iterations together cost at most the final accepted budget, and the final
 budget overshoots the smallest sufficient one by at most 2x -- so the whole
 search costs at most 4x the optimum (§3.3).
 
-:class:`AdaptiveSession` is *stateful* so the platform can resume a blocked
-pipeline when new blocks arrive; :class:`PrivacyAdaptiveTrainer` is the
-one-shot convenience wrapper used on static databases (Fig. 6 experiments).
+Propose/settle lifecycle
+------------------------
+A session never executes its own privacy charges.  The contract with
+whoever drives it (the platform, a trainer, a test) is two-phase:
+
+1. :meth:`AdaptiveSession.propose` picks the next attempt's window and
+   budget **without touching the accountant** and returns a
+   :class:`ChargeProposal` (or ``None``, leaving the session ``TIMEOUT`` /
+   ``NEED_DATA``).  Escalation state is *not* mutated at propose time --
+   in particular the aggressive strategy's epsilon commitment rides along
+   in ``ChargeProposal.epsilon_after`` until the charge is known granted.
+2. The driver decides the proposal: it charges the accountant itself
+   (immediately via ``SageAccessControl.request``, or staged into the
+   platform's hourly ``request_many`` batch), assembles the training
+   window, and hands the session a :class:`ChargeDecision`.
+3. :meth:`AdaptiveSession.complete` consumes the decision: a granted
+   charge commits escalation state, runs the pipeline, records the
+   :class:`AttemptRecord`, and either finishes or escalates so the next
+   ``propose()`` asks for more; a denial leaves every piece of session
+   state untouched and blocks the session on ``NEED_DATA``.
+
+:meth:`AdaptiveSession.step` and :meth:`AdaptiveSession.resume` remain as
+thin compatibility shims: they drive exactly this propose -> request ->
+complete loop with immediate charges, reproducing the historical one-call
+behavior float-for-float.  :class:`PrivacyAdaptiveTrainer` is the one-shot
+convenience wrapper used on static databases (Fig. 6 experiments), driving
+the same protocol explicitly.
 """
 
 from __future__ import annotations
@@ -30,7 +54,15 @@ from repro.data.database import GrowingDatabase
 from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
 from repro.errors import PipelineError
 
-__all__ = ["AdaptiveConfig", "AttemptRecord", "SessionStatus", "AdaptiveSession", "PrivacyAdaptiveTrainer"]
+__all__ = [
+    "AdaptiveConfig",
+    "AttemptRecord",
+    "ChargeProposal",
+    "ChargeDecision",
+    "SessionStatus",
+    "AdaptiveSession",
+    "PrivacyAdaptiveTrainer",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +128,42 @@ class SessionStatus:
     REJECTED = "rejected"
     TIMEOUT = "timeout"
     NEED_DATA = "need_data"  # blocked: not enough usable blocks / budget yet
+
+
+@dataclass(frozen=True)
+class ChargeProposal:
+    """Phase one of an attempt: what the session wants to charge.
+
+    Produced by :meth:`AdaptiveSession.propose` without touching the
+    accountant or any session state beyond status.  ``epsilon_after`` is the
+    escalation epsilon the session will commit to *iff* the charge is
+    granted (the aggressive strategy raises it to everything available;
+    conserve leaves it at the current schedule) -- deferring this mutation
+    to the grant is what keeps a denied attempt side-effect free.
+    """
+
+    session: "AdaptiveSession" = field(repr=False)
+    attempt: int
+    window: Tuple
+    budget: PrivacyBudget
+    epsilon_after: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ChargeDecision:
+    """Phase two: the driver's verdict on a proposal.
+
+    ``granted`` means the proposal's budget was charged (immediately or
+    staged into an hourly batch) and ``batch`` carries the assembled
+    training window (``None`` lets the session assemble it itself).  A
+    denial carries no batch; the session blocks on NEED_DATA with all
+    escalation state untouched.
+    """
+
+    proposal: ChargeProposal
+    granted: bool
+    batch: Optional[object] = None
 
 
 class AdaptiveSession:
@@ -241,48 +309,122 @@ class AdaptiveSession:
         return min(limit, self.config.epsilon_cap)
 
     # ------------------------------------------------------------------
+    # The two-phase protocol
+    # ------------------------------------------------------------------
+    def propose(self) -> Optional[ChargeProposal]:
+        """Phase one: pick the next attempt without touching the accountant.
+
+        Returns the :class:`ChargeProposal` the driver should decide, or
+        ``None`` when the session cannot attempt -- after transitioning to
+        TIMEOUT (attempt budget exhausted) or NEED_DATA (no affordable
+        window; :meth:`wake` unblocks once new data lands).  No escalation
+        state is mutated here: even the aggressive strategy's epsilon grab
+        is merely *carried* on the proposal until the charge is granted.
+        """
+        if self.status != SessionStatus.RUNNING:
+            return None
+        if len(self.attempts) >= self.config.max_attempts:
+            self.status = SessionStatus.TIMEOUT
+            return None
+        window, eps_attempt = self._select_attempt()
+        if window is None:
+            self.status = SessionStatus.NEED_DATA
+            return None
+        epsilon_after = self.epsilon
+        if self.config.strategy == "aggressive":
+            # Spend everything available on this window right away -- but
+            # only commit the raised schedule once the charge is granted.
+            eps_attempt = max(eps_attempt, self._epsilon_limit(window))
+            epsilon_after = max(self.epsilon, eps_attempt)
+        return ChargeProposal(
+            session=self,
+            attempt=len(self.attempts) + 1,
+            window=tuple(window),
+            budget=PrivacyBudget(eps_attempt, self.delta),
+            epsilon_after=epsilon_after,
+            label=self.pipeline.name,
+        )
+
+    def complete(self, decision: ChargeDecision) -> str:
+        """Phase two: consume the driver's decision on our proposal.
+
+        Granted: commit the proposal's escalation state, run the pipeline
+        on the assembled window, record the attempt, and finish or escalate
+        (the next :meth:`propose` continues the search).  Denied: leave
+        epsilon, window size, attempts, and total_spent untouched and block
+        on NEED_DATA until the platform wakes the session.
+        """
+        proposal = decision.proposal
+        if proposal.session is not self:
+            raise PipelineError(
+                f"decision for session of {proposal.label!r} handed to "
+                f"{self.pipeline.name!r}"
+            )
+        if self.status != SessionStatus.RUNNING:
+            raise PipelineError(f"cannot complete a {self.status} session")
+        if proposal.attempt != len(self.attempts) + 1:
+            raise PipelineError(
+                f"stale proposal: attempt {proposal.attempt} but "
+                f"{len(self.attempts)} attempts already recorded"
+            )
+        if not decision.granted:
+            self.status = SessionStatus.NEED_DATA
+            return self.status
+
+        self.epsilon = proposal.epsilon_after
+        window = list(proposal.window)
+        budget = proposal.budget
+        self.total_spent = self.total_spent + budget
+        batch = decision.batch
+        if batch is None:
+            batch = self.database.assemble(window)
+        run = self.pipeline.run(batch, budget, self.rng)
+        self.attempts.append(
+            AttemptRecord(
+                attempt=proposal.attempt,
+                window=proposal.window,
+                budget=budget,
+                outcome=run.outcome,
+                train_size=len(batch),
+            )
+        )
+        if run.outcome is Outcome.ACCEPT:
+            self.final_run = run
+            self.status = SessionStatus.ACCEPTED
+        elif run.outcome is Outcome.REJECT:
+            self.final_run = run
+            self.status = SessionStatus.REJECTED
+        else:
+            self._escalate(window)
+        return self.status
+
+    def wake(self) -> str:
+        """Unblock a NEED_DATA session (the platform calls this when new
+        blocks have landed) so :meth:`propose` evaluates again."""
+        if self.status == SessionStatus.NEED_DATA:
+            self.status = SessionStatus.RUNNING
+        return self.status
+
+    # ------------------------------------------------------------------
+    # Compatibility shims (one-call drivers over the two-phase protocol)
+    # ------------------------------------------------------------------
     def step(self) -> str:
         """Run attempts until ACCEPT/REJECT/timeout or until blocked on data.
 
-        Returns the (possibly terminal) session status.
+        A self-driving loop over the two-phase protocol with immediate
+        charges: every proposal is executed via ``access.request`` and
+        completed as granted -- float-identical to the historical
+        imperative loop.  The platform path does NOT use this; it stages
+        proposals into one hourly ``request_many`` batch instead.
         """
         while self.status == SessionStatus.RUNNING:
-            if len(self.attempts) >= self.config.max_attempts:
-                self.status = SessionStatus.TIMEOUT
+            proposal = self.propose()
+            if proposal is None:
                 break
-
-            window, eps_attempt = self._select_attempt()
-            if window is None:
-                self.status = SessionStatus.NEED_DATA
-                break
-            if self.config.strategy == "aggressive":
-                # Spend everything available on this window right away.
-                eps_attempt = max(eps_attempt, self._epsilon_limit(window))
-                self.epsilon = max(self.epsilon, eps_attempt)
-            budget = PrivacyBudget(eps_attempt, self.delta)
-
-            self.access.request(window, budget, label=self.pipeline.name)
-            self.total_spent = self.total_spent + budget
-            batch = self.database.assemble(window)
-            run = self.pipeline.run(batch, budget, self.rng)
-            self.attempts.append(
-                AttemptRecord(
-                    attempt=len(self.attempts) + 1,
-                    window=tuple(window),
-                    budget=budget,
-                    outcome=run.outcome,
-                    train_size=len(batch),
-                )
+            self.access.request(
+                list(proposal.window), proposal.budget, label=self.pipeline.name
             )
-
-            if run.outcome is Outcome.ACCEPT:
-                self.final_run = run
-                self.status = SessionStatus.ACCEPTED
-            elif run.outcome is Outcome.REJECT:
-                self.final_run = run
-                self.status = SessionStatus.REJECTED
-            else:
-                self._escalate(window)
+            self.complete(ChargeDecision(proposal=proposal, granted=True))
         return self.status
 
     def _escalate(self, window: List[object]) -> None:
@@ -302,11 +444,9 @@ class AdaptiveSession:
         self.window_blocks *= 2
         # Epsilon never shrinks across escalations (§3.3's doubling argument).
 
-    # ------------------------------------------------------------------
     def resume(self) -> str:
-        """Platform hook: unblock after new data arrived and step again."""
-        if self.status == SessionStatus.NEED_DATA:
-            self.status = SessionStatus.RUNNING
+        """Compatibility hook: unblock after new data arrived, step again."""
+        self.wake()
         return self.step()
 
     @property
@@ -349,9 +489,24 @@ class PrivacyAdaptiveTrainer:
         session = AdaptiveSession(
             pipeline, self.access, self.database, self.config, rng
         )
-        status = session.step()
+        # Drive the two-phase protocol directly: propose, execute the charge,
+        # assemble the window, complete.  (On a static database a denial
+        # cannot un-block, so every proposal is executed immediately.)
+        while session.status == SessionStatus.RUNNING:
+            proposal = session.propose()
+            if proposal is None:
+                break
+            window = list(proposal.window)
+            self.access.request(window, proposal.budget, label=pipeline.name)
+            session.complete(
+                ChargeDecision(
+                    proposal=proposal,
+                    granted=True,
+                    batch=self.database.assemble(window),
+                )
+            )
         return AdaptiveResult(
-            status=status,
+            status=session.status,
             run=session.final_run,
             attempts=session.attempts,
             total_spent=session.total_spent,

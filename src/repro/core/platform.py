@@ -14,9 +14,34 @@ Ties every core piece together for one sensitive stream:
 * accepted bundles are pushed to the wide-access
   :class:`~repro.core.model_store.ModelFeatureStore`.
 
-``advance(hours)`` is the simulation clock: ingest, allocate, resume
+``advance(hours)`` is the simulation clock: ingest, allocate, drive
 sessions, release.  Real deployments would drive the same calls from wall
 time.
+
+Propose/settle hourly batch
+---------------------------
+Sessions never execute their own privacy charges.  Each hour the platform
+drives every waiting session through the two-phase protocol of
+:mod:`repro.core.adaptive`: ``session.propose()`` yields a
+:class:`~repro.core.adaptive.ChargeProposal` (window, budget, deferred
+escalation state), the platform validates it against the hour's running
+staged batch (``SageAccessControl.stage_request`` -- committed charges plus
+everything staged earlier this hour), assembles the window, and feeds the
+session a :class:`~repro.core.adaptive.ChargeDecision`; a granted decision
+runs the pipeline and possibly escalates into another proposal, a denial
+(later proposals contending with earlier staged charges) blocks the session
+on NEED_DATA with its escalation state untouched.  When every session has
+finished or blocked, the entire hour commits through **one**
+``SageAccessControl.request_many`` call -- ``charge_many``'s intra-batch
+accumulation makes the batch observationally identical to the per-session
+sequential charges, and staged validation replays the exact same float
+accumulation, so the commit can never be refused.  Sessions' reservation
+deductions settle in one fused vectorized pass per session.
+
+Streams whose accountant cannot vectorize (custom scalar-only filters, or
+``batched_advance=False``) fall back to the same propose/complete drive
+with immediate per-proposal ``request`` execution -- trajectories are
+float-identical either way; only the commit granularity changes.
 
 Reservation table
 -----------------
@@ -40,11 +65,16 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.access_control import SageAccessControl
-from repro.core.adaptive import AdaptiveConfig, AdaptiveSession, SessionStatus
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveSession,
+    ChargeDecision,
+    SessionStatus,
+)
 from repro.core.model_store import ModelFeatureStore, ReleasedBundle
 from repro.data.database import GrowingDatabase, StreamIngestor
 from repro.data.stream import StreamSource, TimePartitioner
-from repro.errors import PipelineError
+from repro.errors import BlockRetiredError, BudgetExceededError, PipelineError
 
 __all__ = ["Sage", "SubmittedPipeline", "ReservationTable"]
 
@@ -144,8 +174,14 @@ class ReservationTable:
                 self._free[cols] += held[cols]
             held[cols] = 0.0
 
-    def settle(self, row: int, cols: np.ndarray, epsilon: float) -> None:
-        """Deduct a committed charge from one pipeline's reservations."""
+    def settle(self, row: int, cols: np.ndarray, epsilon) -> None:
+        """Deduct committed charges from one pipeline's reservations.
+
+        ``epsilon`` may be a scalar (one charge across all columns) or a
+        per-column array (several attempts' charges fused into one pass --
+        clamped sequential deduction equals clamped deduction of the sum,
+        since reservations and charges are nonnegative).
+        """
         self._eps[row, cols] = np.maximum(0.0, self._eps[row, cols] - epsilon)
 
     def values(self, row: int, cols: np.ndarray) -> np.ndarray:
@@ -211,7 +247,15 @@ class SubmittedPipeline:
 
 
 class Sage:
-    """A Sage deployment over one sensitive stream."""
+    """A Sage deployment over one sensitive stream.
+
+    ``batched_advance`` selects the hourly commit granularity: True (the
+    default) stages every session proposal and settles the hour through one
+    ``request_many`` batch; False executes each proposal immediately (the
+    sequential reference path -- same trajectories, per-proposal commits).
+    Streams whose accountant cannot vectorize fall back to sequential
+    regardless.
+    """
 
     def __init__(
         self,
@@ -221,6 +265,7 @@ class Sage:
         block_hours: float = 1.0,
         filter_factory=None,
         seed: Optional[int] = None,
+        batched_advance: bool = True,
     ) -> None:
         self.database = GrowingDatabase()
         self.rng = np.random.default_rng(seed)
@@ -240,6 +285,9 @@ class Sage:
         # All pipelines' epsilon reservations plus the unreserved free pool,
         # columns aligned to the stream accountant's ledger-store rows.
         self._table = ReservationTable()
+        self.batched_advance = batched_advance
+        # Charges committed by the most recent advance() (diagnostics).
+        self.last_hour_charges = 0
 
     # ------------------------------------------------------------------
     @property
@@ -341,21 +389,83 @@ class Sage:
         self._table.grant_free(self._waiting_rows())
 
     def _settle_charges(self, entry: SubmittedPipeline) -> None:
-        """Decrement reservations by what the session actually charged."""
+        """Decrement reservations by what the session actually charged.
+
+        All unsettled attempts settle in one pass: one ``rows_for_keys``
+        call over every window, a ``bincount`` fusing per-block deductions,
+        and a single clamped ``ReservationTable.settle`` update.  Clamped
+        sequential deduction equals the clamped deduction of the sum in
+        exact arithmetic; with more than one pending attempt the fused sum
+        can differ from the sequential loop by float rounding (~1 ulp).
+        The platform drive never produces that case -- window selection
+        settles after every attempt via ``row_budget_fn``, so at most one
+        attempt is pending here -- and the single-attempt path below is
+        bit-identical to the seed loop.
+        """
         attempts = entry.session.attempts
-        if entry.settled_attempts == len(attempts):
+        pending = attempts[entry.settled_attempts:]
+        if not pending:
             return
         accountant = self.access.accountant
-        for record in attempts[entry.settled_attempts:]:
-            rows = accountant.rows_for_keys(record.window)
-            self._table.settle(entry.table_row, rows, record.budget.epsilon)
+        rows = accountant.rows_for_keys(
+            [key for record in pending for key in record.window]
+        )
+        if len(pending) == 1:
+            self._table.settle(entry.table_row, rows, pending[0].budget.epsilon)
+        else:
+            epsilons = np.repeat(
+                np.array([record.budget.epsilon for record in pending]),
+                [len(record.window) for record in pending],
+            )
+            fused = np.bincount(rows, weights=epsilons)
+            cols = np.nonzero(fused)[0]
+            self._table.settle(entry.table_row, cols, fused[cols])
         entry.settled_attempts = len(attempts)
 
     # ------------------------------------------------------------------
-    def advance(self, hours: float = 1.0) -> List[ReleasedBundle]:
-        """Move the clock: ingest, allocate, resume sessions, release.
+    def _drive_session(self, entry: SubmittedPipeline, staged: bool) -> None:
+        """Run one session's propose/decide/complete loop for this hour.
 
-        Returns the bundles released during this step.
+        Every proposal is validated against the hour's staged batch (or
+        executed immediately on the sequential path), its window assembled,
+        and the decision fed back; a refusal becomes a denied decision, so
+        the session blocks on NEED_DATA with escalation state untouched
+        instead of the refusal propagating.
+        """
+        session = entry.session
+        session.wake()
+        while session.status == SessionStatus.RUNNING:
+            proposal = session.propose()
+            if proposal is None:
+                break
+            window = list(proposal.window)
+            granted = True
+            try:
+                if staged:
+                    self.access.stage_request(
+                        window, proposal.budget, label=entry.name
+                    )
+                else:
+                    self.access.request(window, proposal.budget, label=entry.name)
+            except (BlockRetiredError, BudgetExceededError):
+                granted = False
+            if granted:
+                self.last_hour_charges += 1
+            session.complete(
+                ChargeDecision(
+                    proposal=proposal,
+                    granted=granted,
+                    batch=self.database.assemble(window) if granted else None,
+                )
+            )
+
+    def advance(self, hours: float = 1.0) -> List[ReleasedBundle]:
+        """Move the clock: ingest, allocate, drive sessions, settle, release.
+
+        Returns the bundles released during this step.  On the batched path
+        the whole hour's charges commit through exactly one
+        ``SageAccessControl.request_many`` call after every session has
+        finished or blocked (see the module docstring).
         """
         new_blocks = self.ingestor.advance(hours)
         # Register the hour's blocks in every ledger set (stream-wide and
@@ -366,29 +476,40 @@ class Sage:
             self._allocate_block(block.key)
         self._grant_free_pool()
 
+        staged = self.batched_advance and self.access.supports_staged_requests
+        if staged:
+            self.access.begin_staging()
+        self.last_hour_charges = 0
         released: List[ReleasedBundle] = []
-        for entry in self._pipelines:
-            if not entry.waiting:
-                continue
-            entry.session.resume()
-            self._settle_charges(entry)
-            if entry.session.status == SessionStatus.ACCEPTED:
-                run = entry.session.final_run
-                bundle = self.store.release(
-                    name=entry.name,
-                    model=run.model,
-                    features=run.features,
-                    validation=run.validation,
-                    budget=entry.session.total_spent,
-                    block_keys=entry.session.attempts[-1].window,
-                    release_time_hours=self.clock_hours,
-                )
-                entry.bundle = bundle
-                entry.release_time_hours = self.clock_hours
-                released.append(bundle)
-                self._redistribute(entry)
-            elif entry.session.is_terminal:
-                self._redistribute(entry)
+        try:
+            for entry in self._pipelines:
+                if not entry.waiting:
+                    continue
+                self._drive_session(entry, staged)
+                self._settle_charges(entry)
+                if entry.session.status == SessionStatus.ACCEPTED:
+                    run = entry.session.final_run
+                    bundle = self.store.release(
+                        name=entry.name,
+                        model=run.model,
+                        features=run.features,
+                        validation=run.validation,
+                        budget=entry.session.total_spent,
+                        block_keys=entry.session.attempts[-1].window,
+                        release_time_hours=self.clock_hours,
+                    )
+                    entry.bundle = bundle
+                    entry.release_time_hours = self.clock_hours
+                    released.append(bundle)
+                    self._redistribute(entry)
+                elif entry.session.is_terminal:
+                    self._redistribute(entry)
+        finally:
+            # Commit whatever was staged even if a pipeline raised mid-hour:
+            # completed attempts' charges must land, exactly as they already
+            # would have on the sequential path.
+            if staged:
+                self.access.commit_staged()
         return released
 
     # ------------------------------------------------------------------

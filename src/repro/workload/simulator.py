@@ -59,6 +59,11 @@ class WorkloadConfig:
     # linear rate (gamma = 1) is the theoretical exchange of
     # [Kasiviswanathan et al. 2011] that §3.3 cites.
     exchange_exponent: float = 1.0
+    # Hourly commit granularity for the block strategies: True settles each
+    # simulated hour through one batched request_many (the propose/settle
+    # protocol); False drives the same protocol with immediate per-proposal
+    # charges.  Trajectories are identical either way (tested property).
+    batched_advance: bool = True
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -102,6 +107,9 @@ class WorkloadSimulator:
     def __init__(self, config: WorkloadConfig, seed: Optional[int] = None) -> None:
         self.config = config
         self.seed = seed
+        # The platform driven by the most recent block-strategy run
+        # (diagnostics / equivalence testing); None for baseline strategies.
+        self.last_platform: Optional[Sage] = None
 
     # ------------------------------------------------------------------
     def run(self) -> WorkloadReport:
@@ -126,7 +134,9 @@ class WorkloadSimulator:
             delta_global=cfg.delta_global,
             block_hours=1.0,
             seed=self.seed,
+            batched_advance=cfg.batched_advance,
         )
+        self.last_platform = sage
         strategy = "aggressive" if cfg.strategy == "block-aggressive" else "conserve"
         adaptive = AdaptiveConfig(
             epsilon_start=cfg.epsilon_start,

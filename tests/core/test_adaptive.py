@@ -7,6 +7,7 @@ from repro.core.access_control import SageAccessControl
 from repro.core.adaptive import (
     AdaptiveConfig,
     AdaptiveSession,
+    ChargeDecision,
     PrivacyAdaptiveTrainer,
     SessionStatus,
 )
@@ -215,6 +216,151 @@ class TestEscalation:
             runs.append((status, [(n, b.epsilon) for n, b in pipeline.calls]))
         assert runs[0] == runs[1]
         assert max(eps for _, eps in runs[1][1]) <= 0.25 + 1e-12
+
+
+class TestProtocol:
+    """The two-phase propose/complete contract."""
+
+    def test_propose_touches_no_accountant_state(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(), access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        before = access.accountant.store.totals.tobytes()
+        proposal = session.propose()
+        assert proposal is not None
+        assert access.accountant.store.totals.tobytes() == before
+        assert access.accountant.charges == []
+        assert session.attempts == []
+        assert session.total_spent.epsilon == 0.0
+
+    def test_propose_complete_matches_step(self):
+        """Driving the protocol by hand reproduces step() float-for-float."""
+        trajectories = []
+        for mode in ("step", "manual"):
+            db, access = build_world()
+            pipeline = ThresholdPipeline(threshold=900.0)
+            session = AdaptiveSession(
+                pipeline, access, db, AdaptiveConfig(), np.random.default_rng(0)
+            )
+            if mode == "step":
+                session.step()
+            else:
+                while session.status == SessionStatus.RUNNING:
+                    proposal = session.propose()
+                    if proposal is None:
+                        break
+                    access.request(
+                        list(proposal.window), proposal.budget, label=proposal.label
+                    )
+                    session.complete(ChargeDecision(proposal=proposal, granted=True))
+            trajectories.append(
+                (
+                    session.status,
+                    [(n, b.epsilon, b.delta) for n, b in pipeline.calls],
+                    [(a.attempt, a.window, a.outcome) for a in session.attempts],
+                    access.accountant.store.totals.tobytes(),
+                )
+            )
+        assert trajectories[0] == trajectories[1]
+
+    def test_denied_decision_blocks_without_state_change(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(), access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        proposal = session.propose()
+        eps, window_blocks = session.epsilon, session.window_blocks
+        status = session.complete(ChargeDecision(proposal=proposal, granted=False))
+        assert status == SessionStatus.NEED_DATA
+        assert session.epsilon == eps
+        assert session.window_blocks == window_blocks
+        assert session.attempts == []
+        assert session.total_spent.epsilon == 0.0
+        # wake() lets the next propose try again.
+        assert session.wake() == SessionStatus.RUNNING
+        assert session.propose() is not None
+
+    def test_denied_aggressive_attempt_leaves_state_unchanged(self):
+        """Regression: the aggressive strategy's epsilon grab must not stick
+        when the charge is denied (it used to mutate before the charge)."""
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(threshold=1e12), access, db,
+            AdaptiveConfig(strategy="aggressive"), np.random.default_rng(0),
+        )
+        proposal = session.propose()
+        # The aggressive proposal asks for far more than the schedule...
+        assert proposal.budget.epsilon > session.epsilon
+        assert proposal.epsilon_after == proposal.budget.epsilon
+        # ... but a denial must leave the schedule and window untouched.
+        session.complete(ChargeDecision(proposal=proposal, granted=False))
+        assert session.epsilon == pytest.approx(1.0 / 16.0)
+        assert session.window_blocks == 1
+        assert session.attempts == []
+        assert session.total_spent.epsilon == 0.0
+        assert session.status == SessionStatus.NEED_DATA
+
+    def test_granted_aggressive_attempt_commits_epsilon(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(threshold=1e12), access, db,
+            AdaptiveConfig(strategy="aggressive", max_attempts=1),
+            np.random.default_rng(0),
+        )
+        proposal = session.propose()
+        access.request(list(proposal.window), proposal.budget)
+        session.complete(ChargeDecision(proposal=proposal, granted=True))
+        assert session.epsilon == proposal.epsilon_after
+
+    def test_stale_proposal_rejected(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(threshold=1e12), access, db,
+            AdaptiveConfig(), np.random.default_rng(0),
+        )
+        stale = session.propose()
+        fresh = session.propose()
+        access.request(list(fresh.window), fresh.budget)
+        session.complete(ChargeDecision(proposal=fresh, granted=True))
+        with pytest.raises(PipelineError):
+            session.complete(ChargeDecision(proposal=stale, granted=True))
+
+    def test_foreign_proposal_rejected(self):
+        db, access = build_world()
+        mine = AdaptiveSession(
+            ThresholdPipeline("a"), access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        other = AdaptiveSession(
+            ThresholdPipeline("b"), access, db, AdaptiveConfig(), np.random.default_rng(0)
+        )
+        proposal = other.propose()
+        with pytest.raises(PipelineError):
+            mine.complete(ChargeDecision(proposal=proposal, granted=True))
+
+    def test_propose_timeout(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(threshold=1e12), access, db,
+            AdaptiveConfig(max_attempts=1), np.random.default_rng(0),
+        )
+        proposal = session.propose()
+        access.request(list(proposal.window), proposal.budget)
+        session.complete(ChargeDecision(proposal=proposal, granted=True))
+        assert session.propose() is None
+        assert session.status == SessionStatus.TIMEOUT
+
+    def test_propose_on_terminal_session_returns_none(self):
+        db, access = build_world()
+        session = AdaptiveSession(
+            ThresholdPipeline(threshold=900.0), access, db,
+            AdaptiveConfig(), np.random.default_rng(0),
+        )
+        proposal = session.propose()
+        assert session.step() == SessionStatus.ACCEPTED
+        assert session.propose() is None
+        with pytest.raises(PipelineError):
+            session.complete(ChargeDecision(proposal=proposal, granted=False))
 
 
 class TestTrainerWrapper:
