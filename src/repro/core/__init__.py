@@ -15,6 +15,7 @@ from repro.core.adaptive import (
 from repro.core.filters import (
     BasicCompositionFilter,
     PrivacyFilter,
+    RenyiCompositionFilter,
     StrongCompositionFilter,
 )
 from repro.core.model_store import ModelFeatureStore, ReleasedBundle
@@ -44,6 +45,7 @@ __all__ = [
     "PrivacyFilter",
     "BasicCompositionFilter",
     "StrongCompositionFilter",
+    "RenyiCompositionFilter",
     "Outcome",
     "ValidationResult",
     "DPLossValidator",

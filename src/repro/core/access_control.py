@@ -25,6 +25,14 @@ through a single :meth:`request_many` call.  Staging is stream-wide only:
 ``supports_staged_requests`` is False when per-context accountants exist
 (their charges must validate per-request) or when the filter class forces
 the scalar accounting path.
+
+``trusted_staged_commit=True`` opts the hourly commit into the
+accountant's trusted bulk-write path: staging already performed the exact
+float accumulation ``charge_many``'s validation would replay, so the
+commit provably cannot be refused and the re-validation pass is pure
+overhead (about half the hourly accounting cost).  The resulting state is
+byte-identical either way; the flag only exists so deployments that want
+the redundant end-to-end check keep it by default.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ class SageAccessControl:
         delta_global: float,
         filter_factory: Optional[Callable[[float, float], PrivacyFilter]] = None,
         authorized_principals: Optional[Sequence[str]] = None,
+        trusted_staged_commit: bool = False,
     ) -> None:
         self._accountant = BlockAccountant(
             epsilon_global, delta_global, filter_factory=filter_factory
@@ -57,6 +66,7 @@ class SageAccessControl:
         # Stream-level ACLs (the pre-existing, non-DP layer of Fig. 1): when
         # set, only these principals may request data at all.
         self._principals = set(authorized_principals) if authorized_principals else None
+        self.trusted_staged_commit = trusted_staged_commit
 
     # ------------------------------------------------------------------
     @property
@@ -249,8 +259,16 @@ class SageAccessControl:
         already passed its own principal check at stage time.  The check
         runs *before* the batch closes, so a refused principal leaves the
         overlay open instead of silently dropping the staged charges.
+
+        With ``trusted_staged_commit`` set, the commit skips
+        ``charge_many``'s redundant re-validation and bulk-writes the
+        staged effective rows instead (byte-identical state, about half
+        the accounting cost).  Staging is stream-wide only, so there is
+        never a context charge for the trusted path to skip.
         """
         self._check_principal(principal)
+        if self.trusted_staged_commit:
+            return self._accountant.commit_staged_trusted()
         requests = self._accountant.pop_staged()
         if not requests:
             return []

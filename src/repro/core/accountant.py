@@ -12,12 +12,13 @@ A block whose filter no longer admits the configured minimum charge is
 *retired* (the DP-informed retention policy of §3.2): it stays retired for
 good, since privacy loss never decreases.
 
-Struct-of-arrays ledger store
------------------------------
-Both composition analyses decide admissibility from four running sums per
+Struct-of-arrays ledger store (pluggable totals schema)
+-------------------------------------------------------
+Every composition analysis here decides admissibility from running sums per
 block, so the accountant keeps every block's totals in one contiguous
-float64 matrix (:class:`LedgerStore`) of shape ``(n_blocks, 4)`` with
-columns
+float64 matrix (:class:`LedgerStore`) of shape
+``(n_blocks, filter.totals_width)``.  The first ``TOTALS_BASE`` (= 4)
+columns are fixed for every filter class:
 
 ====== ==========================================
 column meaning
@@ -28,7 +29,18 @@ column meaning
 3      ``sum (e^{eps_i} - 1) eps_i / 2``  (Theorem A.2 linear term)
 ====== ==========================================
 
-plus a parallel boolean *live* mask (False once a block is retired).  Rows
+and a filter may extend the row with its own additively-composed state:
+:class:`~repro.core.filters.RenyiCompositionFilter` appends one running-RDP
+column per Renyi order (columns ``4 .. 4 + len(orders)``, in the filter's
+``orders`` sequence order), so an RDP stream's whole ledger is one
+``(n_blocks, 4 + len(orders))`` matrix and every scan below stays a single
+vectorized pass.  The increment a charge adds to a row is defined solely by
+``filter.contribution(budget)`` -- ledgers, ``charge_many``'s scratch
+validation, and the staged overlay all apply that exact vector, which is
+what keeps scalar and batched accounting float-identical whatever the
+schema width.
+
+The store also keeps a parallel boolean *live* mask (False once a block is retired).  Rows
 are in registration order and are never reclaimed; the matrix grows by
 doubling.  Every :class:`BlockLedger` stays the per-block API -- it owns the
 charge history and mirrors its totals into its store row on every commit, so
@@ -98,6 +110,12 @@ accountant supports this with a :class:`StagedBatch` overlay opened by
   single ``charge_many`` commit.  Because staging replayed the exact
   accumulation ``charge_many`` validates with, a staged batch can never be
   refused at commit time.
+* ``commit_staged_trusted()`` exploits exactly that guarantee: instead of
+  handing the requests back through ``charge_many``'s full re-validation, it
+  bulk-writes the staged effective rows (which *are* the post-batch totals,
+  byte for byte) straight into the store.  Same commit, roughly half the
+  accounting cost; the access layer gates it behind an explicit
+  ``trusted_staged_commit`` flag.
 
 Staging requires the vectorized filter path (``staging_supported``);
 mutating the accountant through ``charge``/``charge_many`` while a batch is
@@ -107,13 +125,13 @@ open is an error, since the overlay could not see those writes.
 from __future__ import annotations
 
 import inspect
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.filters import (
+    TOTALS_BASE,
     BasicCompositionFilter,
     PrivacyFilter,
     StrongCompositionFilter,
@@ -130,8 +148,13 @@ __all__ = [
     "StagedBatch",
 ]
 
-# Column indices of the totals matrix (see module docstring).
-TOT_EPS, TOT_DELTA, TOT_SQ, TOT_LINEAR = range(4)
+# Column indices of the shared base columns of the totals matrix (see
+# module docstring); filter-specific columns (e.g. per-order RDP) follow.
+TOT_EPS, TOT_DELTA, TOT_SQ, TOT_LINEAR = range(TOTALS_BASE)
+
+# Bound on the memoized key-tuple -> store-row-array mapping (the window
+# scan hot path re-resolves the same windows every hour).
+_ROW_CACHE_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -204,12 +227,15 @@ class LedgerStore:
 
     One row per registered block, in registration order; rows are appended
     with amortized O(1) doubling growth and never deleted (retirement only
-    clears the live bit -- privacy loss is forever).
+    clears the live bit -- privacy loss is forever).  ``width`` is the
+    filter's totals-row length: the shared base columns plus any
+    filter-specific extension (see the module docstring's column map).
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, width: int = TOTALS_BASE) -> None:
         capacity = max(1, int(capacity))
-        self._totals = np.zeros((capacity, 4), dtype=np.float64)
+        self._width = max(TOTALS_BASE, int(width))
+        self._totals = np.zeros((capacity, self._width), dtype=np.float64)
         self._live = np.zeros(capacity, dtype=bool)
         self._counts = np.zeros(capacity, dtype=np.int64)
         self._size = 0
@@ -218,8 +244,13 @@ class LedgerStore:
         return self._size
 
     @property
+    def width(self) -> int:
+        """Totals-row length (4 base columns + filter extension)."""
+        return self._width
+
+    @property
     def totals(self) -> np.ndarray:
-        """The (n_blocks, 4) totals matrix.
+        """The (n_blocks, width) totals matrix.
 
         A view into the backing buffer: re-read it on each use rather than
         caching it, since registering a block past the current capacity
@@ -280,24 +311,28 @@ class StagedBatch:
     totals that absorbs each staged request's contribution in request order
     -- the exact float accumulation ``charge_many``'s validation replays --
     so staging decisions and the final commit can never disagree, and reads
-    through the overlay are as cheap as reads of the store itself.
+    through the overlay are as cheap as reads of the store itself.  The
+    per-request store rows are retained alongside the requests so a trusted
+    commit can bulk-write the effective rows without re-resolving keys.
     """
 
     def __init__(self, accountant: "BlockAccountant") -> None:
         self._eff = accountant.store.totals.copy()
+        self._width = accountant.store.width
         self.requests: List[tuple] = []
+        self.request_rows: List[np.ndarray] = []
 
     def __len__(self) -> int:
         return len(self.requests)
 
     def effective_totals(self, size: int) -> np.ndarray:
-        """The (size, 4) committed-plus-staged totals view.
+        """The (size, width) committed-plus-staged totals view.
 
         Blocks registered after the batch opened have zero committed totals
         and no staged charges, so their effective rows are zero too.
         """
         if size > self._eff.shape[0]:
-            grown = np.zeros((max(size, 2 * self._eff.shape[0]), 4))
+            grown = np.zeros((max(size, 2 * self._eff.shape[0]), self._width))
             grown[: self._eff.shape[0]] = self._eff
             self._eff = grown
         return self._eff[:size]
@@ -325,7 +360,10 @@ class BlockLedger:
     def __post_init__(self) -> None:
         self._store: Optional[LedgerStore] = None
         self._row = -1
-        self._totals = [0.0, 0.0, 0.0, 0.0]  # eps, delta, eps^2, linear
+        # Base columns (eps, delta, eps^2, linear) plus whatever the filter's
+        # schema appends (e.g. one running-RDP sum per order).
+        width = getattr(self.filter, "totals_width", TOTALS_BASE)
+        self._totals = [0.0] * width
         for budget in self.history:
             self._accumulate(budget)
 
@@ -335,25 +373,37 @@ class BlockLedger:
         self._row = row
         store.write_row(row, self._totals, len(self.history))
 
-    def _accumulate(self, budget: PrivacyBudget) -> None:
-        eps = budget.epsilon
+    def _accumulate(
+        self, budget: PrivacyBudget, contribution: Optional[np.ndarray] = None
+    ) -> None:
+        # The filter defines the charge's row increment; scalar adds over
+        # its entries are the same float64 ops the batched paths apply, so
+        # per-ledger and vectorized accounting stay bit-identical.
+        if contribution is None:
+            contribution = self.filter.contribution(budget)
         totals = self._totals
-        totals[TOT_EPS] += eps
-        totals[TOT_DELTA] += budget.delta
-        totals[TOT_SQ] += eps * eps
-        totals[TOT_LINEAR] += math.expm1(eps) * eps / 2.0
+        for index, value in enumerate(contribution.tolist()):
+            totals[index] += value
         if self._store is not None:
             self._store.write_row(self._row, totals, len(self.history))
 
     @property
     def totals(self) -> tuple:
-        """The running (sum eps, sum delta, sum eps^2, sum linear) totals."""
+        """The running totals row (base sums first, schema extension after)."""
         return tuple(self._totals)
 
-    def record(self, budget: PrivacyBudget) -> None:
-        """Append a committed charge, keeping the running totals in sync."""
+    def record(
+        self, budget: PrivacyBudget, contribution: Optional[np.ndarray] = None
+    ) -> None:
+        """Append a committed charge, keeping the running totals in sync.
+
+        ``contribution`` is an optional precomputed ``filter.contribution``
+        vector for the budget (a multi-block charge shares one across its
+        ledgers -- the increment is a pure function of the budget, so the
+        accumulated floats are identical either way).
+        """
         self.history.append(budget)
-        self._accumulate(budget)
+        self._accumulate(budget, contribution)
 
     def admits(self, candidate: PrivacyBudget) -> bool:
         return self.filter.admits(self.history, candidate, totals=tuple(self._totals))
@@ -415,10 +465,13 @@ class BlockAccountant:
         )
         self._ledgers: Dict[object, BlockLedger] = {}
         self._charges: List[ChargeRecord] = []
-        # Struct-of-arrays totals + the prototype filter that evaluates the
-        # whole matrix in one pass (all per-block filters share its params).
-        self._store = LedgerStore()
+        # The prototype filter that evaluates the whole matrix in one pass
+        # (all per-block filters share its params) + the struct-of-arrays
+        # totals store sized to the filter's declared schema width.
         self._batch_filter = filter_factory(epsilon_global, delta_global)
+        self._store = LedgerStore(
+            width=getattr(self._batch_filter, "totals_width", TOTALS_BASE)
+        )
         # A filter whose batch methods are missing or shadowed by scalar
         # overrides (e.g. it decides from the charge history, or a subclass
         # tightened admits without re-deriving admits_batch) must scan
@@ -427,6 +480,9 @@ class BlockAccountant:
         self._vectorized = _scans_can_vectorize(self._batch_filter)
         self._keys: List[object] = []
         self._rows: Dict[object, int] = {}
+        # Memoized key-tuple -> row-array translations (rows never move, so
+        # entries never go stale; the cache is only bounded for memory).
+        self._row_cache: Dict[tuple, np.ndarray] = {}
         # Open staged batch (the propose/settle overlay), or None.
         self._staged: Optional[StagedBatch] = None
         # Retirement is permanent (privacy loss never decreases), so dead
@@ -473,16 +529,39 @@ class BlockAccountant:
         """The struct-of-arrays totals store (rows in registration order)."""
         return self._store
 
+    @property
+    def delta_reserved(self) -> float:
+        """Share of ``delta_global`` the filter's own analysis consumes
+        (zero for basic composition); sessions ration attempt deltas out of
+        the remainder so repeated attempts cannot delta-exhaust a block."""
+        return getattr(self._batch_filter, "delta_reserved", 0.0)
+
     def _key_rows(self, keys: Sequence[object]) -> np.ndarray:
-        """Store rows for the named keys; rejects unregistered keys."""
-        try:
-            return np.fromiter(
-                (self._rows[k] for k in keys), dtype=np.intp, count=len(keys)
-            )
-        except KeyError as exc:
-            raise InvalidBudgetError(
-                f"block {exc.args[0]!r} was never registered"
-            ) from None
+        """Store rows for the named keys; rejects unregistered keys.
+
+        The hourly drive resolves the same windows over and over (every
+        proposal, settlement, and reservation read names a recent-blocks
+        window), so translations are memoized by key tuple.  Rows are
+        assigned once at registration and never move, so cached arrays
+        never go stale; they are returned read-only since callers share
+        them.
+        """
+        tkey = tuple(keys)
+        cached = self._row_cache.get(tkey)
+        if cached is None:
+            try:
+                cached = np.fromiter(
+                    (self._rows[k] for k in keys), dtype=np.intp, count=len(keys)
+                )
+            except KeyError as exc:
+                raise InvalidBudgetError(
+                    f"block {exc.args[0]!r} was never registered"
+                ) from None
+            cached.setflags(write=False)
+            if len(self._row_cache) >= _ROW_CACHE_LIMIT:
+                self._row_cache.clear()
+            self._row_cache[tkey] = cached
+        return cached
 
     def rows_for_keys(self, keys: Sequence[object]) -> np.ndarray:
         """Store row indices (registration order) for the named keys.
@@ -555,6 +634,7 @@ class BlockAccountant:
             self._raise_refusal(keys[pos], budget, retired)
         self._staged.add(rows, self._contribution(budget))
         self._staged.requests.append((keys, budget, label))
+        self._staged.request_rows.append(rows)
 
     def pop_staged(self) -> List[tuple]:
         """Close the staged batch, returning its ``(keys, budget, label)``
@@ -614,8 +694,13 @@ class BlockAccountant:
             raise BudgetExceededError(
                 f"block {key!r} cannot absorb {budget}", block_id=key
             )
+        # Homogeneous filters share one contribution vector across the
+        # charge's blocks; custom (scalar-path) filters compute per ledger,
+        # since only homogeneity guarantees the prototype's increment is
+        # every ledger's increment.
+        contribution = self._contribution(budget) if self._vectorized else None
         for key in keys:
-            self._ledgers[key].record(budget)
+            self._ledgers[key].record(budget, contribution)
         record = ChargeRecord(budget=budget, block_keys=tuple(keys), label=label)
         self._charges.append(record)
         return record
@@ -642,13 +727,9 @@ class BlockAccountant:
             norm.append((keys, budget, label))
         return norm
 
-    @staticmethod
-    def _contribution(budget: PrivacyBudget) -> np.ndarray:
+    def _contribution(self, budget: PrivacyBudget) -> np.ndarray:
         """One charge's totals-row increment (same ops as ``_accumulate``)."""
-        eps = budget.epsilon
-        return np.array(
-            [eps, budget.delta, eps * eps, math.expm1(eps) * eps / 2.0]
-        )
+        return self._batch_filter.contribution(budget)
 
     def _raise_refusal(
         self, key: object, budget: PrivacyBudget, retired: bool
@@ -755,6 +836,20 @@ class BlockAccountant:
         if not self._vectorized:
             return self._apply_many_scalar(norm, commit=True)
         touched, work, counts_delta = self._validate_many_vectorized(norm)
+        return self._commit_validated(norm, touched, work, counts_delta)
+
+    def _commit_validated(
+        self,
+        norm: List[tuple],
+        touched: np.ndarray,
+        work: np.ndarray,
+        counts_delta: np.ndarray,
+    ) -> List[ChargeRecord]:
+        """Land a validated batch: bulk store-row write, history append,
+        ledger-totals sync, charge log.  ``work`` must hold the touched
+        rows' exact post-batch totals (``charge_many``'s scratch or a
+        staged batch's effective rows -- the two are byte-identical by
+        construction)."""
         ledgers = self._ledgers
         records = []
         for keys, budget, label in norm:
@@ -771,6 +866,28 @@ class BlockAccountant:
             ledgers[block_keys[row]]._totals = totals
         self._charges.extend(records)
         return records
+
+    def commit_staged_trusted(self) -> List[ChargeRecord]:
+        """Close the staged batch and commit it *without* re-validation.
+
+        Staging already performed the exact accumulation ``charge_many``'s
+        validation would replay (same starting rows, same contribution
+        vectors, same order), so the overlay's effective rows for the
+        touched blocks *are* the post-batch totals byte for byte and the
+        batch provably cannot be refused -- this path just bulk-writes them.
+        The access layer keeps it behind an explicit opt-in flag; the
+        byte-parity against the validating path is pinned by tests.
+        """
+        staged, self._staged = self._staged, None
+        if staged is None or not staged.requests:
+            return []
+        rows_concat = np.concatenate(staged.request_rows)
+        counts = np.bincount(rows_concat, minlength=len(self._store))
+        touched = np.flatnonzero(counts)
+        work = staged.effective_totals(len(self._store))[touched]
+        return self._commit_validated(
+            staged.requests, touched, work, counts[touched]
+        )
 
     def can_charge_many(self, requests) -> bool:
         """True iff :meth:`charge_many` would commit the whole batch.
@@ -946,6 +1063,17 @@ class BlockAccountant:
             eps = float(np.minimum(strong, totals[:, TOT_EPS]).max())
             delta = float(np.minimum(1.0, f.delta_slack + totals[:, TOT_DELTA]).max())
             return PrivacyBudget(eps, delta)
+        loss_bound_batch = getattr(self._batch_filter, "loss_bound_batch", None)
+        if self._vectorized and loss_bound_batch is not None:
+            # Filters with a vectorized per-row bound (e.g. the Renyi
+            # filter's converted-RDP curve): one pass over charged rows.
+            charged = self._store.charge_counts > 0
+            if not charged.any():
+                return ZERO_BUDGET
+            eps_rows, delta_rows = loss_bound_batch(self._store.totals[charged])
+            return PrivacyBudget(
+                float(eps_rows.max()), float(min(1.0, delta_rows.max()))
+            )
         worst_eps = 0.0
         worst_delta = 0.0
         for led in self._ledgers.values():

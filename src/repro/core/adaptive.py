@@ -70,8 +70,9 @@ class AdaptiveConfig:
     """Escalation policy knobs.
 
     ``epsilon_start``/``epsilon_cap`` bound the doubling search; ``delta`` is
-    the per-attempt delta -- ``None`` (the default) rations the stream's
-    delta_global evenly across ``max_attempts`` so repeated attempts on the
+    the per-attempt delta -- ``None`` (the default) rations the share of the
+    stream's delta_global not reserved by its filter's own analysis evenly
+    across ``max_attempts`` so repeated attempts on the
     same blocks can never delta-exhaust them; ``strategy`` is "conserve"
     (the Sage default) or "aggressive" (use everything available at once,
     the §5.4 ablation).
@@ -209,7 +210,16 @@ class AdaptiveSession:
         if config.delta is not None:
             self.delta = config.delta
         else:
-            self.delta = access.accountant.delta_global / config.max_attempts
+            # Ration the per-attempt delta out of the share the stream's
+            # filter leaves to queries: strong composition reserves its
+            # slack and Renyi accounting its conversion delta, and attempts
+            # charged against the reserved share would be refused long
+            # before the attempt budget ran out.
+            available = max(
+                0.0,
+                access.accountant.delta_global - access.accountant.delta_reserved,
+            )
+            self.delta = available / config.max_attempts
         self.epsilon = config.epsilon_start
         self.epsilon_floor = (
             config.epsilon_floor

@@ -28,6 +28,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.core.accountant import TOT_DELTA, TOT_EPS, BlockAccountant
+from repro.core.filters import TOTALS_BASE
 from repro.dp.budget import PrivacyBudget
 from repro.dp.composition import rogers_filter_epsilon_from_sums
 from repro.errors import InvalidBudgetError
@@ -178,6 +179,10 @@ def loss_dashboard(
         }
     dashboard: Dict[object, PrivacyBudget] = {}
     for key in keys:
-        odometer = StrongOdometer().load_totals(*accountant.ledger(key).totals)
+        # Only the shared base columns feed the odometer; order-extended
+        # schemas (the Renyi filter's per-order RDP columns) ride behind them.
+        odometer = StrongOdometer().load_totals(
+            *accountant.ledger(key).totals[:TOTALS_BASE]
+        )
         dashboard[key] = odometer.loss
     return dashboard

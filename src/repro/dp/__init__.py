@@ -40,10 +40,14 @@ from repro.dp.queries import (
 )
 from repro.dp.rdp import (
     DEFAULT_ORDERS,
+    GaussianMechanismBudget,
     calibrate_sigma,
     compute_epsilon,
     compute_rdp,
+    gaussian_mechanism_budget,
     gaussian_rdp,
+    pure_dp_rdp,
+    rdp_epsilon_penalties,
     rdp_to_epsilon,
     sampled_gaussian_rdp,
 )
@@ -96,6 +100,10 @@ __all__ = [
     "report_noisy_max",
     "dp_argmax_count",
     "DEFAULT_ORDERS",
+    "GaussianMechanismBudget",
+    "gaussian_mechanism_budget",
+    "pure_dp_rdp",
+    "rdp_epsilon_penalties",
     "gaussian_rdp",
     "sampled_gaussian_rdp",
     "compute_rdp",

@@ -36,19 +36,25 @@ tests pin the vectorized path against.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
+from repro.dp.budget import PrivacyBudget
 from repro.errors import CalibrationError
 
 __all__ = [
     "DEFAULT_ORDERS",
+    "GaussianMechanismBudget",
+    "gaussian_mechanism_budget",
     "gaussian_rdp",
+    "pure_dp_rdp",
     "sampled_gaussian_rdp",
     "sampled_gaussian_rdp_orders",
     "compute_rdp",
+    "rdp_epsilon_penalties",
     "rdp_to_epsilon",
     "compute_epsilon",
     "calibrate_sigma",
@@ -223,6 +229,92 @@ def compute_rdp(
     return steps * per_step
 
 
+def pure_dp_rdp(
+    epsilon: float, orders: Sequence[int] = DEFAULT_ORDERS
+) -> np.ndarray:
+    """RDP curve of an ``epsilon``-DP mechanism, one entry per order.
+
+    An epsilon-DP mechanism is ``epsilon^2/2``-zCDP (Bun & Steinke 2016),
+    i.e. satisfies ``(alpha, alpha * epsilon^2 / 2)``-RDP for every alpha;
+    and the Renyi divergence never exceeds the max divergence, so
+    ``epsilon`` itself is always an upper bound too.  The curve used here is
+    the pointwise minimum of the two.  This is the generic reduction the
+    :class:`~repro.core.filters.RenyiCompositionFilter` applies to charges
+    that carry only an ``(epsilon, delta)`` budget (the delta part is
+    accounted additively, outside the RDP curve, as in the moments
+    accountant's treatment of non-Gaussian mechanisms).
+    """
+    if epsilon < 0:
+        raise CalibrationError(f"epsilon must be >= 0, got {epsilon}")
+    alpha = np.asarray(_validated_orders(tuple(orders)), dtype=np.float64)
+    eps = float(epsilon)
+    return np.minimum(eps, 0.5 * eps * eps * alpha)
+
+
+@dataclass(frozen=True)
+class GaussianMechanismBudget(PrivacyBudget):
+    """A charge whose privacy cost is a (subsampled) Gaussian RDP curve.
+
+    Carries the mechanism parameters ``(q, sigma, steps)`` alongside the
+    converted ``(epsilon, delta)`` pair, so it is a fully valid
+    :class:`~repro.dp.budget.PrivacyBudget` for every filter and ledger --
+    basic/strong composition see the converted pair -- while RDP-aware
+    filters (:class:`~repro.core.filters.RenyiCompositionFilter`) detect
+    :meth:`rdp_vector` and charge the exact per-order curve instead of the
+    generic pure-DP reduction.  Build instances through
+    :func:`gaussian_mechanism_budget` so the pair and the curve agree.
+    """
+
+    q: float = 0.0
+    sigma: float = 1.0
+    steps: int = 0
+
+    def rdp_vector(self, orders: Sequence[int]) -> np.ndarray:
+        """Exact total RDP of this charge's mechanism at every order."""
+        return compute_rdp(self.q, self.sigma, self.steps, orders)
+
+
+def gaussian_mechanism_budget(
+    q: float,
+    sigma: float,
+    steps: int,
+    delta: float,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+) -> GaussianMechanismBudget:
+    """Budget for ``steps`` subsampled-Gaussian steps, with its (epsilon,
+    delta) pair derived from the same RDP curve RDP-aware filters charge."""
+    epsilon = compute_epsilon(q, sigma, steps, delta, orders)
+    return GaussianMechanismBudget(
+        epsilon, delta, q=float(q), sigma=float(sigma), steps=int(steps)
+    )
+
+
+def rdp_epsilon_penalties(
+    orders: Sequence[int], delta: float, improved: bool = True
+) -> np.ndarray:
+    """Per-order additive penalty of the RDP -> (epsilon, delta) conversion.
+
+    ``eps(alpha) = rdp(alpha) + penalty(alpha)`` with the penalty depending
+    only on ``(orders, delta)``: Balle et al. (2020) / Canonne-Kamath-
+    Steinke when ``improved`` (the default), classic Mironov otherwise.
+    :func:`rdp_to_epsilon` and the Renyi block filter both build their
+    conversions from this one helper so their admit boundaries agree
+    bit-for-bit.  Both conversions are valid for *any* real order > 1
+    (only the binomial-expansion paths require integers), so fractional
+    orders are accepted here.
+    """
+    if not 0 < delta < 1:
+        raise CalibrationError(f"delta must be in (0, 1), got {delta}")
+    alpha = np.asarray(tuple(orders), dtype=np.float64)
+    if (alpha <= 1.0).any():
+        raise CalibrationError(f"orders must be > 1, got {tuple(orders)}")
+    if improved:
+        return np.log((alpha - 1.0) / alpha) - (
+            math.log(delta) + np.log(alpha)
+        ) / (alpha - 1.0)
+    return np.full(alpha.shape, math.log(1.0 / delta)) / (alpha - 1.0)
+
+
 def rdp_to_epsilon(
     rdp: Iterable[float],
     orders: Sequence[int],
@@ -242,21 +334,12 @@ def rdp_to_epsilon(
 
     Returns ``(epsilon, best_order)`` minimizing over orders.
     """
-    if not 0 < delta < 1:
-        raise CalibrationError(f"delta must be in (0, 1), got {delta}")
     orders = list(orders)
     rdp_arr = np.asarray(list(rdp), dtype=np.float64)
     alpha = np.asarray(orders, dtype=np.float64)
     if rdp_arr.shape != alpha.shape:
         raise CalibrationError("rdp and orders must have equal length")
-    if improved:
-        eps = (
-            rdp_arr
-            + np.log((alpha - 1.0) / alpha)
-            - (math.log(delta) + np.log(alpha)) / (alpha - 1.0)
-        )
-    else:
-        eps = rdp_arr + math.log(1.0 / delta) / (alpha - 1.0)
+    eps = rdp_arr + rdp_epsilon_penalties(tuple(orders), delta, improved)
     best = int(np.argmin(eps))  # first minimum, like the scalar scan
     return max(0.0, float(eps[best])), orders[best]
 

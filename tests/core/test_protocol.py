@@ -262,6 +262,105 @@ class TestStagedBatch:
         with pytest.raises(AccessDeniedError):
             access.begin_staging()
 
+    def test_trusted_commit_byte_parity_with_validating_commit(self):
+        """The trusted bulk-write commit must leave the accountant in the
+        byte-identical state charge_many's re-validating commit produces."""
+        trusted_acc, validating_acc = self._accountant(), self._accountant()
+        requests = [
+            ([0, 1, 2], PrivacyBudget(0.25, 1e-9), "a"),
+            ([1, 2, 3], PrivacyBudget(0.5, 1e-9), "b"),
+            ([4, 5], PrivacyBudget(0.75, 0.0), "c"),
+            ([0], PrivacyBudget(0.5, 0.0), "d"),
+        ]
+        for acc in (trusted_acc, validating_acc):
+            acc.begin_staging()
+            for keys, budget, label in requests:
+                acc.stage_charge(keys, budget, label)
+        trusted_records = trusted_acc.commit_staged_trusted()
+        validating_acc.charge_many(validating_acc.pop_staged())
+        assert not trusted_acc.staging_active
+        assert trusted_acc.store.totals.tobytes() == validating_acc.store.totals.tobytes()
+        assert trusted_acc.store.charge_counts.tobytes() == (
+            validating_acc.store.charge_counts.tobytes()
+        )
+        assert [r.block_keys for r in trusted_records] == [
+            r.block_keys for r in validating_acc.charges
+        ]
+        for key in trusted_acc.block_keys:
+            assert trusted_acc.ledger(key).history == validating_acc.ledger(key).history
+            assert trusted_acc.ledger(key).totals == validating_acc.ledger(key).totals
+
+    def test_trusted_commit_with_block_registered_mid_batch(self):
+        acc = self._accountant(n_blocks=2)
+        acc.begin_staging()
+        acc.stage_charge([0], PrivacyBudget(0.25, 0.0))
+        acc.register_block(99)  # lands mid-hour, after the overlay opened
+        acc.stage_charge([99, 1], PrivacyBudget(0.5, 0.0))
+        acc.commit_staged_trusted()
+        assert acc.store.totals[acc.rows_for_keys([99])[0], 0] == pytest.approx(0.5)
+        assert len(acc.charges) == 2
+
+    def test_trusted_commit_empty_batch_is_noop(self):
+        acc = self._accountant()
+        assert acc.commit_staged_trusted() == []  # nothing open
+        acc.begin_staging()
+        assert acc.commit_staged_trusted() == []  # open but empty
+        assert not acc.staging_active
+
+    def test_access_flag_routes_commit_to_trusted_path(self):
+        access = SageAccessControl(1.0, 1e-6, trusted_staged_commit=True)
+        access.register_blocks(range(3))
+        calls = {"request_many": 0}
+        orig = access.request_many
+
+        def counting(*args, **kwargs):
+            calls["request_many"] += 1
+            return orig(*args, **kwargs)
+
+        access.request_many = counting
+        access.begin_staging()
+        access.stage_request([0, 1], PrivacyBudget(0.5, 0.0), label="x")
+        records = access.commit_staged()
+        assert [r.label for r in records] == ["x"]
+        assert calls["request_many"] == 0  # bulk write, no re-validation
+        assert access.accountant.store.totals[0, 0] == pytest.approx(0.5)
+
+    def test_trusted_commit_still_checks_committer_principal(self):
+        access = SageAccessControl(
+            1.0,
+            1e-6,
+            authorized_principals=["alice"],
+            trusted_staged_commit=True,
+        )
+        access.register_blocks(range(2))
+        access.begin_staging()
+        access.stage_request([0], PrivacyBudget(0.25, 0.0), principal="alice")
+        with pytest.raises(AccessDeniedError):
+            access.commit_staged(principal="mallory")
+        assert access.staging_active
+        assert len(access.commit_staged(principal="alice")) == 1
+
+    def test_platform_trusted_hour_identical_to_validating_hour(self):
+        """End to end: a Sage deployment with the trusted commit produces
+        byte-identical trajectories to the validating one."""
+        fingerprints = []
+        for trusted in (False, True):
+            sage = Sage(
+                CountStreamSource(4000, scale=1000),
+                seed=7,
+                trusted_staged_commit=trusted,
+            )
+            for i, c in enumerate((3_000.0, 20_000.0)):
+                sage.submit(
+                    OraclePipeline(name=f"p{i}", n_at_eps1=c),
+                    AdaptiveConfig(max_attempts=12),
+                )
+            sage.run_until_quiet(max_hours=40)
+            fingerprints.append(_fingerprint(sage))
+        validating, trusted = fingerprints
+        for field in validating:
+            assert validating[field] == trusted[field], f"{field} diverged"
+
     def test_commit_staged_on_acl_stream(self):
         """Regression: the hourly commit must honor stream-level ACLs
         without dropping the staged batch on a refused principal."""
