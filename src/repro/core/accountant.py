@@ -120,6 +120,20 @@ accountant supports this with a :class:`StagedBatch` overlay opened by
 Staging requires the vectorized filter path (``staging_supported``);
 mutating the accountant through ``charge``/``charge_many`` while a batch is
 open is an error, since the overlay could not see those writes.
+
+Sharding
+--------
+:mod:`repro.core.sharding` builds on exactly these contracts: a
+:class:`~repro.core.sharding.ShardedBlockAccountant` keeps each shard's
+totals in its own contiguous :class:`LedgerStore` while presenting the
+same global row space (rows in registration order -- the
+``rows_for_keys`` / ``ReservationTable`` alignment invariant), validates
+``charge_many`` batches shard-locally with this module's float
+accumulation, and commits all shards or none.  The partitioner contract
+and the global-row-space invariant are documented there.  The
+snapshot-scoped scan memo (``begin_scan_memo``) serves the platform's
+parallel propose phase: while a staged batch is open and untouched,
+whole-stream admit scans may be computed once and shared across sessions.
 """
 
 from __future__ import annotations
@@ -485,6 +499,8 @@ class BlockAccountant:
         self._row_cache: Dict[tuple, np.ndarray] = {}
         # Open staged batch (the propose/settle overlay), or None.
         self._staged: Optional[StagedBatch] = None
+        # Snapshot-scoped scan memo (see begin_scan_memo), or None.
+        self._scan_memo: Optional[Dict] = None
         # Retirement is permanent (privacy loss never decreases), so dead
         # blocks can be pruned from every scan once detected.  This keeps
         # usable_blocks() linear in the number of *live* blocks even when a
@@ -498,15 +514,22 @@ class BlockAccountant:
         """Create a ledger for a freshly ingested block (zero loss so far)."""
         if key in self._ledgers:
             raise InvalidBudgetError(f"block {key!r} already registered")
+        # A new row changes every whole-stream scan: memoized scans are stale.
+        self._scan_memo = None
         ledger = BlockLedger(
             key=key, filter=self._make_filter(self.epsilon_global, self.delta_global)
         )
-        row = self._store.append()
+        row = self._append_store_row(key)
         ledger._attach(self._store, row)
         self._ledgers[key] = ledger
         self._keys.append(key)
         self._rows[key] = row
         return ledger
+
+    def _append_store_row(self, key: object) -> int:
+        """Store-row allocation hook for :meth:`register_block`; sharded
+        accountants route the row to the partitioner's shard."""
+        return self._store.append()
 
     def register_blocks(self, keys: Sequence[object]) -> None:
         for key in keys:
@@ -592,6 +615,21 @@ class BlockAccountant:
     def staging_active(self) -> bool:
         return self._staged is not None
 
+    @property
+    def staged_request_count(self) -> int:
+        """Number of charges staged in the open batch (0 when none is open).
+
+        The platform's parallel propose drive uses this as (part of) its
+        speculation token: a first proposal computed against the empty
+        overlay is reusable only while nothing has been staged since.
+        """
+        return len(self._staged.requests) if self._staged is not None else 0
+
+    def _new_staged_batch(self) -> StagedBatch:
+        """Overlay factory hook; sharded accountants return an overlay that
+        also tracks staged spend per shard."""
+        return StagedBatch(self)
+
     def begin_staging(self) -> StagedBatch:
         """Open a staged batch; subsequent reads see staged charges."""
         if self._staged is not None:
@@ -601,8 +639,33 @@ class BlockAccountant:
                 "staging requires a homogeneous totals-deciding filter; "
                 "this accountant's filter routes through the scalar path"
             )
-        self._staged = StagedBatch(self)
+        self._staged = self._new_staged_batch()
         return self._staged
+
+    # ------------------------------------------------------------------
+    # Snapshot-scoped scan memo (the parallel propose phase)
+    # ------------------------------------------------------------------
+    def begin_scan_memo(self) -> None:
+        """Start memoizing whole-stream admit scans by floor budget.
+
+        Valid only while the effective totals are *frozen*: a staged batch
+        must be open and nothing may be staged, charged, or registered
+        until :meth:`end_scan_memo`.  The platform's parallel propose
+        phase brackets its session peeks with this -- every peek reads the
+        same snapshot by construction, so the live-admit scan for a given
+        floor budget is computed once and shared across all sessions
+        (decisions are identical to recomputing; only the redundant passes
+        disappear).  Reads are thread-safe: concurrent memo misses just
+        compute the same read-only row array twice.
+        """
+        if self._staged is None:
+            raise InvalidBudgetError(
+                "scan memoization requires an open (frozen) staged batch"
+            )
+        self._scan_memo = {}
+
+    def end_scan_memo(self) -> None:
+        self._scan_memo = None
 
     def stage_charge(
         self, keys: Sequence[object], budget: PrivacyBudget, label: str = ""
@@ -616,6 +679,8 @@ class BlockAccountant:
         """
         if self._staged is None:
             raise InvalidBudgetError("no staged batch is open")
+        # Staging moves the effective totals: any memoized scans are stale.
+        self._scan_memo = None
         keys = list(keys)
         if not keys:
             raise InvalidBudgetError("a charge must name at least one block")
@@ -640,6 +705,9 @@ class BlockAccountant:
         """Close the staged batch, returning its ``(keys, budget, label)``
         requests for a single :meth:`charge_many` commit (nothing has been
         committed yet; discarding the return value aborts the batch)."""
+        # Closing the overlay ends the frozen snapshot any scan memo was
+        # defined against (commits may follow immediately).
+        self._scan_memo = None
         staged, self._staged = self._staged, None
         return staged.requests if staged is not None else []
 
@@ -878,6 +946,7 @@ class BlockAccountant:
         The access layer keeps it behind an explicit opt-in flag; the
         byte-parity against the validating path is pinned by tests.
         """
+        self._scan_memo = None  # the frozen snapshot ends with the overlay
         staged, self._staged = self._staged, None
         if staged is None or not staged.requests:
             return []
@@ -924,7 +993,17 @@ class BlockAccountant:
 
     def _live_admit_rows(self, floor: PrivacyBudget) -> np.ndarray:
         """Rows of live blocks admitting ``floor``, marking newly retired
-        blocks dead along the way -- the shared body of every block scan."""
+        blocks dead along the way -- the shared body of every block scan.
+
+        While a scan memo is active (totals frozen, see
+        :meth:`begin_scan_memo`) the result is cached per floor budget and
+        shared read-only across callers.
+        """
+        memo = self._scan_memo
+        if memo is not None:
+            cached = memo.get(floor)
+            if cached is not None:
+                return cached
         live_rows = np.nonzero(self._store.live)[0]
         if live_rows.size == 0:
             return live_rows
@@ -950,19 +1029,22 @@ class BlockAccountant:
                 self._store.retire(retired_rows)
                 self._dead.update(self._keys[i] for i in retired_rows)
             live_rows = live_rows[alive]
-        if floor == self.retirement_budget:
-            return live_rows
-        if not self._vectorized:
-            admitted = np.fromiter(
-                (self._ledgers[self._keys[i]].admits(floor) for i in live_rows),
-                dtype=bool,
-                count=live_rows.size,
-            )
-        else:
-            admitted = self._batch_filter.admits_batch(
-                self._totals_view()[live_rows], floor
-            )
-        return live_rows[admitted]
+        if floor != self.retirement_budget:
+            if not self._vectorized:
+                admitted = np.fromiter(
+                    (self._ledgers[self._keys[i]].admits(floor) for i in live_rows),
+                    dtype=bool,
+                    count=live_rows.size,
+                )
+            else:
+                admitted = self._batch_filter.admits_batch(
+                    self._totals_view()[live_rows], floor
+                )
+            live_rows = live_rows[admitted]
+        if memo is not None:
+            live_rows.setflags(write=False)  # shared across memo readers
+            memo[floor] = live_rows
+        return live_rows
 
     def usable_blocks(self, min_budget: Optional[PrivacyBudget] = None) -> List[object]:
         """Keys of blocks that can still absorb ``min_budget`` (default: the
@@ -1042,19 +1124,36 @@ class BlockAccountant:
         """
         if not self._keys:
             return ZERO_BUDGET
+        return self._loss_bound_over_rows(None)
+
+    def _loss_bound_over_rows(self, rows: Optional[np.ndarray]) -> PrivacyBudget:
+        """Component-wise max of the per-block bounds of the named store
+        rows -- ``stream_loss_bound`` over all rows (``rows=None``, which
+        reduces over the store view without copying it), a shard's bound
+        over its rows (``ShardedBlockAccountant.shard_loss_bounds``).  One
+        vectorized pass for the known filter families; blocks with no
+        charges contribute zero, not the filter's slack."""
+        if rows is None:
+            if len(self._store) == 0:
+                return ZERO_BUDGET
+            totals_rows = self._store.totals
+            counts = self._store.charge_counts
+        else:
+            if rows.size == 0:
+                return ZERO_BUDGET
+            totals_rows = self._store.totals[rows]
+            counts = self._store.charge_counts[rows]
         if type(self._batch_filter) is BasicCompositionFilter:
             # Basic composition's per-block bound is exactly the totals row.
-            totals = self._store.totals
-            eps = float(totals[:, TOT_EPS].max())
-            delta = float(np.minimum(1.0, totals[:, TOT_DELTA]).max())
+            eps = float(totals_rows[:, TOT_EPS].max())
+            delta = float(np.minimum(1.0, totals_rows[:, TOT_DELTA]).max())
             return PrivacyBudget(eps, delta)
         if type(self._batch_filter) is StrongCompositionFilter:
-            # One vectorized Theorem A.2 pass over the store; blocks with no
-            # charges are excluded (their bound is zero, not the slack).
-            charged = self._store.charge_counts > 0
+            # One vectorized Theorem A.2 pass over the charged rows.
+            charged = counts > 0
             if not charged.any():
                 return ZERO_BUDGET
-            totals = self._store.totals[charged]
+            totals = totals_rows[charged]
             f = self._batch_filter
             strong = rogers_filter_epsilon_from_sums_batch(
                 totals[:, TOT_SQ], totals[:, TOT_LINEAR],
@@ -1067,17 +1166,18 @@ class BlockAccountant:
         if self._vectorized and loss_bound_batch is not None:
             # Filters with a vectorized per-row bound (e.g. the Renyi
             # filter's converted-RDP curve): one pass over charged rows.
-            charged = self._store.charge_counts > 0
+            charged = counts > 0
             if not charged.any():
                 return ZERO_BUDGET
-            eps_rows, delta_rows = loss_bound_batch(self._store.totals[charged])
+            eps_rows, delta_rows = loss_bound_batch(totals_rows[charged])
             return PrivacyBudget(
                 float(eps_rows.max()), float(min(1.0, delta_rows.max()))
             )
         worst_eps = 0.0
         worst_delta = 0.0
-        for led in self._ledgers.values():
-            bound = led.loss_bound()
+        row_iter = range(len(self._store)) if rows is None else rows
+        for i in row_iter:
+            bound = self._ledgers[self._keys[i]].loss_bound()
             worst_eps = max(worst_eps, bound.epsilon)
             worst_delta = max(worst_delta, bound.delta)
         return PrivacyBudget(worst_eps, worst_delta)

@@ -321,6 +321,45 @@ class AdaptiveSession:
     # ------------------------------------------------------------------
     # The two-phase protocol
     # ------------------------------------------------------------------
+    def propose_peek(self) -> Tuple[Optional[ChargeProposal], str]:
+        """Preview :meth:`propose` without mutating *any* session state.
+
+        Returns ``(proposal, status_after)``: exactly the proposal a
+        woken-then-``propose()``-ed session would produce and the status it
+        would transition to -- but computed as a pure read (a blocked
+        NEED_DATA session is evaluated as if :meth:`wake` had run).  This
+        is the entry point of the platform's parallel propose drive:
+        because nothing is written, any number of sessions can be peeked
+        concurrently against a fixed accountant snapshot, and the driver
+        later either adopts the result (when the snapshot provably still
+        holds) or discards it and calls :meth:`propose` for real.
+        """
+        status = self.status
+        if status == SessionStatus.NEED_DATA:
+            status = SessionStatus.RUNNING  # what wake() would do
+        if status != SessionStatus.RUNNING:
+            return None, status
+        if len(self.attempts) >= self.config.max_attempts:
+            return None, SessionStatus.TIMEOUT
+        window, eps_attempt = self._select_attempt()
+        if window is None:
+            return None, SessionStatus.NEED_DATA
+        epsilon_after = self.epsilon
+        if self.config.strategy == "aggressive":
+            # Spend everything available on this window right away -- but
+            # only commit the raised schedule once the charge is granted.
+            eps_attempt = max(eps_attempt, self._epsilon_limit(window))
+            epsilon_after = max(self.epsilon, eps_attempt)
+        proposal = ChargeProposal(
+            session=self,
+            attempt=len(self.attempts) + 1,
+            window=tuple(window),
+            budget=PrivacyBudget(eps_attempt, self.delta),
+            epsilon_after=epsilon_after,
+            label=self.pipeline.name,
+        )
+        return proposal, SessionStatus.RUNNING
+
     def propose(self) -> Optional[ChargeProposal]:
         """Phase one: pick the next attempt without touching the accountant.
 
@@ -333,27 +372,9 @@ class AdaptiveSession:
         """
         if self.status != SessionStatus.RUNNING:
             return None
-        if len(self.attempts) >= self.config.max_attempts:
-            self.status = SessionStatus.TIMEOUT
-            return None
-        window, eps_attempt = self._select_attempt()
-        if window is None:
-            self.status = SessionStatus.NEED_DATA
-            return None
-        epsilon_after = self.epsilon
-        if self.config.strategy == "aggressive":
-            # Spend everything available on this window right away -- but
-            # only commit the raised schedule once the charge is granted.
-            eps_attempt = max(eps_attempt, self._epsilon_limit(window))
-            epsilon_after = max(self.epsilon, eps_attempt)
-        return ChargeProposal(
-            session=self,
-            attempt=len(self.attempts) + 1,
-            window=tuple(window),
-            budget=PrivacyBudget(eps_attempt, self.delta),
-            epsilon_after=epsilon_after,
-            label=self.pipeline.name,
-        )
+        proposal, status_after = self.propose_peek()
+        self.status = status_after
+        return proposal
 
     def complete(self, decision: ChargeDecision) -> str:
         """Phase two: consume the driver's decision on our proposal.

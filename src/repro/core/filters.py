@@ -89,6 +89,7 @@ from repro.dp.composition import (
 )
 from repro.dp.rdp import (
     DEFAULT_ORDERS,
+    PRUNED_ORDERS,
     pure_dp_rdp,
     rdp_epsilon_penalties,
 )
@@ -461,16 +462,30 @@ class RenyiCompositionFilter(PrivacyFilter):
     best order, as the moments accountant always has.
     """
 
+    #: Named order grids accepted by the ``orders`` parameter: "default"
+    #: is :data:`~repro.dp.rdp.DEFAULT_ORDERS` (69 orders, the dense grid);
+    #: "pruned" is :data:`~repro.dp.rdp.PRUNED_ORDERS` (17 orders, ~4x
+    #: narrower store rows at a few percent of conversion tightness --
+    #: bounded by tests in ``tests/core/test_renyi.py``).
+    ORDER_PRESETS = {"default": DEFAULT_ORDERS, "pruned": PRUNED_ORDERS}
+
     def __init__(
         self,
         epsilon_global: float,
         delta_global: float,
-        orders: Sequence[int] = None,
+        orders=None,
         delta_conversion: float = None,
     ) -> None:
         super().__init__(epsilon_global, delta_global)
         if orders is None:
             orders = DEFAULT_ORDERS
+        elif isinstance(orders, str):
+            if orders not in self.ORDER_PRESETS:
+                raise InvalidBudgetError(
+                    f"unknown orders preset {orders!r}; "
+                    f"pick one of {sorted(self.ORDER_PRESETS)}"
+                )
+            orders = self.ORDER_PRESETS[orders]
         orders = tuple(orders)
         if not orders:
             raise InvalidBudgetError("need at least one Renyi order")

@@ -167,6 +167,12 @@ def loss_dashboard(
     than replaying every charge); does not interfere with enforcement.  The
     basic variant is a single vectorized pass over the accountant's
     struct-of-arrays store.
+
+    Sharded accountants are covered transparently: their ``store.totals``
+    is the global-row-space view spanning every shard and ``block_keys``
+    stays in global registration order, so the dashboard aggregates all
+    shards, in stream order (regression-tested sharded-vs-single in
+    ``tests/core/test_sharding.py``).
     """
     keys = accountant.block_keys
     if not strong:

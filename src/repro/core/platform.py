@@ -43,6 +43,30 @@ Streams whose accountant cannot vectorize (custom scalar-only filters, or
 with immediate per-proposal ``request`` execution -- trajectories are
 float-identical either way; only the commit granularity changes.
 
+Parallel propose drive (sharding-ready)
+---------------------------------------
+With ``propose_workers > 0`` the staged hour opens with a *parallel
+propose phase*: every waiting session's first proposal is peeked
+concurrently in a thread pool (:meth:`AdaptiveSession.propose_peek` is a
+pure read -- PR 3's contract) against the freshly opened, empty overlay,
+and whole-stream admit scans are shared across the sessions for the
+duration of the phase (the accountant's snapshot-scoped scan memo).  The
+serial settle loop then adopts each speculation only while its snapshot
+token provably still holds -- zero charges staged so far and an unchanged
+waiting-pipeline count (allocation shares, redistribution, and the
+escalation rate all key off it); otherwise the session proposes for real.
+Either way the trajectory is byte-identical to the sequential drive.
+Pipeline execution itself stays serial in submission order (sessions
+share one RNG stream).
+
+The accountant side composes: ``accountant_factory`` (e.g.
+:func:`repro.core.sharding.sharded_accountant_factory`) swaps in a
+:class:`~repro.core.sharding.ShardedBlockAccountant`, whose per-shard
+contiguous stores validate the hour's one ``request_many`` batch shard by
+shard and commit all-or-nothing -- the hourly batch is the shard-commit
+unit.  The reservation table needs no changes: sharded accountants keep
+``rows_for_keys`` in the same global row space.
+
 Reservation table
 -----------------
 Per-pipeline epsilon reservations live in one contiguous
@@ -59,6 +83,7 @@ accountant's tail scan as a vectorized ``row_filter``.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -69,6 +94,7 @@ from repro.core.adaptive import (
     AdaptiveConfig,
     AdaptiveSession,
     ChargeDecision,
+    ChargeProposal,
     SessionStatus,
 )
 from repro.core.model_store import ModelFeatureStore, ReleasedBundle
@@ -76,7 +102,34 @@ from repro.data.database import GrowingDatabase, StreamIngestor
 from repro.data.stream import StreamSource, TimePartitioner
 from repro.errors import BlockRetiredError, BudgetExceededError, PipelineError
 
-__all__ = ["Sage", "SubmittedPipeline", "ReservationTable"]
+__all__ = ["Sage", "SubmittedPipeline", "ReservationTable", "SpeculativeProposal"]
+
+
+@dataclass(frozen=True)
+class SpeculativeProposal:
+    """A session's first proposal of the hour, computed ahead of its turn.
+
+    Produced by the parallel propose phase (``propose_workers > 0``):
+    every waiting session is peeked concurrently against the hour's empty
+    staged overlay -- a pure read by the propose/settle contract.  The
+    serial settle loop adopts the result only while the snapshot it was
+    computed against provably still holds; the *token* is
+
+    * ``n_waiting`` -- the waiting-pipeline count at peek time (allocation
+      shares, redistribution targets, and the escalation rate all key off
+      it), and
+    * zero charges staged so far this hour (staged spend changes the
+      effective totals every proposal reads).
+
+    If either moved, the speculation is discarded and the session proposes
+    for real -- so trajectories are byte-identical to the sequential drive
+    whether or not any speculation survives.
+    """
+
+    proposal: Optional[ChargeProposal]
+    status_after: str
+    n_waiting: int
+    n_attempts: int
 
 
 class ReservationTable:
@@ -257,6 +310,12 @@ class Sage:
     regardless.  ``trusted_staged_commit`` additionally opts the batched
     hour into the accountant's no-revalidation bulk commit (byte-identical
     state, roughly half the hourly accounting cost).
+
+    ``accountant_factory`` swaps the stream accountant implementation
+    (e.g. :func:`repro.core.sharding.sharded_accountant_factory` for a
+    partitioned ledger store); ``propose_workers`` enables the parallel
+    propose phase of each staged hour (see the module docstring) -- both
+    preserve trajectories byte for byte.
     """
 
     def __init__(
@@ -269,6 +328,8 @@ class Sage:
         seed: Optional[int] = None,
         batched_advance: bool = True,
         trusted_staged_commit: bool = False,
+        accountant_factory=None,
+        propose_workers: int = 0,
     ) -> None:
         self.database = GrowingDatabase()
         self.rng = np.random.default_rng(seed)
@@ -283,6 +344,7 @@ class Sage:
             delta_global,
             filter_factory=filter_factory,
             trusted_staged_commit=trusted_staged_commit,
+            accountant_factory=accountant_factory,
         )
         self.store = ModelFeatureStore()
         self.epsilon_global = epsilon_global
@@ -292,6 +354,16 @@ class Sage:
         # columns aligned to the stream accountant's ledger-store rows.
         self._table = ReservationTable()
         self.batched_advance = batched_advance
+        # Parallel propose drive: peek every waiting session's first
+        # proposal of the hour in this many worker threads (0 = off).
+        # Requires the staged path (speculation is validated against the
+        # staged overlay's emptiness); trajectories are byte-identical to
+        # the sequential drive either way.
+        self.propose_workers = max(0, int(propose_workers))
+        self._propose_pool: Optional[ThreadPoolExecutor] = None
+        # Speculations adopted vs recomputed in the most recent advance()
+        # (diagnostics for the parallel drive's hit rate).
+        self.last_hour_speculations = (0, 0)
         # Charges committed by the most recent advance() (diagnostics).
         self.last_hour_charges = 0
 
@@ -429,7 +501,107 @@ class Sage:
         entry.settled_attempts = len(attempts)
 
     # ------------------------------------------------------------------
-    def _drive_session(self, entry: SubmittedPipeline, staged: bool) -> None:
+    # Parallel propose phase (speculative first proposals)
+    # ------------------------------------------------------------------
+    def _ensure_propose_pool(self) -> ThreadPoolExecutor:
+        if self._propose_pool is None:
+            self._propose_pool = ThreadPoolExecutor(
+                max_workers=self.propose_workers,
+                thread_name_prefix="sage-propose",
+            )
+        return self._propose_pool
+
+    def close(self) -> None:
+        """Release worker threads (the propose pool and, for sharded
+        accountants, the shard-validation pool).  Idempotent; the platform
+        keeps working afterwards -- pools are re-created on demand."""
+        if self._propose_pool is not None:
+            self._propose_pool.shutdown(wait=False)
+            self._propose_pool = None
+        accountant_close = getattr(self.access.accountant, "close", None)
+        if accountant_close is not None:
+            accountant_close()
+
+    def __enter__(self) -> "Sage":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _speculate_proposals(self) -> Dict[int, SpeculativeProposal]:
+        """Peek every waiting session's first proposal in the worker pool.
+
+        Runs right after ``begin_staging()`` opened the hour's (empty)
+        overlay, so each peek reads exactly the state the sequential drive
+        would show the *first* session -- committed totals, this hour's
+        allocations, no staged spend.  Peeks are pure reads
+        (``propose_peek`` mutates nothing; window scans against an open
+        overlay defer retirement persistence), so any interleaving yields
+        the same per-session results.  Sessions are dealt round-robin into
+        one task per worker to amortize dispatch overhead.
+        """
+        waiting = [e for e in self._pipelines if e.waiting]
+        if len(waiting) < 2:
+            return {}
+        n_waiting = len(waiting)
+        workers = min(self.propose_workers, n_waiting)
+
+        def peek_chunk(chunk):
+            out = []
+            for entry in chunk:
+                proposal, status_after = entry.session.propose_peek()
+                out.append(
+                    (
+                        id(entry),
+                        SpeculativeProposal(
+                            proposal=proposal,
+                            status_after=status_after,
+                            n_waiting=n_waiting,
+                            n_attempts=len(entry.session.attempts),
+                        ),
+                    )
+                )
+            return out
+
+        pool = self._ensure_propose_pool()
+        chunks = [waiting[w::workers] for w in range(workers)]
+        speculations: Dict[int, SpeculativeProposal] = {}
+        # All peeks read the same frozen snapshot (the empty overlay), so
+        # whole-stream admit scans are shared across sessions for the
+        # duration of the phase -- the second leg of the parallel win.
+        accountant = self.access.accountant
+        accountant.begin_scan_memo()
+        try:
+            for result in pool.map(peek_chunk, chunks):
+                speculations.update(result)
+        finally:
+            accountant.end_scan_memo()
+        return speculations
+
+    def _speculation_valid(
+        self,
+        entry: SubmittedPipeline,
+        spec: SpeculativeProposal,
+        waiting_count: int,
+    ) -> bool:
+        """Whether the peeked snapshot provably still holds (see
+        :class:`SpeculativeProposal`).  ``waiting_count`` is the current
+        waiting-pipeline count, maintained O(1) by the hour loop (sessions
+        only leave the waiting set by terminating during their own drive)."""
+        return (
+            spec.n_attempts == len(entry.session.attempts)
+            and self.access.accountant.staged_request_count == 0
+            and spec.n_waiting == waiting_count
+        )
+
+    # ------------------------------------------------------------------
+    def _drive_session(
+        self,
+        entry: SubmittedPipeline,
+        staged: bool,
+        spec: Optional[SpeculativeProposal] = None,
+        waiting_count: Optional[int] = None,
+    ) -> None:
         """Run one session's propose/decide/complete loop for this hour.
 
         Every proposal is validated against the hour's staged batch (or
@@ -437,13 +609,37 @@ class Sage:
         and the decision fed back; a refusal becomes a denied decision, so
         the session blocks on NEED_DATA with escalation state untouched
         instead of the refusal propagating.
+
+        ``spec`` is the session's speculative first proposal from the
+        parallel propose phase: adopted for the first iteration when its
+        snapshot token still holds (skipping the propose scan entirely),
+        discarded otherwise.  Only the first attempt can be speculative --
+        later attempts depend on this hour's own staged charges.
         """
         session = entry.session
         session.wake()
+        if spec is not None:
+            if waiting_count is None:
+                waiting_count = len(self._waiting_pipelines())
+            if not self._speculation_valid(entry, spec, waiting_count):
+                spec = None
+        adopted, recomputed = self.last_hour_speculations
         while session.status == SessionStatus.RUNNING:
-            proposal = session.propose()
-            if proposal is None:
-                break
+            if spec is not None:
+                proposal, status_after = spec.proposal, spec.status_after
+                spec = None
+                adopted += 1
+                self.last_hour_speculations = (adopted, recomputed)
+                if proposal is None:
+                    # Exactly the transition propose() would have made.
+                    session.status = status_after
+                    break
+            else:
+                recomputed += 1
+                self.last_hour_speculations = (adopted, recomputed)
+                proposal = session.propose()
+                if proposal is None:
+                    break
             window = list(proposal.window)
             granted = True
             try:
@@ -486,12 +682,27 @@ class Sage:
         if staged:
             self.access.begin_staging()
         self.last_hour_charges = 0
+        self.last_hour_speculations = (0, 0)
         released: List[ReleasedBundle] = []
         try:
+            # Parallel propose phase: peek every waiting session's first
+            # proposal against the freshly opened (empty) overlay.  Needs
+            # the staged path -- speculation tokens are defined against it.
+            # Inside the try so a failed peek still closes the overlay.
+            speculations: Dict[int, SpeculativeProposal] = {}
+            if staged and self.propose_workers > 0:
+                speculations = self._speculate_proposals()
+            # Maintained O(1) through the loop: sessions only leave the
+            # waiting set by terminating during their own drive below.
+            waiting_count = sum(1 for p in self._pipelines if p.waiting)
             for entry in self._pipelines:
                 if not entry.waiting:
                     continue
-                self._drive_session(entry, staged)
+                self._drive_session(
+                    entry, staged, speculations.get(id(entry)), waiting_count
+                )
+                if entry.session.is_terminal:
+                    waiting_count -= 1
                 self._settle_charges(entry)
                 if entry.session.status == SessionStatus.ACCEPTED:
                     run = entry.session.final_run

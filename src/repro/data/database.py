@@ -13,25 +13,67 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.data.stream import RawBlock, StreamBatch, StreamSource, TimePartitioner
+from repro.data.stream import (
+    PackedColumns,
+    RawBlock,
+    StreamBatch,
+    StreamSource,
+    TimePartitioner,
+)
 from repro.errors import DataError
 
 __all__ = ["GrowingDatabase", "StreamIngestor"]
 
 
 class GrowingDatabase:
-    """Append-only block store keyed by public block attributes."""
+    """Append-only block store keyed by public block attributes.
+
+    Blocks whose batches share one schema are packed into a
+    :class:`~repro.data.stream.PackedColumns` store at append time
+    (preallocated columns, each row written exactly once) and the packed
+    store becomes their *only* storage -- no duplicate per-block slab is
+    kept -- so :meth:`assemble`, the hourly drive's window-assembly hot
+    path, reads a window back as one slice or gather per column instead of
+    re-concatenating thousands of per-block arrays, at no extra resident
+    memory.  A block that breaks the schema (different feature width,
+    dtypes, or extras) is kept as its own slab and permanently stops
+    *new* blocks from packing; already-packed blocks stay backed by the
+    packed store, and mixed windows assemble through the
+    :meth:`StreamBatch.concatenate` fallback.  Either path returns
+    value-identical fresh batches.
+    """
 
     def __init__(self) -> None:
+        # Blocks not in the packed store (schema-drifted or post-drift).
         self._blocks: Dict[object, RawBlock] = {}
         self._order: List[object] = []
+        self._lengths: Dict[object, int] = {}
+        # Packed-column storage: per-key (start, length) extents into the
+        # packed store (extents are appended in registration order, so
+        # adjacent extents <=> chronologically adjacent blocks).
+        self._packed: Optional[PackedColumns] = None
+        self._extents: Dict[object, tuple] = {}
+        self._packing = True
 
     # ------------------------------------------------------------------
     def append(self, block: RawBlock) -> None:
-        if block.key in self._blocks:
+        if block.key in self._lengths:
             raise DataError(f"block {block.key!r} already exists (blocks are immutable)")
-        self._blocks[block.key] = block
         self._order.append(block.key)
+        self._lengths[block.key] = len(block)
+        if self._packing:
+            batch = block.batch
+            if self._packed is None:
+                self._packed = PackedColumns(batch)
+            if self._packed.matches(batch):
+                # Empty blocks pack as zero-length extents -- they break
+                # nothing (assembly filters them out before gathering).
+                self._extents[block.key] = self._packed.append(batch)
+                return
+            # Schema drift: stop packing new blocks for good.  Blocks
+            # already packed keep the packed store as their backing.
+            self._packing = False
+        self._blocks[block.key] = block
 
     def extend(self, blocks: Sequence[RawBlock]) -> None:
         for block in blocks:
@@ -42,7 +84,7 @@ class GrowingDatabase:
         return len(self._order)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._blocks
+        return key in self._lengths
 
     @property
     def keys(self) -> List[object]:
@@ -50,15 +92,22 @@ class GrowingDatabase:
         return list(self._order)
 
     def get(self, key: object) -> RawBlock:
-        if key not in self._blocks:
+        """The named block.  Packed blocks are materialized on demand as a
+        fresh slab (value-identical to what was appended)."""
+        slab = self._blocks.get(key)
+        if slab is not None:
+            return slab
+        extent = self._extents.get(key)
+        if extent is None:
             raise DataError(f"no block with key {key!r}")
-        return self._blocks[key]
+        start, length = extent
+        return RawBlock(key=key, batch=self._packed.slice_batch(start, start + length))
 
     def block_sizes(self) -> Dict[object, int]:
-        return {key: len(self._blocks[key]) for key in self._order}
+        return dict(self._lengths)
 
     def total_rows(self) -> int:
-        return sum(len(b) for b in self._blocks.values())
+        return sum(self._lengths.values())
 
     # ------------------------------------------------------------------
     def latest_keys(self, count: int) -> List[object]:
@@ -68,13 +117,59 @@ class GrowingDatabase:
         return self._order[-count:]
 
     def assemble(self, keys: Sequence[object]) -> StreamBatch:
-        """Concatenate the named blocks into one training batch."""
+        """Concatenate the named blocks into one training batch.
+
+        Windows of packed blocks are one slice copy per column when
+        contiguous (the common chronological case) or one vectorized
+        gather otherwise; windows touching unpacked blocks use the
+        per-block concatenation fallback.  Both return the same rows in
+        the same order as fresh arrays.
+        """
+        keys = list(keys)  # the fast path iterates more than once
         if not keys:
             raise DataError("cannot assemble an empty block set")
-        return StreamBatch.concatenate([self.get(k).batch for k in keys])
+        if self._packed is not None:
+            extents = self._extents
+            if all(k in extents for k in keys):
+                # Zero-length extents contribute no rows: drop them before
+                # gathering (the gather index build needs extents >= 1 row).
+                spans = [extents[k] for k in keys if extents[k][1] > 0]
+                if not spans:
+                    return self._packed.slice_batch(0, 0)
+                start, length = spans[0]
+                if len(spans) == 1:
+                    return self._packed.slice_batch(start, start + length)
+                starts = np.fromiter(
+                    (s for s, _ in spans), dtype=np.intp, count=len(spans)
+                )
+                lengths = np.fromiter(
+                    (n for _, n in spans), dtype=np.intp, count=len(spans)
+                )
+                stops = starts + lengths
+                if bool((starts[1:] == stops[:-1]).all()):
+                    return self._packed.slice_batch(int(starts[0]), int(stops[-1]))
+                return self._packed.gather(starts, lengths)
+        # Mixed/unpacked fallback: packed blocks contribute zero-copy views
+        # (concatenate copies into the fresh output anyway).
+        return StreamBatch.concatenate([self._batch_view(k) for k in keys])
+
+    def _batch_view(self, key: object) -> StreamBatch:
+        """A block's rows without copying: the stored slab, or a view of
+        the packed store (assembly-internal; do not mutate or retain)."""
+        slab = self._blocks.get(key)
+        if slab is not None:
+            return slab.batch
+        extent = self._extents.get(key)
+        if extent is None:
+            raise DataError(f"no block with key {key!r}")
+        start, length = extent
+        return self._packed.view_batch(start, start + length)
 
     def rows_in(self, keys: Sequence[object]) -> int:
-        return sum(len(self.get(k)) for k in keys)
+        try:
+            return sum(self._lengths[k] for k in keys)
+        except KeyError as exc:
+            raise DataError(f"no block with key {exc.args[0]!r}") from None
 
 
 class StreamIngestor:

@@ -64,6 +64,15 @@ class WorkloadConfig:
     # protocol); False drives the same protocol with immediate per-proposal
     # charges.  Trajectories are identical either way (tested property).
     batched_advance: bool = True
+    # Sharded block accounting for the block strategies: 0 keeps the
+    # single-store accountant; N >= 1 partitions the ledger store into N
+    # shards under ``shard_policy`` ("hash" or "range").  Trajectories are
+    # byte-identical at any shard count (tested property).
+    n_shards: int = 0
+    shard_policy: str = "hash"
+    # Worker threads for the parallel propose phase of each batched hour
+    # (0 = sequential propose).  Identical trajectories either way.
+    propose_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -72,6 +81,12 @@ class WorkloadConfig:
             )
         if self.horizon_hours <= 0:
             raise SimulationError("horizon_hours must be > 0")
+        if self.n_shards < 0:
+            raise SimulationError("n_shards must be >= 0")
+        if self.shard_policy not in ("hash", "range"):
+            raise SimulationError(
+                f"unknown shard_policy {self.shard_policy!r}; 'hash' or 'range'"
+            )
 
 
 @dataclass
@@ -128,6 +143,13 @@ class WorkloadSimulator:
     def _run_block(self, arrival_times, complexities, rng) -> WorkloadReport:
         cfg = self.config
         source = CountStreamSource(cfg.points_per_hour, scale=cfg.count_scale)
+        accountant_factory = None
+        if cfg.n_shards:
+            from repro.core.sharding import sharded_accountant_factory
+
+            accountant_factory = sharded_accountant_factory(
+                cfg.n_shards, policy=cfg.shard_policy
+            )
         sage = Sage(
             source,
             epsilon_global=cfg.epsilon_global,
@@ -135,6 +157,8 @@ class WorkloadSimulator:
             block_hours=1.0,
             seed=self.seed,
             batched_advance=cfg.batched_advance,
+            accountant_factory=accountant_factory,
+            propose_workers=cfg.propose_workers,
         )
         self.last_platform = sage
         strategy = "aggressive" if cfg.strategy == "block-aggressive" else "conserve"
@@ -149,19 +173,25 @@ class WorkloadSimulator:
         entries = []
         next_arrival = 0
         hours = int(np.ceil(cfg.horizon_hours))
-        for hour in range(hours):
-            while next_arrival < len(arrival_times) and arrival_times[next_arrival] <= hour:
-                pipeline = OraclePipeline(
-                    name=f"p{next_arrival}",
-                    n_at_eps1=float(complexities[next_arrival]),
-                    scale=cfg.count_scale,
-                    exchange_exponent=cfg.exchange_exponent,
-                )
-                entries.append(
-                    (arrival_times[next_arrival], sage.submit(pipeline, adaptive))
-                )
-                next_arrival += 1
-            sage.advance(1.0)
+        try:
+            for hour in range(hours):
+                while next_arrival < len(arrival_times) and arrival_times[next_arrival] <= hour:
+                    pipeline = OraclePipeline(
+                        name=f"p{next_arrival}",
+                        n_at_eps1=float(complexities[next_arrival]),
+                        scale=cfg.count_scale,
+                        exchange_exponent=cfg.exchange_exponent,
+                    )
+                    entries.append(
+                        (arrival_times[next_arrival], sage.submit(pipeline, adaptive))
+                    )
+                    next_arrival += 1
+                sage.advance(1.0)
+        finally:
+            # Release worker threads even on a failed run; the platform
+            # stays readable (and even drivable -- pools re-create on
+            # demand) via ``last_platform``.
+            sage.close()
 
         release_times, censored = [], []
         for submit_time, entry in entries:

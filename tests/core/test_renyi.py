@@ -446,3 +446,107 @@ class TestRenyiPlatformDrive:
             committed = len(sage.access.accountant.charges) - charged_before
             assert counts["request"] == 0
             assert counts["request_many"] - before == (1 if committed else 0)
+
+
+class TestPrunedOrdersPreset:
+    """The ~16-order pruned grid: 4.5x narrower store rows at a bounded
+    epsilon-tightness loss versus DEFAULT_ORDERS."""
+
+    # Representative DP-SGD configurations (the repo's own calibration /
+    # bench regimes) and conversion deltas.
+    GAUSSIAN_WORKLOADS = [
+        (0.01, 1.1, 1000), (0.01, 0.8, 200), (0.001, 0.6, 5000),
+        (0.02, 2.0, 10000), (0.005, 1.5, 3000), (0.05, 3.0, 2000),
+        (1.0, 4.0, 50),
+    ]
+    DELTAS = (1e-5, 1e-6, 1e-9)
+
+    def test_preset_resolves_and_shrinks_store(self):
+        from repro.dp.rdp import DEFAULT_ORDERS, PRUNED_ORDERS
+
+        dense = RenyiCompositionFilter(1.0, 1e-6)
+        pruned = RenyiCompositionFilter(1.0, 1e-6, orders="pruned")
+        named_default = RenyiCompositionFilter(1.0, 1e-6, orders="default")
+        assert named_default.orders == dense.orders == DEFAULT_ORDERS
+        assert pruned.orders == PRUNED_ORDERS
+        assert len(PRUNED_ORDERS) <= 18
+        assert dense.totals_width == 4 + 69 == 73
+        assert pruned.totals_width == 4 + len(PRUNED_ORDERS)
+        acc = BlockAccountant(
+            1.0, 1e-6,
+            filter_factory=lambda e, d: RenyiCompositionFilter(e, d, orders="pruned"),
+        )
+        acc.register_block("b")
+        assert acc.store.width == pruned.totals_width
+        with pytest.raises(InvalidBudgetError):
+            RenyiCompositionFilter(1.0, 1e-6, orders="dense-ish")
+
+    def test_gaussian_conversion_tightness_bound(self):
+        """Pruned epsilon within 2% of the dense grid on typical DP-SGD
+        regimes; never worse than 40% even at the subsampled-RDP cliff
+        (the curve's minimum hugs a blow-up point, so a sparse grid's
+        nearest order below the cliff pays the gap)."""
+        from repro.dp.rdp import DEFAULT_ORDERS, PRUNED_ORDERS, rdp_to_epsilon
+
+        ratios = []
+        for q, sigma, steps in self.GAUSSIAN_WORKLOADS:
+            for delta in self.DELTAS:
+                dense_eps, _ = rdp_to_epsilon(
+                    compute_rdp(q, sigma, steps, DEFAULT_ORDERS), DEFAULT_ORDERS, delta
+                )
+                pruned_eps, _ = rdp_to_epsilon(
+                    compute_rdp(q, sigma, steps, PRUNED_ORDERS), PRUNED_ORDERS, delta
+                )
+                assert pruned_eps >= dense_eps - 1e-12  # never tighter than dense
+                if dense_eps > 0.05:
+                    ratios.append(pruned_eps / dense_eps)
+        assert max(ratios) <= 1.40
+        assert float(np.median(ratios)) <= 1.02
+
+    def test_pure_dp_accumulation_tightness_bound(self):
+        """Small (eps, delta) charges (the pure-DP reduction): the pruned
+        grid stays within 3% across representative accumulations."""
+        from repro.dp.rdp import DEFAULT_ORDERS, PRUNED_ORDERS, rdp_to_epsilon
+
+        for eps_c, k in [(0.01, 100), (0.05, 40), (0.001, 2000), (0.1, 10)]:
+            for delta in (1e-6, 1e-9):
+                dense_eps, _ = rdp_to_epsilon(
+                    k * pure_dp_rdp(eps_c, DEFAULT_ORDERS), DEFAULT_ORDERS, delta
+                )
+                pruned_eps, _ = rdp_to_epsilon(
+                    k * pure_dp_rdp(eps_c, PRUNED_ORDERS), PRUNED_ORDERS, delta
+                )
+                assert dense_eps - 1e-12 <= pruned_eps <= 1.03 * dense_eps + 1e-9
+
+    def test_pruned_filter_admission_close_to_dense(self):
+        """Charges admitted per block: the pruned filter admits nearly the
+        dense filter's count on the Renyi PR's headline workloads, and
+        still far more than strong composition."""
+        dense = RenyiCompositionFilter(1.0, 1e-6)
+        pruned = RenyiCompositionFilter(1.0, 1e-6, orders="pruned")
+        strong = StrongCompositionFilter(1.0, 1e-6)
+        plain = PrivacyBudget(0.01, 1e-9)
+        gaussian = gaussian_mechanism_budget(0.01, 4.0, 100, 1e-9)
+        for charge in (plain, gaussian):
+            n_dense = count_admitted(dense, charge)
+            n_pruned = count_admitted(pruned, charge)
+            n_strong = count_admitted(strong, charge)
+            assert n_pruned >= 0.9 * n_dense
+            assert n_pruned > n_strong
+
+    def test_pruned_scalar_batch_grid_parity(self):
+        """The pruned filter rides the same scalar/batch contract."""
+        filt = RenyiCompositionFilter(1.0, 1e-6, orders="pruned")
+        rng = np.random.default_rng(3)
+        histories = [
+            [PrivacyBudget(float(rng.uniform(0.005, 0.1)), 1e-10) for _ in range(k)]
+            for k in (0, 1, 5, 20)
+        ]
+        matrix = np.stack([replay_totals(filt, h) for h in histories])
+        for charge in (PrivacyBudget(0.05, 1e-9), gaussian_mechanism_budget(0.02, 3.0, 50, 1e-9)):
+            batch = filt.admits_batch(matrix, charge)
+            scalar = [filt.admits(h, charge) for h in histories]
+            assert batch.tolist() == scalar
+        assert filt.max_epsilon_batch(matrix, 1e-9) == pytest.approx(
+            min(filt.max_epsilon(h, 1e-9) for h in histories), abs=1e-9
+        )

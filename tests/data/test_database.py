@@ -100,3 +100,101 @@ class TestStreamIngestor:
         ing = StreamIngestor(TaxiGenerator(500), db, rng=np.random.default_rng(0))
         with pytest.raises(DataError):
             ing.advance(0.0)
+
+
+class TestPackedAssembly:
+    """The packed-column assembly fast path must be value-identical to the
+    per-block concatenation fallback, contiguous or not."""
+
+    def _db_with_blocks(self, sizes, start_key=0):
+        from repro.data.stream import RawBlock
+
+        rng = np.random.default_rng(0)
+        db = GrowingDatabase()
+        for i, n in enumerate(sizes):
+            batch = StreamBatch(
+                X=rng.normal(size=(n, 2)),
+                y=rng.normal(size=n),
+                timestamps=np.sort(rng.uniform(0, 5, size=n)),
+                user_ids=rng.integers(0, 7, size=n),
+                extras={"speed": rng.uniform(0, 60, size=n)},
+            )
+            db.append(RawBlock(key=start_key + i, batch=batch))
+        return db
+
+    @staticmethod
+    def _reference(db, keys):
+        return StreamBatch.concatenate([db.get(k).batch for k in keys])
+
+    def _assert_equal(self, got, expected):
+        for col in ("X", "y", "timestamps", "user_ids"):
+            assert np.array_equal(getattr(got, col), getattr(expected, col))
+            assert getattr(got, col).dtype == getattr(expected, col).dtype
+        assert set(got.extras) == set(expected.extras)
+        for k in expected.extras:
+            assert np.array_equal(got.extras[k], expected.extras[k])
+
+    def test_contiguous_window_matches_fallback(self):
+        db = self._db_with_blocks([3, 1, 4, 1, 5, 9])
+        keys = [1, 2, 3, 4]
+        self._assert_equal(db.assemble(keys), self._reference(db, keys))
+
+    def test_non_contiguous_window_matches_fallback(self):
+        db = self._db_with_blocks([2, 3, 1, 4, 1, 2, 6])
+        keys = [0, 2, 3, 6]
+        self._assert_equal(db.assemble(keys), self._reference(db, keys))
+
+    def test_single_block_and_full_stream(self):
+        db = self._db_with_blocks([1] * 40)
+        self._assert_equal(db.assemble([7]), self._reference(db, [7]))
+        self._assert_equal(
+            db.assemble(list(range(40))), self._reference(db, list(range(40)))
+        )
+
+    def test_assembled_batches_are_fresh(self):
+        db = self._db_with_blocks([2, 2])
+        out = db.assemble([0, 1])
+        out.y[:] = -9.0
+        assert not np.array_equal(db.assemble([0, 1]).y, out.y)
+
+    def test_schema_drift_disables_packing_not_assembly(self):
+        from repro.data.stream import RawBlock
+
+        db = self._db_with_blocks([2, 3])
+        odd = StreamBatch(
+            X=np.zeros((2, 2), dtype=np.float32),  # dtype drift
+            y=np.zeros(2), timestamps=np.zeros(2),
+            user_ids=np.zeros(2, dtype=np.int64), extras={"speed": np.zeros(2)},
+        )
+        db.append(RawBlock(key=99, batch=odd))
+        assert not db._packing  # no new blocks pack after the drift
+        keys = [0, 1, 99]
+        self._assert_equal(db.assemble(keys), self._reference(db, keys))
+        # Blocks packed before the drift keep assembling off the packed
+        # store (it is their backing storage, not a droppable cache).
+        self._assert_equal(db.assemble([0, 1]), self._reference(db, [0, 1]))
+        assert len(db.get(99)) == 2 and len(db.get(0)) == 2
+
+    def test_unknown_key_still_raises(self):
+        db = self._db_with_blocks([2, 2])
+        with pytest.raises(DataError):
+            db.assemble([0, "nope"])
+
+    def test_assemble_accepts_one_shot_iterators(self):
+        """Regression: the fast path iterates keys more than once, so a
+        generator argument must not silently assemble to nothing."""
+        db = self._db_with_blocks([2, 3, 1])
+        expected = self._reference(db, [0, 1, 2])
+        got = db.assemble(k for k in [0, 1, 2])
+        self._assert_equal(got, expected)
+
+    def test_empty_blocks_keep_packing_enabled(self):
+        """A zero-length block must not disable the fast path; it packs as
+        a zero-length extent and assembles to nothing."""
+        from repro.data.stream import RawBlock
+
+        db = self._db_with_blocks([2, 0, 3])
+        assert db._packed is not None  # still packing
+        for keys in ([0, 1, 2], [0, 2], [1]):
+            self._assert_equal(db.assemble(keys), self._reference(db, keys))
+        assert len(db.assemble([1])) == 0

@@ -116,3 +116,92 @@ class TestUserPartitioner:
     def test_invalid_buckets(self):
         with pytest.raises(DataError):
             UserPartitioner(0)
+
+
+class TestPackedColumns:
+    from repro.data.stream import PackedColumns  # noqa: F401  (import check)
+
+    def _packed_with(self, batches):
+        from repro.data.stream import PackedColumns
+
+        packed = PackedColumns(batches[0], capacity=2)
+        extents = [packed.append(b) for b in batches]
+        return packed, extents
+
+    def test_slice_matches_concatenate(self):
+        parts = [make_batch(5), make_batch(3), make_batch(7)]
+        packed, extents = self._packed_with(parts)
+        joined = StreamBatch.concatenate(parts)
+        sliced = packed.slice_batch(0, len(joined))
+        assert np.array_equal(sliced.X, joined.X)
+        assert np.array_equal(sliced.y, joined.y)
+        assert np.array_equal(sliced.timestamps, joined.timestamps)
+        assert np.array_equal(sliced.user_ids, joined.user_ids)
+        assert np.array_equal(sliced.extras["speed"], joined.extras["speed"])
+
+    def test_gather_matches_concatenate_in_order(self):
+        parts = [make_batch(4), make_batch(1), make_batch(6), make_batch(2)]
+        packed, extents = self._packed_with(parts)
+        pick = [2, 0, 3]
+        expected = StreamBatch.concatenate([parts[i] for i in pick])
+        starts = np.array([extents[i][0] for i in pick])
+        lengths = np.array([extents[i][1] for i in pick])
+        got = packed.gather(starts, lengths)
+        for col in ("X", "y", "timestamps", "user_ids"):
+            assert np.array_equal(getattr(got, col), getattr(expected, col))
+        assert np.array_equal(got.extras["speed"], expected.extras["speed"])
+
+    def test_gather_many_one_row_extents(self):
+        parts = [make_batch(1) for _ in range(200)]
+        packed, extents = self._packed_with(parts)
+        idx = list(range(0, 200, 2))
+        expected = StreamBatch.concatenate([parts[i] for i in idx])
+        got = packed.gather(
+            np.array([extents[i][0] for i in idx]),
+            np.array([extents[i][1] for i in idx]),
+        )
+        assert np.array_equal(got.timestamps, expected.timestamps)
+        assert np.array_equal(got.extras["speed"], expected.extras["speed"])
+
+    def test_gather_rejects_empty_extents(self):
+        parts = [make_batch(3), make_batch(0), make_batch(2)]
+        packed, extents = self._packed_with(parts)
+        with pytest.raises(DataError):
+            packed.gather(
+                np.array([e[0] for e in extents]),
+                np.array([e[1] for e in extents]),
+            )
+        with pytest.raises(DataError):
+            packed.gather(np.array([], dtype=np.intp), np.array([], dtype=np.intp))
+
+    def test_results_are_fresh_copies(self):
+        parts = [make_batch(3), make_batch(3)]
+        packed, extents = self._packed_with(parts)
+        out = packed.slice_batch(0, 6)
+        out.y[:] = -1.0
+        assert not np.array_equal(packed.slice_batch(0, 6).y, out.y)
+
+    def test_matches_detects_schema_drift(self):
+        base = make_batch(4)
+        packed, _ = self._packed_with([base])
+        assert packed.matches(make_batch(2))
+        assert not packed.matches(make_batch(2, extras=False))
+        wider = StreamBatch(
+            X=np.zeros((2, 5)), y=np.zeros(2), timestamps=np.zeros(2),
+            user_ids=np.zeros(2, dtype=np.int64),
+            extras={"speed": np.zeros(2)},
+        )
+        assert not packed.matches(wider)
+        int_labels = StreamBatch(
+            X=np.zeros((2, 3)), y=np.zeros(2, dtype=np.int32),
+            timestamps=np.zeros(2), user_ids=np.zeros(2, dtype=np.int64),
+            extras={"speed": np.zeros(2)},
+        )
+        assert not packed.matches(int_labels)
+
+    def test_concatenate_single_batch_copies(self):
+        batch = make_batch(4)
+        out = StreamBatch.concatenate([batch])
+        assert np.array_equal(out.X, batch.X)
+        out.y[:] = -5.0
+        assert not np.array_equal(batch.y, out.y)
