@@ -145,13 +145,13 @@ def bench_advance(n_pipelines, n_blocks, n_shards, workers, repeats=3):
     parallel = build_starved_platform(n_pipelines, n_blocks, n_shards, workers)
     t_seq = _best_of(lambda: sequential.advance(1.0), repeats)
     t_par = _best_of(lambda: parallel.advance(1.0), repeats)
-    adopted, recomputed = parallel.last_hour_speculations
+    adopted, invalidated = parallel.last_hour_speculations
     sequential.close()
     parallel.close()
-    if recomputed or adopted != n_pipelines:
+    if invalidated or adopted != n_pipelines:
         raise AssertionError(
             f"expected every speculation adopted in the starved hour, got "
-            f"adopted={adopted} recomputed={recomputed}"
+            f"adopted={adopted} invalidated={invalidated}"
         )
     return t_seq, t_par, t_seq / t_par
 
@@ -180,9 +180,12 @@ def bench_assembly(n_blocks, repeats=5):
     fast = packed()
     slow = legacy()
     if not (
-        np.array_equal(fast.y, slow.y)
+        np.array_equal(fast.X, slow.X)
+        and np.array_equal(fast.y, slow.y)
         and np.array_equal(fast.timestamps, slow.timestamps)
         and np.array_equal(fast.user_ids, slow.user_ids)
+        and set(fast.extras) == set(slow.extras)
+        and all(np.array_equal(fast.extras[k], slow.extras[k]) for k in slow.extras)
     ):
         raise AssertionError("packed assembly diverged from concatenate")
     t_slow = _best_of(legacy, repeats)

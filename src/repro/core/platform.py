@@ -361,8 +361,11 @@ class Sage:
         # the sequential drive either way.
         self.propose_workers = max(0, int(propose_workers))
         self._propose_pool: Optional[ThreadPoolExecutor] = None
-        # Speculations adopted vs recomputed in the most recent advance()
-        # (diagnostics for the parallel drive's hit rate).
+        # Speculations (adopted, invalidated) in the most recent advance():
+        # a speculation is counted exactly once, under the outcome its
+        # snapshot token earned it (diagnostics for the parallel drive's
+        # hit rate; ordinary proposes -- sequential hours, second and later
+        # attempts -- appear in neither counter).
         self.last_hour_speculations = (0, 0)
         # Charges committed by the most recent advance() (diagnostics).
         self.last_hour_charges = 0
@@ -538,7 +541,9 @@ class Sage:
         (``propose_peek`` mutates nothing; window scans against an open
         overlay defer retirement persistence), so any interleaving yields
         the same per-session results.  Sessions are dealt round-robin into
-        one task per worker to amortize dispatch overhead.
+        one task per worker to amortize dispatch overhead.  Hours with
+        fewer than two waiting sessions skip speculation entirely (there
+        is nothing to share; both counters stay zero).
         """
         waiting = [e for e in self._pipelines if e.waiting]
         if len(waiting) < 2:
@@ -599,8 +604,8 @@ class Sage:
         self,
         entry: SubmittedPipeline,
         staged: bool,
-        spec: Optional[SpeculativeProposal] = None,
-        waiting_count: Optional[int] = None,
+        spec: Optional[SpeculativeProposal],
+        waiting_count: int,
     ) -> None:
         """Run one session's propose/decide/complete loop for this hour.
 
@@ -618,25 +623,24 @@ class Sage:
         """
         session = entry.session
         session.wake()
-        if spec is not None:
-            if waiting_count is None:
-                waiting_count = len(self._waiting_pipelines())
-            if not self._speculation_valid(entry, spec, waiting_count):
-                spec = None
-        adopted, recomputed = self.last_hour_speculations
+        adopted, invalidated = self.last_hour_speculations
+        if spec is not None and not self._speculation_valid(
+            entry, spec, waiting_count
+        ):
+            spec = None
+            invalidated += 1
+            self.last_hour_speculations = (adopted, invalidated)
         while session.status == SessionStatus.RUNNING:
             if spec is not None:
                 proposal, status_after = spec.proposal, spec.status_after
                 spec = None
                 adopted += 1
-                self.last_hour_speculations = (adopted, recomputed)
+                self.last_hour_speculations = (adopted, invalidated)
                 if proposal is None:
                     # Exactly the transition propose() would have made.
                     session.status = status_after
                     break
             else:
-                recomputed += 1
-                self.last_hour_speculations = (adopted, recomputed)
                 proposal = session.propose()
                 if proposal is None:
                     break
