@@ -846,7 +846,9 @@ class BlockAccountant:
     def _apply_many_scalar(self, norm: List[tuple], commit: bool) -> List[ChargeRecord]:
         """Per-ledger sequential apply with full rollback -- the exact path
         for filters whose decisions batched scans cannot reproduce."""
-        touched_keys = {key for keys, _, _ in norm for key in keys}
+        # dict.fromkeys, not a set: ledger creation and snapshot/rollback
+        # order must be first-touch deterministic run to run.
+        touched_keys = dict.fromkeys(key for keys, _, _ in norm for key in keys)
         ledgers = {key: self.ledger(key) for key in touched_keys}
         snapshot = {
             key: (len(led.history), list(led._totals))
