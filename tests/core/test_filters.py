@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.accountant import TOT_DELTA, TOT_EPS, TOT_LINEAR, TOT_SQ
 from repro.core.filters import BasicCompositionFilter, StrongCompositionFilter
 from repro.dp.budget import PrivacyBudget
 from repro.errors import InvalidBudgetError
@@ -256,10 +257,10 @@ class TestSplitRecomposition:
                 (basic_totals, basic_charge),
                 (strong_totals, strong_charge),
             ):
-                totals[0] += charge.epsilon
-                totals[1] += charge.delta
-                totals[2] += charge.epsilon ** 2
-                totals[3] += math.expm1(charge.epsilon) * charge.epsilon / 2.0
+                totals[TOT_EPS] += charge.epsilon
+                totals[TOT_DELTA] += charge.delta
+                totals[TOT_SQ] += charge.epsilon ** 2
+                totals[TOT_LINEAR] += math.expm1(charge.epsilon) * charge.epsilon / 2.0
 
 
 TOTALS_ROWS = st.lists(

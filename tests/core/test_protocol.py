@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.access_control import SageAccessControl
-from repro.core.accountant import BlockAccountant
+from repro.core.accountant import TOT_EPS, BlockAccountant
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.platform import Sage
 from repro.dp.budget import PrivacyBudget
@@ -297,7 +297,7 @@ class TestStagedBatch:
         acc.register_block(99)  # lands mid-hour, after the overlay opened
         acc.stage_charge([99, 1], PrivacyBudget(0.5, 0.0))
         acc.commit_staged_trusted()
-        assert acc.store.totals[acc.rows_for_keys([99])[0], 0] == pytest.approx(0.5)
+        assert acc.store.totals[acc.rows_for_keys([99])[0], TOT_EPS] == pytest.approx(0.5)
         assert len(acc.charges) == 2
 
     def test_trusted_commit_empty_batch_is_noop(self):
@@ -323,7 +323,7 @@ class TestStagedBatch:
         records = access.commit_staged()
         assert [r.label for r in records] == ["x"]
         assert calls["request_many"] == 0  # bulk write, no re-validation
-        assert access.accountant.store.totals[0, 0] == pytest.approx(0.5)
+        assert access.accountant.store.totals[0, TOT_EPS] == pytest.approx(0.5)
 
     def test_trusted_commit_still_checks_committer_principal(self):
         access = SageAccessControl(

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.accountant import BlockAccountant
+from repro.core.accountant import TOT_EPS, BlockAccountant
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.platform import ReservationTable, Sage
 from repro.data.taxi import TaxiGenerator
@@ -131,7 +131,7 @@ def test_epsilon_conservation_on_platform():
         n_blocks = table.n_blocks
         assert n_blocks == len(accountant.store)
         reserved = table.matrix.sum(axis=0)
-        spent = accountant.store.totals[:, 0]
+        spent = accountant.store.totals[:, TOT_EPS]
         outstanding = reserved + table.free_epsilon + spent
         assert np.all(outstanding <= 1.0 + 1e-9)
 
@@ -182,11 +182,11 @@ def test_request_many_charges_stream_and_context():
         context="dev",
     )
     assert len(records) == 2
-    assert access.accountant.ledger(1).totals[0] == pytest.approx(0.4)
+    assert access.accountant.ledger(1).totals[TOT_EPS] == pytest.approx(0.4)
     with pytest.raises(AccessDeniedError):
         # The context (0.5) refuses before the stream (1.0) is touched.
         access.request_many([([0], PrivacyBudget(0.4, 0.0))], context="dev")
-    assert access.accountant.ledger(0).totals[0] == pytest.approx(0.2)
+    assert access.accountant.ledger(0).totals[TOT_EPS] == pytest.approx(0.2)
     assert access.can_request_many([([0], PrivacyBudget(0.4, 0.0))])
     assert not access.can_request_many([([0], PrivacyBudget(0.4, 0.0))], context="dev")
 
@@ -204,7 +204,7 @@ def test_request_many_accepts_generators():
         ((keys, PrivacyBudget(0.1, 0.0)) for keys in ([0], [0, 1])), context="dev"
     )
     assert len(records) == 2
-    assert access.accountant.ledger(0).totals[0] == pytest.approx(0.2)
+    assert access.accountant.ledger(0).totals[TOT_EPS] == pytest.approx(0.2)
     assert not access.can_request_many(
         (r for r in [([0], PrivacyBudget(0.45, 0.0))]), context="dev"
     )
