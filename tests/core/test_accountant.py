@@ -463,7 +463,8 @@ class TestChargeMany:
             accountant.charge_many([([0, 0], PrivacyBudget(0.1))])
         with pytest.raises(InvalidBudgetError):
             accountant.charge_many([([99], PrivacyBudget(0.1))])
-        assert accountant.charge_many([]) == []
+        empty = accountant.charge_many([])
+        assert empty == []
         assert accountant.can_charge_many([])
 
     def test_scalar_filter_routes_through_per_ledger_path(self):

@@ -135,7 +135,8 @@ class TestEscalation:
         session = AdaptiveSession(
             pipeline, access, db, AdaptiveConfig(), np.random.default_rng(0)
         )
-        assert session.step() == SessionStatus.ACCEPTED
+        status = session.step()
+        assert status == SessionStatus.ACCEPTED
         final_eps = session.attempts[-1].budget.epsilon
         for key in access.accountant.block_keys:
             spent = sum(b.epsilon for b in access.accountant.ledger(key).history)
@@ -147,7 +148,8 @@ class TestEscalation:
             ThresholdPipeline(threshold=1e12), access, db,
             AdaptiveConfig(max_attempts=3), np.random.default_rng(0),
         )
-        assert session.step() == SessionStatus.TIMEOUT
+        status = session.step()
+        assert status == SessionStatus.TIMEOUT
 
     def test_need_data_when_database_empty(self):
         db = GrowingDatabase()
@@ -155,7 +157,8 @@ class TestEscalation:
         session = AdaptiveSession(
             ThresholdPipeline(), access, db, AdaptiveConfig(), np.random.default_rng(0)
         )
-        assert session.step() == SessionStatus.NEED_DATA
+        status = session.step()
+        assert status == SessionStatus.NEED_DATA
 
     def test_resume_after_new_data(self):
         db = GrowingDatabase()
@@ -168,10 +171,12 @@ class TestEscalation:
         session = AdaptiveSession(
             pipeline, access, db, AdaptiveConfig(), np.random.default_rng(0)
         )
-        assert session.step() == SessionStatus.NEED_DATA
+        status = session.step()
+        assert status == SessionStatus.NEED_DATA
         for block in ingestor.advance(3.0):
             access.register_block(block.key)
-        assert session.resume() == SessionStatus.ACCEPTED
+        resumed = session.resume()
+        assert resumed == SessionStatus.ACCEPTED
 
     def test_aggressive_spends_everything_available(self):
         db, access = build_world()
@@ -180,7 +185,8 @@ class TestEscalation:
             pipeline, access, db,
             AdaptiveConfig(strategy="aggressive"), np.random.default_rng(0),
         )
-        assert session.step() == SessionStatus.ACCEPTED
+        status = session.step()
+        assert status == SessionStatus.ACCEPTED
         # First attempt already used the full block budget.
         assert pipeline.calls[0][1].epsilon == pytest.approx(1.0, rel=1e-6)
 
@@ -278,8 +284,10 @@ class TestProtocol:
         assert session.attempts == []
         assert session.total_spent.epsilon == 0.0
         # wake() lets the next propose try again.
-        assert session.wake() == SessionStatus.RUNNING
-        assert session.propose() is not None
+        woken = session.wake()
+        assert woken == SessionStatus.RUNNING
+        retry = session.propose()
+        assert retry is not None
 
     def test_denied_aggressive_attempt_leaves_state_unchanged(self):
         """Regression: the aggressive strategy's epsilon grab must not stick
@@ -347,7 +355,8 @@ class TestProtocol:
         proposal = session.propose()
         access.request(list(proposal.window), proposal.budget)
         session.complete(ChargeDecision(proposal=proposal, granted=True))
-        assert session.propose() is None
+        follow_up = session.propose()
+        assert follow_up is None
         assert session.status == SessionStatus.TIMEOUT
 
     def test_propose_on_terminal_session_returns_none(self):
@@ -357,8 +366,10 @@ class TestProtocol:
             AdaptiveConfig(), np.random.default_rng(0),
         )
         proposal = session.propose()
-        assert session.step() == SessionStatus.ACCEPTED
-        assert session.propose() is None
+        status = session.step()
+        assert status == SessionStatus.ACCEPTED
+        follow_up = session.propose()
+        assert follow_up is None
         with pytest.raises(PipelineError):
             session.complete(ChargeDecision(proposal=proposal, granted=False))
 

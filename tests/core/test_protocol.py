@@ -255,7 +255,8 @@ class TestStagedBatch:
         access.stage_request([0, 1], PrivacyBudget(0.5, 0.0), label="x")
         records = access.commit_staged()
         assert len(records) == 1 and records[0].label == "x"
-        assert access.commit_staged() == []  # nothing open: no-op
+        reclosed = access.commit_staged()
+        assert reclosed == []  # nothing open: no-op
         # Contexts disable staging (their charges validate per-request).
         access.add_context("dev", 0.5, 1e-7)
         assert not access.supports_staged_requests
@@ -302,9 +303,11 @@ class TestStagedBatch:
 
     def test_trusted_commit_empty_batch_is_noop(self):
         acc = self._accountant()
-        assert acc.commit_staged_trusted() == []  # nothing open
+        unopened = acc.commit_staged_trusted()
+        assert unopened == []  # nothing open
         acc.begin_staging()
-        assert acc.commit_staged_trusted() == []  # open but empty
+        empty = acc.commit_staged_trusted()
+        assert empty == []  # open but empty
         assert not acc.staging_active
 
     def test_access_flag_routes_commit_to_trusted_path(self):
@@ -338,7 +341,8 @@ class TestStagedBatch:
         with pytest.raises(AccessDeniedError):
             access.commit_staged(principal="mallory")
         assert access.staging_active
-        assert len(access.commit_staged(principal="alice")) == 1
+        committed = access.commit_staged(principal="alice")
+        assert len(committed) == 1
 
     def test_platform_trusted_hour_identical_to_validating_hour(self):
         """End to end: a Sage deployment with the trusted commit produces

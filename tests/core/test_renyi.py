@@ -334,7 +334,8 @@ class TestRenyiAccountant:
         acc.stage_charge([0], PrivacyBudget(0.9, 0.0))
         with pytest.raises(BudgetExceededError):
             acc.stage_charge([0], PrivacyBudget(0.5, 0.0))
-        assert len(acc.charge_many(acc.pop_staged())) == 1
+        committed = acc.charge_many(acc.pop_staged())
+        assert len(committed) == 1
 
     def test_stream_loss_bound_uses_conversion(self, renyi_accountant):
         acc = renyi_accountant

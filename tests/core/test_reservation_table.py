@@ -72,11 +72,13 @@ def test_matches_dict_reference_through_random_schedule():
     ref = DictAllocator()
     n_pipelines, n_blocks = 7, 40
     for p in range(n_pipelines):
-        assert table.add_pipeline() == p
+        new_row = table.add_pipeline()
+        assert new_row == p
         ref.add_pipeline(p)
     waiting = list(range(n_pipelines))
     for b in range(n_blocks):
-        assert table.add_block() == b
+        new_col = table.add_block()
+        assert new_col == b
         active = [p for p in waiting if rng.random() < 0.8]
         table.allocate(b, 1.0, np.array(active, dtype=np.intp))
         ref.allocate(b, 1.0, active)

@@ -93,7 +93,8 @@ class TestStreamingComposition:
 
     def test_no_waiting_pipelines_is_noop(self):
         sched = StreamingCompositionScheduler(1.0, 16_000)
-        assert sched.step(0.0) == []
+        stepped = sched.step(0.0)
+        assert stepped == []
 
     def test_invalid_penalty(self):
         with pytest.raises(SimulationError):
