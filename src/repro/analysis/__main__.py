@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.analysis``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,122 @@
+"""Command-line front end for the invariant linter.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m repro.analysis src tests benchmarks
+    PYTHONPATH=src python -m repro.analysis --format json --output results/lint_invariants.json src tests benchmarks
+    PYTHONPATH=src python -m repro.analysis --rules purity,schema-width src
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import (
+    LintError,
+    collect_project,
+    dump_json,
+    render_human,
+    report_as_json,
+    run_rules,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the platform's accounting contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint, relative to --root (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root that relative paths and report paths are anchored to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also lint directories named 'fixtures' (skipped by default: "
+        "the rule fixtures exist to contain violations)",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List:
+    rules = default_rules()
+    if spec is None:
+        return rules
+    wanted = [name.strip() for name in spec.split(",") if name.strip()]
+    by_name = {rule.name: rule for rule in rules}
+    unknown = [name for name in wanted if name not in by_name]
+    if unknown:
+        known = ", ".join(rule.name for rule in rules)
+        raise LintError(f"unknown rule(s) {', '.join(unknown)}; known: {known}")
+    return [by_name[name] for name in wanted]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        rules = _select_rules(args.rules)
+        if args.list_rules:
+            width = max(len(rule.name) for rule in rules)
+            for rule in rules:
+                print(f"{rule.name:<{width}}  {rule.description}")
+            return 0
+        project = collect_project(
+            Path(args.root), args.paths, include_fixtures=args.include_fixtures
+        )
+        findings, stats = run_rules(project, rules)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        report = report_as_json(findings, stats, rules, len(project), args.paths)
+        text = dump_json(report)
+    else:
+        text = render_human(findings, stats, len(project)) + "\n"
+
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+    return 1 if findings else 0

@@ -1,0 +1,304 @@
+"""Rule engine: module collection, suppressions, reporting, exit codes.
+
+The engine is deliberately dumb: it walks ``*.py`` files into
+:class:`Module` objects (source + AST + parsed allow-comments), hands each
+to every registered :class:`Rule`, filters findings through the
+suppression map, and renders the survivors.  All project knowledge lives
+in the rules (see the package docstring for how to add one).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Module",
+    "Project",
+    "Rule",
+    "collect_project",
+    "run_rules",
+    "render_human",
+    "report_as_json",
+]
+
+# Matches the allow-comment form: "repro:" then "allow(rule-a, rule-b)"
+# after a "#", optionally followed by "-- reason".  The reason is for
+# reviewers; the engine only parses the rule list.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+# Directory names never scanned: caches, VCS internals, and the
+# known-bad rule fixtures (which exist to *contain* violations).
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "fixtures"}
+
+
+class LintError(Exception):
+    """Unusable input (missing path, unparsable file, unknown rule).
+
+    The CLI maps this to exit code 2 -- distinct from exit 1 (findings),
+    so CI can tell "contract violated" from "linter could not run".
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class Module:
+    """One parsed source file: AST, raw lines, and its suppression map.
+
+    ``allow`` maps a 1-based line number to the frozenset of rule names an
+    allow comment suppresses there.  A comment on a code line covers that
+    line; a standalone comment line covers itself and the next *code* line
+    (skipping blank and further comment lines), so a suppression can open a
+    multi-line explanation above a long statement -- e.g. a comment line
+    reading ``repro: allow(schema-width) -- replaying the reference
+    layout`` placed directly above ``totals[:, 0] += charge.epsilon``
+    suppresses the schema-width finding on that statement.
+    """
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.allow: Dict[int, frozenset] = {}
+        for lineno, col, comment in self._comments(source):
+            match = _ALLOW_RE.search(comment)
+            if not match:
+                continue
+            rules = frozenset(
+                name.strip() for name in match.group(1).split(",") if name.strip()
+            )
+            if not rules:
+                continue
+            self.allow[lineno] = self.allow.get(lineno, frozenset()) | rules
+            if not self.lines[lineno - 1][:col].strip():
+                # Standalone comment: covers the next *code* line, so an
+                # allow may open a multi-line explanation block.
+                cursor = lineno + 1
+                while cursor <= len(self.lines) and (
+                    not self.lines[cursor - 1].strip()
+                    or self.lines[cursor - 1].lstrip().startswith("#")
+                ):
+                    cursor += 1
+                self.allow[cursor] = self.allow.get(cursor, frozenset()) | rules
+
+    @staticmethod
+    def _comments(source: str):
+        """Yield ``(lineno, col, text)`` for real comment tokens only --
+        allow-shaped text inside string literals and docstrings is inert."""
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.start[1], tok.string
+        except (tokenize.TokenError, IndentationError):
+            return  # ast.parse already vets syntax; never die on tokenizing
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str) -> "Module":
+        """Build a module from raw text (tests feed fixture snippets here,
+        faking ``relpath`` to land inside a rule's scope)."""
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            raise LintError(f"{relpath}: cannot parse: {exc.msg} (line {exc.lineno})")
+        return cls(relpath, source, tree)
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> "Module":
+        relpath = path.relative_to(root).as_posix()
+        return cls.from_source(path.read_text(encoding="utf-8"), relpath)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        allowed = self.allow.get(line)
+        return allowed is not None and (rule in allowed or "*" in allowed)
+
+
+class Project:
+    """Every module of one lint run, addressable by relative path."""
+
+    def __init__(self, root: Path, modules: Sequence[Module]) -> None:
+        self.root = root
+        self.modules = list(modules)
+        self._by_path = {module.relpath: module for module in self.modules}
+
+    def module(self, relpath: str) -> Optional[Module]:
+        return self._by_path.get(relpath)
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+class Rule:
+    """Base class for one invariant checker (see package docstring)."""
+
+    name: str = ""
+    description: str = ""
+
+    def applies(self, module: Module) -> bool:
+        """Whether this rule's contract binds the given file at all."""
+        return True
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        """Yield findings for one module (called once per applicable file)."""
+        return ()
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+def collect_project(
+    root: Path, paths: Sequence[str], include_fixtures: bool = False
+) -> Project:
+    """Parse every ``*.py`` under the given paths (relative to ``root``).
+
+    Directories named in ``_SKIP_DIRS`` are pruned -- in particular the
+    rule fixtures under ``tests/analysis/fixtures/``, whose whole point is
+    to contain violations (``include_fixtures`` re-admits them for the
+    engine's own tests).
+    """
+    root = root.resolve()
+    skip = _SKIP_DIRS - ({"fixtures"} if include_fixtures else set())
+    files: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = (root / raw).resolve()
+        if not path.exists():
+            raise LintError(f"path {raw!r} does not exist under {root}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.relative_to(root).parts[:-1]) & skip)
+            )
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return Project(root, [Module.from_path(path, root) for path in files])
+
+
+def run_rules(
+    project: Project, rules: Sequence[Rule]
+) -> Tuple[List[Finding], Dict[str, Dict[str, int]]]:
+    """Run every rule over every applicable module.
+
+    Returns ``(findings, stats)`` where findings are the *surviving*
+    (unsuppressed) violations in (path, line) order and ``stats`` maps each
+    rule name to ``{"findings": n, "suppressed": m, "files": k}`` --
+    suppressed counts are kept so the JSON artifact tracks how much of the
+    tree lives under explicit allows.
+    """
+    kept: List[Finding] = []
+    stats: Dict[str, Dict[str, int]] = {
+        rule.name: {"findings": 0, "suppressed": 0, "files": 0} for rule in rules
+    }
+    for module in project:
+        for rule in rules:
+            if not rule.applies(module):
+                continue
+            stats[rule.name]["files"] += 1
+            for finding in rule.check(module, project):
+                if module.suppressed(rule.name, finding.line):
+                    stats[rule.name]["suppressed"] += 1
+                else:
+                    stats[rule.name]["findings"] += 1
+                    kept.append(finding)
+    kept.sort()
+    return kept, stats
+
+
+def render_human(
+    findings: Sequence[Finding],
+    stats: Dict[str, Dict[str, int]],
+    n_files: int,
+) -> str:
+    """The terminal report: one line per finding plus a per-rule summary."""
+    out = [finding.render() for finding in findings]
+    total_suppressed = sum(s["suppressed"] for s in stats.values())
+    summary = (
+        f"{len(findings)} finding(s) in {n_files} file(s) "
+        f"({total_suppressed} suppressed)"
+    )
+    fired = {name: s for name, s in stats.items() if s["findings"] or s["suppressed"]}
+    if fired:
+        per_rule = ", ".join(
+            f"{name}: {s['findings']}+{s['suppressed']}s" for name, s in sorted(fired.items())
+        )
+        summary += f" [{per_rule}]"
+    out.append(summary)
+    return "\n".join(out)
+
+
+def report_as_json(
+    findings: Sequence[Finding],
+    stats: Dict[str, Dict[str, int]],
+    rules: Sequence[Rule],
+    n_files: int,
+    paths: Sequence[str],
+) -> dict:
+    """The machine-readable report (``results/lint_invariants.json``).
+
+    Deterministic for a given tree -- no timestamps, no absolute paths --
+    so the committed artifact only changes when findings or rule coverage
+    do.
+    """
+    return {
+        "version": 1,
+        "paths": list(paths),
+        "checked_files": n_files,
+        "clean": not findings,
+        "rules": {
+            rule.name: {
+                "description": rule.description,
+                "findings": stats[rule.name]["findings"],
+                "suppressed": stats[rule.name]["suppressed"],
+                "files_checked": stats[rule.name]["files"],
+            }
+            for rule in rules
+        },
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
+def dump_json(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,127 @@
+"""API-hygiene rule: the small-but-deadly Python footguns.
+
+Three patterns with an outsized blast radius in this codebase:
+
+* **Mutable default arguments** (``def f(x, acc=[])``): the default is
+  created once at ``def`` time, so state leaks across calls -- in a
+  platform whose whole point is exact accounting, a shared-by-accident
+  list of charges is a correctness bug, not a style nit.
+* **Bare ``except:``** catches ``KeyboardInterrupt``/``SystemExit`` and
+  swallows the staged-batch invariant errors the accountant raises on
+  purpose.  Catch ``Exception`` (and re-raise) when a cleanup really must
+  observe everything.
+* **Mutation inside ``assert``** (``assert session.step() == "ok"``):
+  under ``python -O`` asserts are stripped *with their side effects*, so
+  the protocol silently stops advancing.  Applies to tests too -- that is
+  where the pattern breeds.
+
+Flags, everywhere in scope: defaults that are list/dict/set displays or
+comprehensions or bare ``list()``/``dict()``/``set()``/``bytearray()``
+calls; ``except:`` handlers with no exception type; and ``assert``
+statements whose test calls a known state-advancing method (``step``,
+``resume``, ``advance``, ``charge``, ...) or contains a walrus
+assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, Module, Project, Rule
+from repro.analysis.rules.common import MUTATOR_METHODS, call_name, walk_calls
+
+__all__ = ["ApiHygieneRule"]
+
+# Methods that advance platform state when called; their appearance inside
+# an `assert` test means `python -O` changes behaviour.
+_ASSERT_MUTATORS = MUTATOR_METHODS | frozenset(
+    {
+        "step",
+        "resume",
+        "advance",
+        "run_hour",
+        "observe",
+        "propose",
+        "decide",
+        "append",
+        "add",
+        "update",
+        "pop",
+        "remove",
+        "discard",
+        "clear",
+    }
+)
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+class ApiHygieneRule(Rule):
+    name = "api-hygiene"
+    description = (
+        "no mutable default args, bare except, or state mutation inside "
+        "assert statements"
+    )
+
+    def applies(self, module: Module) -> bool:
+        return True
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:` catches KeyboardInterrupt/SystemExit and "
+                    "accounting invariant errors; catch `Exception` at most",
+                )
+            elif isinstance(node, ast.Assert):
+                yield from self._check_assert(module, node)
+
+    def _check_defaults(self, module: Module, func: ast.AST) -> Iterable[Finding]:
+        args = func.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                name = getattr(func, "name", "<lambda>")
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default argument in {name}(): the default is "
+                    "shared across calls; use None and create inside",
+                )
+
+    def _check_assert(self, module: Module, node: ast.Assert) -> Iterable[Finding]:
+        for sub in ast.walk(node.test):
+            if isinstance(sub, ast.NamedExpr):
+                yield self.finding(
+                    module,
+                    node,
+                    "assignment inside `assert` disappears under python -O; "
+                    "bind before asserting",
+                )
+                return
+        for call in walk_calls(node.test):
+            callee = call_name(call)
+            if callee in _ASSERT_MUTATORS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"state-mutating call `{callee}()` inside `assert` is "
+                    "stripped under python -O; bind the result first, then "
+                    "assert on it",
+                )
+                return

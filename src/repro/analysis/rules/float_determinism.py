@@ -1,0 +1,96 @@
+"""Float-determinism rule: no unordered iteration in parity-critical core.
+
+Every fast path in the platform is property-tested *byte-identical* to
+the sequential drive -- which is only a meaningful guarantee if the
+sequential drive itself is deterministic.  Iterating a ``set`` (whose
+order depends on hash seeding and insertion history) anywhere that feeds
+float accumulation, request ordering, or store writes makes two runs of
+the same workload legitimately different, and the parity net can no
+longer distinguish "fast path diverged" from "baseline wobbled".
+
+Flags, in ``src/repro/core/`` only: ``for`` loops and comprehension
+generators whose iterable is a set literal, a set comprehension, a
+``set(...)``/``frozenset(...)`` call, or a local name assigned one of
+those earlier in the same function.  Membership tests and ``.add``/
+``.update`` on sets stay legal -- only *iteration order* leaks
+nondeterminism.
+
+The standard fix is an insertion-ordered dedup:
+``dict.fromkeys(items)`` preserves first-touch order with the same
+uniqueness semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.engine import Finding, Module, Project, Rule
+
+__all__ = ["FloatDeterminismRule"]
+
+_SCOPE_PREFIX = "src/repro/core/"
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return isinstance(node, ast.Name) and node.id in set_names
+
+
+class FloatDeterminismRule(Rule):
+    name = "float-determinism"
+    description = (
+        "no set iteration feeding parity-critical accumulation in core/ "
+        "(use dict.fromkeys for ordered dedup)"
+    )
+
+    def applies(self, module: Module) -> bool:
+        return module.relpath.startswith(_SCOPE_PREFIX)
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            set_names = self._set_locals(func)
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                    node.iter, set_names
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "for-loop iterates a set: unordered iteration breaks "
+                        "run-to-run determinism (use dict.fromkeys)",
+                    )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    for gen in node.generators:
+                        if _is_set_expr(gen.iter, set_names):
+                            yield self.finding(
+                                module,
+                                node,
+                                "comprehension iterates a set: unordered "
+                                "iteration breaks run-to-run determinism "
+                                "(use dict.fromkeys)",
+                            )
+
+    @staticmethod
+    def _set_locals(func: ast.AST) -> Set[str]:
+        """Local names assigned a set-valued expression anywhere in the
+        function (flow-insensitive on purpose: a rebind to a list later
+        should rename the variable, not launder the set)."""
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names

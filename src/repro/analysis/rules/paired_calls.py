@@ -1,0 +1,95 @@
+"""Paired-calls rule: staged batches and scan memos must always close.
+
+The hourly drive's central contract is that ``begin_staging`` reaches a
+commit or abort on *every* path -- an hour that raises mid-drive must
+still land its completed attempts' charges (``Sage.advance`` commits from
+a ``finally``), and an overlay left open poisons every later read (all
+admissibility checks see stale staged spend) while blocking every later
+``charge``/``charge_many``.  The snapshot-scoped scan memo has the same
+shape: ``begin_scan_memo`` freezes the overlay and must be ended by
+``end_scan_memo`` even when a peek raises.
+
+For every function in ``src/repro/`` that calls an opener, this rule
+requires (a) a matching closer call somewhere in the same function and
+(b) at least one closer call placed inside a ``try/finally`` handler's
+``finally`` block, so no raising path can skip it.  Functions *named*
+like the opener or a closer (the definitions and thin wrappers) are
+exempt; tests and benchmarks are out of scope on purpose -- they open
+batches mid-assertion to exercise exactly the error paths this rule
+forbids in production code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.engine import Finding, Module, Project, Rule
+from repro.analysis.rules.common import call_name, walk_calls
+
+__all__ = ["PairedCallsRule"]
+
+PAIRS = (
+    (
+        "begin_staging",
+        ("commit_staged", "abort_staged", "pop_staged", "commit_staged_trusted"),
+    ),
+    ("begin_scan_memo", ("end_scan_memo",)),
+)
+
+_SCOPE_PREFIX = "src/repro/"
+
+
+class PairedCallsRule(Rule):
+    name = "paired-calls"
+    description = (
+        "begin_staging/begin_scan_memo must reach their closing call on "
+        "every path (closer inside a try/finally)"
+    )
+
+    def applies(self, module: Module) -> bool:
+        return module.relpath.startswith(_SCOPE_PREFIX)
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            called = {
+                name for name in (call_name(c) for c in walk_calls(node)) if name
+            }
+            finally_called = self._finally_calls(node)
+            for opener, closers in PAIRS:
+                if node.name == opener or node.name in closers:
+                    continue  # definitions and their thin wrappers
+                opener_calls = [
+                    c for c in walk_calls(node) if call_name(c) == opener
+                ]
+                if not opener_calls:
+                    continue
+                if not (called & set(closers)):
+                    yield self.finding(
+                        module,
+                        opener_calls[0],
+                        f"{node.name}() calls {opener}() but never calls any of "
+                        f"{'/'.join(closers)} -- the batch cannot close on any path",
+                    )
+                elif not (finally_called & set(closers)):
+                    yield self.finding(
+                        module,
+                        opener_calls[0],
+                        f"{node.name}() calls {opener}() but no "
+                        f"{'/'.join(closers)} call sits in a try/finally -- a "
+                        "raising path leaves the batch open",
+                    )
+
+    @staticmethod
+    def _finally_calls(func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for call in walk_calls(stmt):
+                        name = call_name(call)
+                        if name:
+                            names.add(name)
+        return names

@@ -250,9 +250,12 @@ class ShardedLedgerStore:
 
     def retire(self, indices) -> None:
         indices = np.atleast_1d(np.asarray(indices, dtype=np.intp))
+        # repro: allow(purity) -- deferred retirement fan-out: mirror and
+        # shards persist the same idempotent fact the scan already proved.
         self._mirror.retire(indices)
         sids = self._shard_ids[indices]
         for shard in np.unique(sids):
+            # repro: allow(purity) -- see above
             self._shards[shard].retire(self._local[indices[sids == shard]])
 
     # -- shard topology -------------------------------------------------

@@ -1,0 +1,19 @@
+"""Known-bad api-hygiene fixture: the three footguns."""
+
+
+def collect(charge, acc=[]):  # mutable default: shared across calls
+    acc.append(charge)
+    return acc
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:  # bare except: eats KeyboardInterrupt and invariant errors
+        return None
+
+
+def check(session, SessionStatus):
+    assert session.step() == SessionStatus.ACCEPTED  # stripped under -O
+    assert (n := session.wake()) is not None  # walrus vanishes under -O
+    return n

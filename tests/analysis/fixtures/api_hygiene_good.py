@@ -1,0 +1,23 @@
+"""Fixed api-hygiene fixture."""
+
+
+def collect(charge, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(charge)
+    return acc
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def check(session, SessionStatus):
+    status = session.step()
+    assert status == SessionStatus.ACCEPTED
+    woken = session.wake()
+    assert woken is not None
+    return woken

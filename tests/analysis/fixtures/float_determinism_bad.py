@@ -1,0 +1,13 @@
+"""Known-bad float-determinism fixture: set iteration feeding accumulation."""
+
+
+def apply_many(norm):
+    touched = {key for keys, _ in norm for key in keys}
+    total = 0.0
+    for key in touched:  # unordered: float accumulation order varies
+        total += norm[key]
+    return total
+
+
+def dedup_rows(rows):
+    return [r * 2 for r in set(rows)]  # comprehension over a set call

@@ -1,0 +1,15 @@
+"""Fixed float-determinism fixture: insertion-ordered dedup."""
+
+
+def apply_many(norm):
+    touched = dict.fromkeys(key for keys, _ in norm for key in keys)
+    total = 0.0
+    for key in touched:  # dict preserves first-touch order
+        total += norm[key]
+    return total
+
+
+def dedup_rows(rows):
+    seen = set()
+    unique = [r for r in rows if not (r in seen or seen.add(r))]
+    return [r * 2 for r in unique]  # membership tests on sets stay legal

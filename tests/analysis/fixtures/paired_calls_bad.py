@@ -1,0 +1,22 @@
+"""Known-bad paired-calls fixture: opened batches that cannot always close."""
+
+
+def drive_never_closes(acc, requests):
+    acc.begin_staging()
+    for keys, budget in requests:
+        acc.stage_charge(keys, budget)
+    # no commit/abort anywhere: the overlay stays open forever
+
+
+def drive_closer_outside_finally(acc, requests):
+    acc.begin_staging()
+    for keys, budget in requests:
+        acc.stage_charge(keys, budget)  # a raise here leaks the batch
+    acc.commit_staged()
+
+
+def peek_memo_leaks(acc, sessions):
+    acc.begin_scan_memo()
+    results = [s.propose_peek() for s in sessions]
+    acc.end_scan_memo()  # skipped whenever a peek raises
+    return results

@@ -1,0 +1,18 @@
+"""Fixed paired-calls fixture: every opener closes from a finally."""
+
+
+def drive(acc, requests):
+    acc.begin_staging()
+    try:
+        for keys, budget in requests:
+            acc.stage_charge(keys, budget)
+    finally:
+        acc.commit_staged()
+
+
+def peek_all(acc, sessions):
+    acc.begin_scan_memo()
+    try:
+        return [s.propose_peek() for s in sessions]
+    finally:
+        acc.end_scan_memo()

@@ -1,0 +1,17 @@
+"""Known-bad purity fixture: a helper reachable from propose_peek mutates.
+
+Linted with a faked relpath inside ``src/repro/core/`` -- the real tree
+never sees this file (the engine skips directories named ``fixtures``).
+"""
+
+
+class Session:
+    def propose_peek(self):
+        return self._select_attempt()
+
+    def _select_attempt(self):
+        self.window_blocks = 1  # mutation on the pure read path
+        self._seen[0] = True
+        self._pending.add("x")
+        self._store.retire([0])
+        return None

@@ -1,0 +1,15 @@
+"""Fixed purity fixture: everything reachable from propose_peek only reads."""
+
+
+class Session:
+    def propose_peek(self):
+        return self._select_attempt()
+
+    def _select_attempt(self):
+        window = list(self._seen)
+        return window[:1]
+
+    def settle(self, decision):
+        # Mutation is fine here: settle is not reachable from any pure seed.
+        self.window_blocks = 1
+        self._pending.add(decision)

@@ -1,0 +1,13 @@
+"""Known-bad schema-width fixture: hard-coded totals columns, raw _totals."""
+
+
+def spent_epsilon(store):
+    return store.totals[:, 0].sum()  # hard-coded column
+
+
+def per_block_delta(acc, key):
+    return acc.ledger(key).totals[1]  # hard-coded column on a totals row
+
+
+def poke(store, row):
+    store._totals[row, 2] = 0.0  # raw private-array write

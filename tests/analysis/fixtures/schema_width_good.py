@@ -1,0 +1,15 @@
+"""Fixed schema-width fixture: named constants and row-level indexing."""
+
+from repro.core.accountant import TOT_DELTA, TOT_EPS
+
+
+def spent_epsilon(store):
+    return store.totals[:, TOT_EPS].sum()
+
+
+def per_block_delta(acc, key):
+    return acc.ledger(key).totals[TOT_DELTA]
+
+
+def row_view(store, row):
+    return store.totals[row]  # row indexing is layout-independent

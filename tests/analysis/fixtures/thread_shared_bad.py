@@ -1,0 +1,18 @@
+"""Known-bad thread-shared-state fixture: pool callables touching shared state."""
+
+
+class Platform:
+    def speculate(self, pool, chunks):
+        def peek_chunk(chunk):
+            overlay = self._staged  # mutable shared read from a worker
+            return [overlay.get(c) for c in chunk]
+
+        return list(pool.map(peek_chunk, chunks))
+
+    def validate(self, pool, shards, results):
+        def run(shard):
+            results[shard] = shard  # mutates a captured container
+            self._accountant.record(shard)  # commit off the serial path
+            return shard
+
+        return [pool.submit(run, s) for s in shards]

@@ -1,0 +1,13 @@
+"""Fixed thread-shared-state fixture: callables close over arguments only."""
+
+
+class Platform:
+    def speculate(self, pool, chunks, snapshot):
+        def peek_chunk(chunk):
+            local = [snapshot.peek(c) for c in chunk]  # frozen-snapshot reads
+            return local
+
+        return list(pool.map(peek_chunk, chunks))
+
+    def validate(self, pool, shards):
+        return [pool.submit(lambda s: s.checksum(), s) for s in shards]

@@ -1,0 +1,202 @@
+"""Engine mechanics: collection, suppressions, reporting, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    Finding,
+    LintError,
+    Module,
+    Project,
+    collect_project,
+    dump_json,
+    render_human,
+    report_as_json,
+    run_rules,
+)
+from repro.analysis.rules import ALL_RULES, default_rules
+from repro.analysis.rules.api_hygiene import ApiHygieneRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_source(source, relpath, rule):
+    module = Module.from_source(source, relpath)
+    project = Project(REPO_ROOT, [module])
+    return run_rules(project, [rule])
+
+
+class TestModule:
+    def test_parse_error_raises_lint_error(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            Module.from_source("def broken(:\n", "src/x.py")
+
+    def test_inline_allow_covers_its_line(self):
+        module = Module.from_source(
+            "try:\n    pass\nexcept:  # repro: allow(api-hygiene) -- test\n    pass\n",
+            "src/x.py",
+        )
+        assert module.suppressed("api-hygiene", 3)
+        assert not module.suppressed("api-hygiene", 4)
+        assert not module.suppressed("purity", 3)
+
+    def test_standalone_allow_covers_next_code_line(self):
+        source = (
+            "# repro: allow(api-hygiene) -- reason opens here\n"
+            "# and keeps explaining on a second line\n"
+            "\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+        )
+        module = Module.from_source(source, "src/x.py")
+        assert module.suppressed("api-hygiene", 4)
+
+    def test_wildcard_allow_suppresses_every_rule(self):
+        module = Module.from_source(
+            "def f(x=[]):  # repro: allow(*) -- generated code\n    return x\n",
+            "src/x.py",
+        )
+        assert module.suppressed("api-hygiene", 1)
+        assert module.suppressed("schema-width", 1)
+
+
+class TestSuppression:
+    BAD = "def f(x=[]):\n    return x\n"
+
+    def test_finding_without_allow(self):
+        findings, stats = lint_source(self.BAD, "src/x.py", ApiHygieneRule())
+        assert len(findings) == 1
+        assert stats["api-hygiene"] == {"findings": 1, "suppressed": 0, "files": 1}
+
+    def test_allow_moves_finding_to_suppressed(self):
+        source = "def f(x=[]):  # repro: allow(api-hygiene) -- test double\n    return x\n"
+        findings, stats = lint_source(source, "src/x.py", ApiHygieneRule())
+        assert findings == []
+        assert stats["api-hygiene"] == {"findings": 0, "suppressed": 1, "files": 1}
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        source = "def f(x=[]):  # repro: allow(purity) -- wrong rule\n    return x\n"
+        findings, _ = lint_source(source, "src/x.py", ApiHygieneRule())
+        assert len(findings) == 1
+
+
+class TestCollection:
+    def test_fixtures_skipped_by_default(self):
+        project = collect_project(REPO_ROOT, ["tests/analysis"])
+        assert not any("fixtures" in m.relpath for m in project)
+
+    def test_include_fixtures_readmits_them(self):
+        project = collect_project(
+            REPO_ROOT, ["tests/analysis"], include_fixtures=True
+        )
+        assert any(m.relpath.endswith("fixtures/purity_bad.py") for m in project)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError, match="does not exist"):
+            collect_project(REPO_ROOT, ["no/such/dir"])
+
+    def test_single_file_and_dedup(self):
+        target = "src/repro/analysis/engine.py"
+        project = collect_project(REPO_ROOT, [target, target, "src/repro/analysis"])
+        assert len([m for m in project if m.relpath == target]) == 1
+
+
+class TestReporting:
+    FINDINGS = [
+        Finding("src/b.py", 3, 1, "purity", "second"),
+        Finding("src/a.py", 9, 5, "api-hygiene", "first"),
+    ]
+    STATS = {
+        "purity": {"findings": 1, "suppressed": 2, "files": 4},
+        "api-hygiene": {"findings": 1, "suppressed": 0, "files": 9},
+    }
+
+    def test_human_report_lists_findings_and_summary(self):
+        text = render_human(sorted(self.FINDINGS), self.STATS, n_files=9)
+        lines = text.splitlines()
+        assert lines[0] == "src/a.py:9:5: [api-hygiene] first"
+        assert lines[1] == "src/b.py:3:1: [purity] second"
+        assert "2 finding(s) in 9 file(s) (2 suppressed)" in lines[2]
+
+    def test_json_report_round_trips(self):
+        rules = default_rules()
+        stats = {rule.name: {"findings": 0, "suppressed": 0, "files": 1} for rule in rules}
+        stats["purity"] = {"findings": 1, "suppressed": 3, "files": 5}
+        report = report_as_json(
+            sorted(self.FINDINGS)[:1], stats, rules, n_files=7, paths=["src"]
+        )
+        loaded = json.loads(dump_json(report))
+        assert loaded == report
+        assert loaded["version"] == 1
+        assert loaded["clean"] is False
+        assert loaded["checked_files"] == 7
+        assert loaded["rules"]["purity"]["suppressed"] == 3
+        assert list(loaded["rules"]) == [rule.name for rule in rules]
+        assert loaded["findings"][0]["rule"] == "api-hygiene"
+
+    def test_json_report_is_deterministic(self):
+        rules = default_rules()
+        stats = {rule.name: {"findings": 0, "suppressed": 0, "files": 1} for rule in rules}
+        a = dump_json(report_as_json([], stats, rules, 1, ["src"]))
+        b = dump_json(report_as_json([], stats, rules, 1, ["src"]))
+        assert a == b
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, capsys):
+        code = main(["--root", str(REPO_ROOT), "src/repro/analysis/engine.py"])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        code = main(
+            [
+                "--root",
+                str(REPO_ROOT),
+                "--include-fixtures",
+                "--rules",
+                "api-hygiene",
+                "tests/analysis/fixtures/api_hygiene_bad.py",
+            ]
+        )
+        assert code == 1
+        assert "[api-hygiene]" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["--root", str(REPO_ROOT), "--rules", "no-such-rule", "src"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["--root", str(REPO_ROOT), "no/such/dir"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        code = main(["--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for cls in ALL_RULES:
+            assert cls.name in out
+
+    def test_json_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        code = main(
+            [
+                "--root",
+                str(REPO_ROOT),
+                "--format",
+                "json",
+                "--output",
+                str(out_file),
+                "src/repro/analysis/engine.py",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        report = json.loads(out_file.read_text())
+        assert report["clean"] is True
+        assert report["paths"] == ["src/repro/analysis/engine.py"]
