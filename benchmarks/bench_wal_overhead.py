@@ -1,0 +1,176 @@
+"""Durability tax: the write-ahead charge log vs the volatile drive.
+
+Two questions about ``Sage(wal_dir=...)``:
+
+* **Parity first**: the durable drive must reproduce the volatile drive's
+  simulation byte for byte (per-hour state digests), and a platform
+  rebuilt from the WAL alone -- and again from the latest snapshot plus
+  the log tail -- must land on the same digest.  Any drift fails the
+  bench before a single timing is taken.
+* **Overhead**: wall-clock of the hourly drive with the log on (frame
+  encode + CRC + fsync per hour) over the log off, reported as a ratio.
+  ``--assert-max-overhead`` gates it in CI.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_wal_overhead.py``).
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from benchjson import RESULTS_DIR, write_bench_json, write_text_atomic
+from repro.core import durability
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.platform import Sage
+from repro.workload.oracle import CountStreamSource, OraclePipeline
+
+DEFAULT_HOURS = 24
+DEFAULT_PIPELINES = 6
+
+
+def _build(wal_dir=None, snapshot_every=0):
+    return Sage(
+        CountStreamSource(4000, scale=1000),
+        seed=5,
+        wal_dir=wal_dir,
+        snapshot_every=snapshot_every,
+    )
+
+
+def _pipes(n):
+    # Doubling targets: early pipelines terminate inside the bench window,
+    # later ones stay mid-session, so hours mix charges and redistributions.
+    return [
+        (
+            OraclePipeline(name=f"p{i}", n_at_eps1=3_000.0 * (2.0 ** i)),
+            AdaptiveConfig(max_attempts=16),
+        )
+        for i in range(n)
+    ]
+
+
+def _drive(sage, n_pipelines, hours):
+    """Submit the workload, advance ``hours``, return (per-hour digests,
+    total advance seconds)."""
+    for pipeline, config in _pipes(n_pipelines):
+        sage.submit(pipeline, config)
+    digests = []
+    elapsed = 0.0
+    for _ in range(hours):
+        start = time.perf_counter()
+        sage.advance(1.0)
+        elapsed += time.perf_counter() - start
+        digests.append(durability.state_digest(sage))
+    return digests, elapsed
+
+
+def bench_overhead(hours, n_pipelines, snapshot_every):
+    volatile = _build()
+    volatile_digests, t_off = _drive(volatile, n_pipelines, hours)
+    volatile.close()
+
+    with tempfile.TemporaryDirectory(prefix="wal_bench_") as tmp:
+        wal_dir = Path(tmp)
+        durable = _build(wal_dir=wal_dir, snapshot_every=snapshot_every)
+        durable_digests, t_on = _drive(durable, n_pipelines, hours)
+        durable.close()
+        if durable_digests != volatile_digests:
+            raise AssertionError(
+                "durable drive diverged from the volatile drive "
+                f"(first mismatch at hour "
+                f"{next(i for i, (a, b) in enumerate(zip(durable_digests, volatile_digests)) if a != b)})"
+            )
+        # Recovery parity: snapshot + log tail (as configured) ...
+        recovered = _build(wal_dir=wal_dir, snapshot_every=snapshot_every)
+        report = recovered.recover(_pipes(n_pipelines))
+        if report.hours_committed != hours:
+            raise AssertionError(
+                f"recovery rebuilt {report.hours_committed} hours, expected {hours}"
+            )
+        if durability.state_digest(recovered) != volatile_digests[-1]:
+            raise AssertionError("recovered state diverged from the live run")
+        recovered.close()
+        # ... and the WAL alone, with every snapshot deleted.
+        for snap in durability.SnapshotStore(wal_dir).snapshot_paths():
+            snap.unlink()
+        replayed = _build(wal_dir=wal_dir)
+        report = replayed.recover(_pipes(n_pipelines))
+        if report.snapshot_hour is not None or report.replayed_hours != hours:
+            raise AssertionError(
+                f"expected a pure {hours}-hour WAL replay, got {report.describe()}"
+            )
+        if durability.state_digest(replayed) != volatile_digests[-1]:
+            raise AssertionError("pure WAL replay diverged from the live run")
+        replayed.close()
+
+    return t_off, t_on, t_on / t_off
+
+
+def run(hours, n_pipelines, snapshot_every, assert_max_overhead=0.0):
+    t_off, t_on, overhead = bench_overhead(hours, n_pipelines, snapshot_every)
+    lines = [
+        f"WAL overhead: {hours} hours x {n_pipelines} pipelines "
+        f"(snapshot every {snapshot_every or 'never'})",
+        f"{'case':>16}  {'total':>10}  {'per hour':>10}",
+        f"{'volatile':>16}  {t_off * 1e3:>8.1f}ms  {t_off / hours * 1e3:>8.2f}ms",
+        f"{'durable':>16}  {t_on * 1e3:>8.1f}ms  {t_on / hours * 1e3:>8.2f}ms",
+        f"{'overhead':>16}  {overhead:>9.2f}x",
+        "parity: durable==volatile per hour; snapshot+tail and pure-WAL "
+        "recovery both reproduce the final digest",
+    ]
+    write_bench_json(
+        "wal_overhead",
+        {"hours": hours, "pipelines": n_pipelines, "snapshot_every": snapshot_every},
+        t_on * 1e3,
+        t_off * 1e3,
+    )
+    if assert_max_overhead and overhead > assert_max_overhead:
+        raise AssertionError(
+            f"durable drive costs {overhead:.2f}x the volatile drive, over "
+            f"the allowed {assert_max_overhead}x"
+        )
+    return "\n".join(lines)
+
+
+def test_wal_overhead_smoke():
+    """CI smoke: parity plus a loose overhead ceiling.  The oracle hours
+    here are sub-millisecond, so the ~1ms framed fsync dominates the
+    ratio; on any real hour (training attempts) it vanishes.  The gate
+    exists to catch pathological regressions (e.g. re-pickling the whole
+    platform per hour), not to pin the fsync cost."""
+    t_off, t_on, overhead = bench_overhead(12, 4, snapshot_every=4)
+    assert overhead <= 5.0, f"{overhead:.2f}x (off {t_off:.4f}s on {t_on:.4f}s)"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=DEFAULT_HOURS)
+    parser.add_argument("--pipelines", type=int, default=DEFAULT_PIPELINES)
+    parser.add_argument("--snapshot-every", type=int, default=8)
+    parser.add_argument(
+        "--assert-max-overhead",
+        type=float,
+        default=0.0,
+        help="fail if the durable drive costs more than this factor of the "
+        "volatile drive",
+    )
+    args = parser.parse_args()
+    table = run(
+        args.hours,
+        args.pipelines,
+        args.snapshot_every,
+        assert_max_overhead=args.assert_max_overhead,
+    )
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_text_atomic(RESULTS_DIR / "bench_wal_overhead.txt", table + "\n")
+
+
+if __name__ == "__main__":
+    main()

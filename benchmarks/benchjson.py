@@ -11,9 +11,19 @@ so the perf trajectory is diffable and trackable across PRs.
 """
 
 import json
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_text_atomic(path: Path, text: str) -> None:
+    """Write via a sibling temp file and one ``os.replace``: a benchmark
+    killed mid-write leaves the previous result intact, never a torn
+    half-JSON that later diffs or parsers choke on."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def write_bench_json(
@@ -29,5 +39,5 @@ def write_bench_json(
         "speedup": (scalar_ms / vectorized_ms) if vectorized_ms > 0 else None,
     }
     path = RESULTS_DIR / f"bench_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_text_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

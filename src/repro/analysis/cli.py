@@ -12,6 +12,7 @@ Exit codes: 0 clean, 1 findings, 2 usage/parse error.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -116,7 +117,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text = render_human(findings, stats, len(project)) + "\n"
 
     if args.output:
-        Path(args.output).write_text(text, encoding="utf-8")
+        # Atomic publish: CI diffs the committed report against a fresh
+        # run, so a half-written file must never replace a good one.
+        out = Path(args.output)
+        tmp = out.with_name(out.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, out)
     else:
         sys.stdout.write(text)
     return 1 if findings else 0

@@ -7,7 +7,11 @@ a ``finally``), and an overlay left open poisons every later read (all
 admissibility checks see stale staged spend) while blocking every later
 ``charge``/``charge_many``.  The snapshot-scoped scan memo has the same
 shape: ``begin_scan_memo`` freezes the overlay and must be ended by
-``end_scan_memo`` even when a peek raises.
+``end_scan_memo`` even when a peek raises.  The WAL hour lifecycle joins
+them: a ``begin_hour`` left open would make the *next* hour's
+``begin_hour`` fail and -- worse -- leave a partial hour record as the
+log's tail, so every ``begin_hour`` must reach ``commit_hour`` or
+``abort_hour``, with one of them in a ``finally``.
 
 For every function in ``src/repro/`` that calls an opener, this rule
 requires (a) a matching closer call somewhere in the same function and
@@ -35,6 +39,7 @@ PAIRS = (
         ("commit_staged", "abort_staged", "pop_staged", "commit_staged_trusted"),
     ),
     ("begin_scan_memo", ("end_scan_memo",)),
+    ("begin_hour", ("commit_hour", "abort_hour")),
 )
 
 _SCOPE_PREFIX = "src/repro/"
@@ -43,8 +48,8 @@ _SCOPE_PREFIX = "src/repro/"
 class PairedCallsRule(Rule):
     name = "paired-calls"
     description = (
-        "begin_staging/begin_scan_memo must reach their closing call on "
-        "every path (closer inside a try/finally)"
+        "begin_staging/begin_scan_memo/begin_hour must reach their closing "
+        "call on every path (closer inside a try/finally)"
     )
 
     def applies(self, module: Module) -> bool:

@@ -8,6 +8,8 @@ Usage::
     python -m repro fig7                      # block vs query composition
     python -m repro fig8 --rates 0.1 0.5      # workload sweep
     python -m repro inventory                 # Table 1 configurations
+    python -m repro wal-demo --wal-dir state  # durable workload + charge log
+    python -m repro recover --wal-dir state   # rebuild from WAL + snapshots
 
 The CLI is a thin veneer over ``repro.experiments``; it exists so a
 downstream user can reproduce a single artifact without writing a script.
@@ -55,6 +57,33 @@ def build_parser() -> argparse.ArgumentParser:
     p8.add_argument("--horizon", type=float, default=300.0)
 
     sub.add_parser("inventory", help="print the Table 1 configurations")
+
+    pw = sub.add_parser(
+        "wal-demo",
+        help="run a durable oracle workload, optionally dying at a crash point",
+    )
+    pw.add_argument("--wal-dir", required=True, help="charge log + snapshot directory")
+    pw.add_argument("--hours", type=int, default=6, help="hours of stream time")
+    pw.add_argument("--pipelines", type=int, default=3, help="oracle pipelines")
+    pw.add_argument("--seed", type=int, default=5)
+    pw.add_argument(
+        "--snapshot-every", type=int, default=0, help="snapshot cadence (0 = never)"
+    )
+    pw.add_argument(
+        "--shards", type=int, default=0, help="accountant shards (0 = single store)"
+    )
+    pw.add_argument(
+        "--crash-at",
+        default=None,
+        metavar="POINT",
+        help="simulate a process death at this named crash point "
+        "(see repro.core.faults.CRASH_POINTS)",
+    )
+
+    pr = sub.add_parser(
+        "recover", help="rebuild a wal-demo platform from its log and snapshots"
+    )
+    pr.add_argument("--wal-dir", required=True, help="directory wal-demo wrote")
     return parser
 
 
@@ -130,6 +159,115 @@ def _cmd_inventory(args) -> str:
     return "\n".join(lines)
 
 
+def _write_json_atomic(path, payload) -> None:
+    """Land the JSON in one ``os.replace`` so a crash mid-write leaves
+    either the old manifest or the new one, never a torn file."""
+    import json
+    import os
+
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _demo_platform(manifest, wal_dir):
+    from repro.core.platform import Sage
+    from repro.core.sharding import sharded_accountant_factory
+    from repro.workload.oracle import CountStreamSource
+
+    kwargs = {}
+    if manifest["shards"]:
+        kwargs["accountant_factory"] = sharded_accountant_factory(manifest["shards"])
+    return Sage(
+        CountStreamSource(4000, scale=1000),
+        seed=manifest["seed"],
+        wal_dir=wal_dir,
+        snapshot_every=manifest["snapshot_every"],
+        **kwargs,
+    )
+
+
+def _demo_pipelines(manifest):
+    from repro.core.adaptive import AdaptiveConfig
+    from repro.workload.oracle import OraclePipeline
+
+    return [
+        (
+            OraclePipeline(name=f"demo-{i}", n_at_eps1=target),
+            AdaptiveConfig(max_attempts=16),
+        )
+        for i, target in enumerate(manifest["targets"])
+    ]
+
+
+def _cmd_wal_demo(args) -> str:
+    from pathlib import Path
+
+    from repro.core import durability, faults
+
+    wal_dir = Path(args.wal_dir)
+    wal_dir.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "seed": args.seed,
+        "shards": args.shards,
+        "snapshot_every": args.snapshot_every,
+        # Spread targets so early pipelines terminate inside the demo
+        # window while later ones are still mid-session at any crash.
+        "targets": [3_000.0 * (2.0 ** i) for i in range(args.pipelines)],
+    }
+    _write_json_atomic(wal_dir / "manifest.json", manifest)
+    sage = _demo_platform(manifest, wal_dir)
+    for pipeline, config in _demo_pipelines(manifest):
+        sage.submit(pipeline, config)
+    lines = []
+    try:
+        if args.crash_at:
+            with faults.armed_crash(args.crash_at):
+                for _ in range(args.hours):
+                    sage.advance(1.0)
+        else:
+            for _ in range(args.hours):
+                sage.advance(1.0)
+    except faults.InjectedCrash as crash:
+        # Simulated process death: abandon the in-memory state exactly as
+        # a kill -9 would, leaving only what the WAL already holds.
+        # close() releases this process's file handles without touching
+        # the log -- every crash point fires on an fsynced boundary, so
+        # the on-disk bytes are already what a real kill would leave.
+        sage.close()
+        lines.append(f"crashed at {crash.point} (in-memory state abandoned)")
+        scan = durability.read_wal(durability.wal_path(wal_dir))
+        durable = len(durability.pair_hour_records(scan.records))
+        lines.append(f"charge log holds {durable} hour(s); run `recover` to rebuild")
+        return "\n".join(lines)
+    lines.append(
+        f"ran {args.hours} hour(s), {sage.hours_committed} committed to "
+        f"{durability.wal_path(wal_dir)}"
+    )
+    lines.append(f"state digest: {durability.state_digest(sage):#010x}")
+    sage.close()
+    return "\n".join(lines)
+
+
+def _cmd_recover(args) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.core import durability
+    from repro.errors import RecoveryError
+
+    wal_dir = Path(args.wal_dir)
+    manifest_path = wal_dir / "manifest.json"
+    if not manifest_path.exists():
+        raise RecoveryError(f"no manifest.json in {wal_dir} (not a wal-demo directory?)")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    sage = _demo_platform(manifest, wal_dir)
+    report = sage.recover(_demo_pipelines(manifest))
+    lines = [report.describe(), f"state digest: {durability.state_digest(sage):#010x}"]
+    sage.close()
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
@@ -137,12 +275,21 @@ _COMMANDS = {
     "fig7": _cmd_fig7,
     "fig8": _cmd_fig8,
     "inventory": _cmd_inventory,
+    "wal-demo": _cmd_wal_demo,
+    "recover": _cmd_recover,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    from repro.core.faults import FaultConfigError
+    from repro.errors import DurabilityError
+
+    try:
+        output = _COMMANDS[args.command](args)
+    except (DurabilityError, FaultConfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(output)
     return 0
 

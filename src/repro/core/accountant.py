@@ -144,6 +144,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.filters import (
     TOTALS_BASE,
     BasicCompositionFilter,
@@ -152,7 +153,13 @@ from repro.core.filters import (
 )
 from repro.dp.budget import PrivacyBudget, ZERO_BUDGET
 from repro.dp.composition import rogers_filter_epsilon_from_sums_batch
-from repro.errors import BlockRetiredError, BudgetExceededError, InvalidBudgetError
+from repro.errors import (
+    BlockRetiredError,
+    BudgetExceededError,
+    InvalidBudgetError,
+    RecoveryError,
+    SnapshotMismatchError,
+)
 
 __all__ = [
     "BlockLedger",
@@ -319,6 +326,24 @@ class LedgerStore:
         # lazily mark exhausted blocks; idempotent and observationally
         # invisible (a retired block refuses every charge either way).
         self._live[indices] = False
+
+    def truncate_to(self, size: int) -> None:
+        """Drop every row past ``size`` (the durability layer's hour
+        rollback: the only rows ever truncated are same-hour registrations
+        that no committed charge has touched).  Vacated buffer regions are
+        re-zeroed so they stay indistinguishable from never-used capacity.
+        """
+        size = int(size)
+        if size < 0 or size > self._size:
+            raise RecoveryError(
+                f"cannot truncate store of {self._size} rows to {size}"
+            )
+        if size == self._size:
+            return
+        self._totals[size : self._size] = 0.0
+        self._live[size : self._size] = False
+        self._counts[size : self._size] = 0
+        self._size = size
 
 
 class StagedBatch:
@@ -624,6 +649,20 @@ class BlockAccountant:
         return self._staged is not None
 
     @property
+    def staged_requests(self) -> List[tuple]:
+        """Copy of the open batch's ``(keys, budget, label)`` requests
+        (empty when no batch is open).
+
+        This is what the durability layer writes ahead: the exact batch the
+        closing ``charge_many``/trusted commit will land, captured *before*
+        the commit so a crash between WAL append and commit replays the
+        identical requests.
+        """
+        if self._staged is None:
+            return []
+        return list(self._staged.requests)
+
+    @property
     def staged_request_count(self) -> int:
         """Number of charges staged in the open batch (0 when none is open).
 
@@ -914,6 +953,10 @@ class BlockAccountant:
         if not self._vectorized:
             return self._apply_many_scalar(norm, commit=True)
         touched, work, counts_delta = self._validate_many_vectorized(norm)
+        # Crash point between phase-one validation and the phase-two commit
+        # (for the sharded accountant this sits exactly between the 2PC
+        # phases: every shard has validated, no shard has written).
+        faults.trip("charge.between_validate_and_commit")
         return self._commit_validated(norm, touched, work, counts_delta)
 
     def _commit_validated(
@@ -986,6 +1029,117 @@ class BlockAccountant:
         except (BudgetExceededError, BlockRetiredError):
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Durability hooks (hour rollback + snapshot export/restore)
+    # ------------------------------------------------------------------
+    def rollback_registrations(self, n_blocks: int) -> None:
+        """Unregister every block past the first ``n_blocks`` (registration
+        order) -- the durability layer's hour rollback.
+
+        Only same-hour registrations are ever rolled back, and the platform
+        rolls back strictly *before* the hour's staged batch commits, so the
+        removed rows carry no committed charges; dropping them (and their
+        store rows) restores the exact pre-hour accountant.
+        """
+        if n_blocks < 0 or n_blocks > len(self._keys):
+            raise RecoveryError(
+                f"cannot roll registrations back to {n_blocks}; "
+                f"{len(self._keys)} blocks are registered"
+            )
+        removed = self._keys[n_blocks:]
+        if not removed:
+            return
+        for key in removed:
+            del self._ledgers[key]
+            del self._rows[key]
+            self._dead.discard(key)
+        del self._keys[n_blocks:]
+        # Cached row arrays / memoized scans may name the removed rows.
+        self._row_cache.clear()
+        self._scan_memo = None
+        self._store.truncate_to(n_blocks)
+
+    def export_state(self) -> dict:
+        """Snapshot this accountant's full committed state (picklable).
+
+        Pending lazy retirement is persisted first so the exported live
+        mask is the normalized one every scan would converge to.
+        """
+        self.retired_blocks()
+        store = self._store
+        return {
+            "schema_width": store.width,
+            "epsilon_global": self.epsilon_global,
+            "delta_global": self.delta_global,
+            "keys": list(self._keys),
+            "totals": store.totals.copy(),
+            "live": store.live.copy(),
+            "counts": store.charge_counts.copy(),
+            "charges": [
+                (r.budget, r.block_keys, r.label) for r in self._charges
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot into a *fresh* accountant.
+
+        Blocks re-register through the normal registration path (so a
+        sharded accountant rebuilds the identical row-to-shard routing),
+        ledger histories are rebuilt from the exported charge log, and the
+        exported totals are written back verbatim -- the restored store is
+        byte-identical to the exported one.
+        """
+        if self._keys or self._charges:
+            raise RecoveryError(
+                "restore_state requires a fresh accountant "
+                f"({len(self._keys)} blocks, {len(self._charges)} charges "
+                "already present)"
+            )
+        if state["schema_width"] != self._store.width:
+            raise SnapshotMismatchError(
+                f"snapshot schema width {state['schema_width']} does not "
+                f"match this accountant's width {self._store.width}"
+            )
+        if (
+            state["epsilon_global"] != self.epsilon_global
+            or state["delta_global"] != self.delta_global
+        ):
+            raise SnapshotMismatchError(
+                f"snapshot global budget ({state['epsilon_global']}, "
+                f"{state['delta_global']}) does not match this accountant's "
+                f"({self.epsilon_global}, {self.delta_global})"
+            )
+        for key in state["keys"]:
+            self.register_block(key)
+        totals = np.asarray(state["totals"], dtype=np.float64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        live = np.asarray(state["live"], dtype=bool)
+        expected = (len(self._keys), self._store.width)
+        if totals.shape != expected:
+            raise SnapshotMismatchError(
+                f"snapshot totals shape {totals.shape} does not match "
+                f"the restored key set {expected}"
+            )
+        for budget, block_keys, label in state["charges"]:
+            for key in block_keys:
+                if key not in self._ledgers:
+                    raise RecoveryError(
+                        f"snapshot charge names unknown block {key!r}"
+                    )
+                self._ledgers[key].history.append(budget)
+            self._charges.append(
+                ChargeRecord(budget=budget, block_keys=tuple(block_keys), label=label)
+            )
+        if self._keys:
+            rows = np.arange(len(self._keys), dtype=np.intp)
+            self._store.write_rows(rows, totals, counts)
+            for key, row_totals in zip(self._keys, totals.tolist()):
+                self._ledgers[key]._totals = row_totals
+            dead_rows = np.flatnonzero(~live)
+            if dead_rows.size:
+                self._store.retire(dead_rows)
+                self._dead.update(self._keys[i] for i in dead_rows)
 
     # ------------------------------------------------------------------
     # Queries used by the platform / iterators (vectorized scans)

@@ -91,3 +91,20 @@ class ModelFeatureStore:
             for bundle in versions:
                 total = total + bundle.budget
         return total
+
+    # ------------------------------------------------------------------
+    def version_marks(self) -> Dict[str, int]:
+        """Per-name version counts right now (the durability layer's
+        pre-hour mark for :meth:`rollback_to_marks`)."""
+        return {name: len(versions) for name, versions in self._bundles.items()}
+
+    def rollback_to_marks(self, marks: Dict[str, int]) -> None:
+        """Withdraw every bundle released since ``marks`` was captured
+        (the platform's hour rollback: a rolled-back hour's releases were
+        never validly accounted, so they must not stay published)."""
+        for name in list(self._bundles):
+            keep = marks.get(name, 0)
+            if keep <= 0:
+                del self._bundles[name]
+            else:
+                del self._bundles[name][keep:]

@@ -85,14 +85,17 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import durability, faults
 from repro.core.access_control import SageAccessControl
 from repro.core.adaptive import (
     AdaptiveConfig,
     AdaptiveSession,
+    AttemptRecord,
     ChargeDecision,
     ChargeProposal,
     SessionStatus,
@@ -100,7 +103,13 @@ from repro.core.adaptive import (
 from repro.core.model_store import ModelFeatureStore, ReleasedBundle
 from repro.data.database import GrowingDatabase, StreamIngestor
 from repro.data.stream import StreamSource, TimePartitioner
-from repro.errors import BlockRetiredError, BudgetExceededError, PipelineError
+from repro.errors import (
+    BlockRetiredError,
+    BudgetExceededError,
+    DurabilityError,
+    PipelineError,
+    RecoveryError,
+)
 
 __all__ = ["Sage", "SubmittedPipeline", "ReservationTable", "SpeculativeProposal"]
 
@@ -261,6 +270,40 @@ class ReservationTable:
         """Copy of one pipeline's full reservation row (diagnostics)."""
         return self._eps[row, : self._n_blocks].copy()
 
+    def restore(self, matrix: np.ndarray, free: np.ndarray) -> None:
+        """Overwrite the table with a captured ``(matrix, free)`` state --
+        the durability layer's hour rollback and snapshot recovery.
+
+        Every buffer cell outside the restored region is re-zeroed:
+        :meth:`add_block` / :meth:`add_pipeline` hand out buffer regions
+        without zeroing them, so vacated cells must stay indistinguishable
+        from never-used capacity.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        free = np.asarray(free, dtype=np.float64)
+        if matrix.ndim != 2 or free.ndim != 1 or free.shape[0] != matrix.shape[1]:
+            raise RecoveryError(
+                f"reservation restore shape mismatch: matrix "
+                f"{matrix.shape}, free pool {free.shape}"
+            )
+        n_pipelines, n_blocks = matrix.shape
+        if n_pipelines > self._eps.shape[0] or n_blocks > self._eps.shape[1]:
+            row_cap = max(1, self._eps.shape[0])
+            while row_cap < n_pipelines:
+                row_cap *= 2
+            col_cap = max(1, self._eps.shape[1])
+            while col_cap < n_blocks:
+                col_cap *= 2
+            self._eps = np.zeros((row_cap, col_cap))
+            self._free = np.zeros(col_cap)
+        else:
+            self._eps[:] = 0.0
+            self._free[:] = 0.0
+        self._eps[:n_pipelines, :n_blocks] = matrix
+        self._free[:n_blocks] = free
+        self._n_pipelines = n_pipelines
+        self._n_blocks = n_blocks
+
 
 @dataclass
 class SubmittedPipeline:
@@ -316,6 +359,18 @@ class Sage:
     partitioned ledger store); ``propose_workers`` enables the parallel
     propose phase of each staged hour (see the module docstring) -- both
     preserve trajectories byte for byte.
+
+    ``wal_dir`` turns on the durable drive (see
+    :mod:`repro.core.durability`): each hour is recorded in a write-ahead
+    charge log *before* it commits in memory, every ``snapshot_every``
+    committed hours a full-state snapshot lands next to it (the newest
+    ``snapshot_keep`` are retained), and any mid-hour exception rolls the
+    in-memory platform back to its exact pre-hour accounting state.  A
+    platform constructed over a WAL directory holding prior state must
+    call :meth:`recover` before advancing.  Durable mode requires the
+    staged hourly drive (``batched_advance`` with a staging-capable
+    accountant and no per-context policies): the WAL records each hour as
+    one request batch, which only the staged path produces.
     """
 
     def __init__(
@@ -330,6 +385,9 @@ class Sage:
         trusted_staged_commit: bool = False,
         accountant_factory=None,
         propose_workers: int = 0,
+        wal_dir=None,
+        snapshot_every: int = 0,
+        snapshot_keep: int = 3,
     ) -> None:
         self.database = GrowingDatabase()
         self.rng = np.random.default_rng(seed)
@@ -369,11 +427,45 @@ class Sage:
         self.last_hour_speculations = (0, 0)
         # Charges committed by the most recent advance() (diagnostics).
         self.last_hour_charges = 0
+        # Durability (write-ahead charge log + snapshots; see
+        # repro.core.durability).  The WAL writer is created lazily on the
+        # first durable hour so merely constructing a platform never
+        # touches disk.
+        self._wal_dir: Optional[Path] = Path(wal_dir) if wal_dir else None
+        self._wal: Optional[durability.WalWriter] = None
+        self._snapshot_every = max(0, int(snapshot_every))
+        self._snapshots: Optional[durability.SnapshotStore] = None
+        self._hours_committed = 0
+        self._needs_recovery = False
+        if self._wal_dir is not None:
+            if not (batched_advance and self.access.supports_staged_requests):
+                raise DurabilityError(
+                    "durable mode (wal_dir) requires the staged hourly drive: "
+                    "batched_advance with a staging-capable accountant and no "
+                    "per-context policies"
+                )
+            self._snapshots = durability.SnapshotStore(
+                self._wal_dir, keep=snapshot_keep
+            )
+            # Prior state on disk (WAL content past the magic, or any
+            # snapshot) means this platform must recover() before advancing.
+            path = durability.wal_path(self._wal_dir)
+            try:
+                has_wal = path.stat().st_size > len(durability.WAL_MAGIC)
+            except OSError:
+                has_wal = False
+            if has_wal or self._snapshots.snapshot_paths():
+                self._needs_recovery = True
 
     # ------------------------------------------------------------------
     @property
     def clock_hours(self) -> float:
         return self.ingestor.clock_hours
+
+    @property
+    def hours_committed(self) -> int:
+        """Completed ``advance`` calls (durable mode: WAL hour indices)."""
+        return self._hours_committed
 
     @property
     def reservation_table(self) -> ReservationTable:
@@ -524,6 +616,9 @@ class Sage:
         accountant_close = getattr(self.access.accountant, "close", None)
         if accountant_close is not None:
             accountant_close()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     def __enter__(self) -> "Sage":
         return self
@@ -671,8 +766,27 @@ class Sage:
         Returns the bundles released during this step.  On the batched path
         the whole hour's charges commit through exactly one
         ``SageAccessControl.request_many`` call after every session has
-        finished or blocked (see the module docstring).
+        finished or blocked (see the module docstring).  With ``wal_dir``
+        set the hour additionally lands in the write-ahead charge log
+        before it commits, and any mid-hour exception rolls the in-memory
+        state back to the last committed hour (see
+        :mod:`repro.core.durability`).
         """
+        if self._needs_recovery:
+            raise RecoveryError(
+                f"WAL directory {self._wal_dir} holds prior platform state; "
+                "call recover() before advancing"
+            )
+        staged = self.batched_advance and self.access.supports_staged_requests
+        if self._wal_dir is not None:
+            return self._advance_durable(hours)
+        return self._advance_volatile(hours, staged)
+
+    def _open_hour(self, hours: float) -> List:
+        """Ingest the hour's stream slice and fund its blocks: register in
+        every ledger set, allocate evenly to waiting pipelines, grant the
+        free pool.  Returns the new blocks (also the WAL replay re-entry
+        point -- identical given identical clock/RNG state)."""
         new_blocks = self.ingestor.advance(hours)
         # Register the hour's blocks in every ledger set (stream-wide and
         # per-context); the access layer interleaves sets per key so a
@@ -681,57 +795,405 @@ class Sage:
         for block in new_blocks:
             self._allocate_block(block.key)
         self._grant_free_pool()
+        return new_blocks
 
-        staged = self.batched_advance and self.access.supports_staged_requests
+    def _drive_hour(self, staged: bool) -> List[ReleasedBundle]:
+        """Drive every waiting session through the hour's propose/settle
+        loop (after :meth:`_open_hour`; inside the staging window on the
+        batched path).  Returns the hour's released bundles."""
+        # Parallel propose phase: peek every waiting session's first
+        # proposal against the freshly opened (empty) overlay.  Needs
+        # the staged path -- speculation tokens are defined against it.
+        speculations: Dict[int, SpeculativeProposal] = {}
+        if staged and self.propose_workers > 0:
+            speculations = self._speculate_proposals()
+        released: List[ReleasedBundle] = []
+        # Maintained O(1) through the loop: sessions only leave the
+        # waiting set by terminating during their own drive below.
+        waiting_count = sum(1 for p in self._pipelines if p.waiting)
+        for entry in self._pipelines:
+            if not entry.waiting:
+                continue
+            self._drive_session(
+                entry, staged, speculations.get(id(entry)), waiting_count
+            )
+            if entry.session.is_terminal:
+                waiting_count -= 1
+            self._settle_charges(entry)
+            faults.trip("settle.mid_session")
+            if entry.session.status == SessionStatus.ACCEPTED:
+                run = entry.session.final_run
+                bundle = self.store.release(
+                    name=entry.name,
+                    model=run.model,
+                    features=run.features,
+                    validation=run.validation,
+                    budget=entry.session.total_spent,
+                    block_keys=entry.session.attempts[-1].window,
+                    release_time_hours=self.clock_hours,
+                )
+                entry.bundle = bundle
+                entry.release_time_hours = self.clock_hours
+                released.append(bundle)
+                self._redistribute(entry)
+            elif entry.session.is_terminal:
+                self._redistribute(entry)
+        return released
+
+    def _advance_volatile(
+        self, hours: float, staged: bool
+    ) -> List[ReleasedBundle]:
+        """The in-memory-only hourly drive (no ``wal_dir``) -- the seed
+        semantics: a mid-hour exception still commits whatever was staged,
+        exactly as the sequential path would already have charged it."""
+        self._open_hour(hours)
         if staged:
             self.access.begin_staging()
         self.last_hour_charges = 0
         self.last_hour_speculations = (0, 0)
-        released: List[ReleasedBundle] = []
         try:
-            # Parallel propose phase: peek every waiting session's first
-            # proposal against the freshly opened (empty) overlay.  Needs
-            # the staged path -- speculation tokens are defined against it.
-            # Inside the try so a failed peek still closes the overlay.
-            speculations: Dict[int, SpeculativeProposal] = {}
-            if staged and self.propose_workers > 0:
-                speculations = self._speculate_proposals()
-            # Maintained O(1) through the loop: sessions only leave the
-            # waiting set by terminating during their own drive below.
-            waiting_count = sum(1 for p in self._pipelines if p.waiting)
-            for entry in self._pipelines:
-                if not entry.waiting:
-                    continue
-                self._drive_session(
-                    entry, staged, speculations.get(id(entry)), waiting_count
-                )
-                if entry.session.is_terminal:
-                    waiting_count -= 1
-                self._settle_charges(entry)
-                if entry.session.status == SessionStatus.ACCEPTED:
-                    run = entry.session.final_run
-                    bundle = self.store.release(
-                        name=entry.name,
-                        model=run.model,
-                        features=run.features,
-                        validation=run.validation,
-                        budget=entry.session.total_spent,
-                        block_keys=entry.session.attempts[-1].window,
-                        release_time_hours=self.clock_hours,
-                    )
-                    entry.bundle = bundle
-                    entry.release_time_hours = self.clock_hours
-                    released.append(bundle)
-                    self._redistribute(entry)
-                elif entry.session.is_terminal:
-                    self._redistribute(entry)
+            # Inside the try so a failed peek/drive still closes the overlay.
+            released = self._drive_hour(staged)
         finally:
             # Commit whatever was staged even if a pipeline raised mid-hour:
             # completed attempts' charges must land, exactly as they already
             # would have on the sequential path.
             if staged:
                 self.access.commit_staged()
+        self._hours_committed += 1
         return released
+
+    def _advance_durable(self, hours: float) -> List[ReleasedBundle]:
+        """One write-ahead-logged hour (see :mod:`repro.core.durability`).
+
+        Ordering is the whole durability argument: the hour record (the
+        exact request batch plus session deltas) is appended and fsynced
+        *before* the in-memory commit, so a crash on either side of the
+        commit point leaves the WAL describing a state recovery can rebuild
+        exactly.  Any exception during the open/drive/append window rolls
+        the platform back to its pre-hour accounting state and truncates
+        the partial WAL hour -- the volatile path's commit-what-was-staged
+        semantics would leave charges the log never recorded.
+        """
+        if not (self.batched_advance and self.access.supports_staged_requests):
+            raise DurabilityError(
+                "durable advance requires the staged hourly drive (no "
+                "per-context policies, staging-capable accountant)"
+            )
+        wal = self._ensure_wal()
+        txn = self._capture_hour()
+        self.last_hour_charges = 0
+        self.last_hour_speculations = (0, 0)
+        wal.begin_hour()
+        try:
+            new_blocks = self._open_hour(hours)
+            faults.trip("hour.opened")
+            self.access.begin_staging()
+            released = self._drive_hour(staged=True)
+            # Build the record while the staged batch is still open (it
+            # carries the batch verbatim), write ahead, then commit.
+            record = self._build_hour_record(txn, hours, new_blocks)
+            wal.append_hour(record)
+            self.access.commit_staged()
+        except Exception:
+            # InjectedCrash (BaseException) deliberately bypasses this:
+            # a crash gets no rollback -- recovery must rebuild from disk.
+            try:
+                self._rollback_hour(txn)
+            finally:
+                if self.access.staging_active:
+                    self.access.abort_staged()
+                wal.abort_hour()
+            raise
+        self._hours_committed += 1
+        wal.commit_hour(self._hours_committed - 1, durability.state_digest(self))
+        faults.trip("hour.after_commit")
+        if self._snapshot_every > 0 and (
+            self._hours_committed % self._snapshot_every == 0
+        ):
+            self._write_snapshot()
+        return released
+
+    # ------------------------------------------------------------------
+    # Durability: pre-hour capture, rollback, WAL records, recovery
+    # ------------------------------------------------------------------
+    def _ensure_wal(self) -> durability.WalWriter:
+        if self._wal_dir is None:
+            raise DurabilityError("platform was constructed without a wal_dir")
+        if self._wal is None:
+            self._wal = durability.WalWriter(durability.wal_path(self._wal_dir))
+        return self._wal
+
+    def _capture_hour(self) -> dict:
+        """Everything :meth:`_rollback_hour` needs to undo one hour:
+        the accounting plane (ledger registrations, reservations, session
+        state, released bundles) and the data plane (database tail, stream
+        clock, RNG state) -- a rolled-back hour leaves no trace at all, so
+        the retried hour re-ingests the very same stream slice."""
+        entries = []
+        for entry in self._pipelines:
+            session = entry.session
+            entries.append(
+                {
+                    "was_terminal": session.is_terminal,
+                    "status": session.status,
+                    "epsilon": session.epsilon,
+                    "epsilon_floor": session.epsilon_floor,
+                    "delta": session.delta,
+                    "window_blocks": session.window_blocks,
+                    "n_attempts": len(session.attempts),
+                    "total_spent": session.total_spent,
+                    "final_run": session.final_run,
+                    "settled_attempts": entry.settled_attempts,
+                    "release_time_hours": entry.release_time_hours,
+                    "bundle": entry.bundle,
+                }
+            )
+        return {
+            "n_blocks": len(self.access.accountant.store),
+            "clock": self.clock_hours,
+            "rng_state": self.rng.bit_generator.state,
+            "db_mark": self.database.mark(),
+            "matrix": self._table.matrix.copy(),
+            "free": self._table.free_epsilon.copy(),
+            "store_marks": self.store.version_marks(),
+            "entries": entries,
+        }
+
+    def _rollback_hour(self, txn: dict) -> None:
+        """Restore the platform to the :meth:`_capture_hour` state:
+        deregister the hour's blocks (truncating the ledger store),
+        restore reservations, rewind every session, withdraw the hour's
+        released bundles, unwind the ingest, rewind clock and RNG."""
+        self.access.accountant.rollback_registrations(txn["n_blocks"])
+        self.database.truncate_to_mark(txn["db_mark"])
+        self.ingestor.clock_hours = txn["clock"]
+        self.rng.bit_generator.state = txn["rng_state"]
+        self._table.restore(txn["matrix"], txn["free"])
+        for entry, pre in zip(self._pipelines, txn["entries"]):
+            session = entry.session
+            session.status = pre["status"]
+            session.epsilon = pre["epsilon"]
+            session.epsilon_floor = pre["epsilon_floor"]
+            session.delta = pre["delta"]
+            session.window_blocks = pre["window_blocks"]
+            session.total_spent = pre["total_spent"]
+            session.final_run = pre["final_run"]
+            del session.attempts[pre["n_attempts"]:]
+            entry.settled_attempts = pre["settled_attempts"]
+            entry.release_time_hours = pre["release_time_hours"]
+            entry.bundle = pre["bundle"]
+        self.store.rollback_to_marks(txn["store_marks"])
+
+    def _build_hour_record(self, txn: dict, hours: float, new_blocks) -> dict:
+        """The hour's WAL record: the staged request batch verbatim plus
+        per-session deltas, bracketed by the pre/post clock and RNG states
+        (replay restores the *pre* pair before re-ingesting and the *post*
+        pair after, so it never depends on the recovering process's own
+        clock or RNG position)."""
+        deltas = []
+        for index, (entry, pre) in enumerate(zip(self._pipelines, txn["entries"])):
+            if pre["was_terminal"]:
+                continue
+            session = entry.session
+            deltas.append(
+                {
+                    "index": index,
+                    "status": session.status,
+                    "epsilon": session.epsilon,
+                    "epsilon_floor": session.epsilon_floor,
+                    "delta": session.delta,
+                    "window_blocks": session.window_blocks,
+                    "total_spent": session.total_spent,
+                    "settled_attempts": entry.settled_attempts,
+                    "release_time_hours": entry.release_time_hours,
+                    "attempts": durability._attempt_tuples(
+                        session.attempts[pre["n_attempts"]:]
+                    ),
+                }
+            )
+        return {
+            "hour_index": self._hours_committed,
+            "hours": hours,
+            "clock_start": txn["clock"],
+            "clock_hours": self.clock_hours,
+            "schema_width": self.access.accountant.store.width,
+            "n_entries": len(self._pipelines),
+            "entry_names": [entry.name for entry in self._pipelines],
+            "new_block_keys": [block.key for block in new_blocks],
+            "requests": self.access.accountant.staged_requests,
+            "rng_state_before": txn["rng_state"],
+            "rng_state": self.rng.bit_generator.state,
+            "deltas": deltas,
+        }
+
+    def _write_snapshot(self) -> None:
+        self._snapshots.write(
+            self._hours_committed,
+            durability.build_snapshot_payload(self, self._hours_committed),
+        )
+
+    def recover(self, pipelines: Sequence = ()) -> "durability.RecoveryReport":
+        """Rebuild this platform's state from its WAL directory.
+
+        Call on a *freshly constructed* platform (same configuration as
+        the crashed one) whose ``wal_dir`` points at the prior state.
+        ``pipelines`` supplies the pipelines to re-submit, in original
+        submission order, as pipeline objects or ``(pipeline, config)``
+        pairs -- they are submitted lazily as the log first mentions them,
+        so supplying the full original set always works; any the log never
+        mentions (submitted in the crashed run, durable in no committed
+        hour) are re-submitted fresh at the end.
+
+        Loads the newest valid snapshot (if any), then replays every
+        subsequent WAL hour through the live ``charge_many`` path --
+        byte-identical by construction, verified against each commit
+        marker's state digest.  A torn trailing record (mid-append crash)
+        is discarded and repaired; a complete record with a bad CRC raises
+        :class:`~repro.errors.WalCorruptionError` and is never replayed.
+        """
+        if self._wal_dir is None:
+            raise RecoveryError("recover() requires a platform with a wal_dir")
+        if self._hours_committed or self._pipelines or len(
+            self.access.accountant.store
+        ):
+            raise RecoveryError(
+                "recover() must run on a freshly constructed platform"
+            )
+        supplied = list(pipelines)
+        submitted = 0
+
+        def submit_next() -> None:
+            nonlocal submitted
+            if submitted >= len(supplied):
+                raise RecoveryError(
+                    f"log records pipeline #{submitted} but only "
+                    f"{len(supplied)} were supplied to recover()"
+                )
+            item = supplied[submitted]
+            if isinstance(item, tuple):
+                self.submit(item[0], item[1])
+            else:
+                self.submit(item)
+            submitted += 1
+
+        scan = durability.read_wal(durability.wal_path(self._wal_dir))
+        hour_pairs = durability.pair_hour_records(scan.records)
+        latest = self._snapshots.latest()
+        snapshot_hour: Optional[int] = None
+        snapshots_skipped = 0
+        if latest is not None:
+            snapshot_hour, payload, skipped = latest
+            snapshots_skipped = len(skipped)
+            while submitted < len(payload["entries"]):
+                submit_next()
+            durability.restore_snapshot_payload(self, payload)
+            self._hours_committed = snapshot_hour
+        replayed = 0
+        for record, digest in hour_pairs:
+            hour_index = record["hour_index"]
+            if hour_index < self._hours_committed:
+                continue  # already folded into the snapshot
+            if hour_index != self._hours_committed:
+                raise RecoveryError(
+                    f"WAL hour {hour_index} does not follow committed hour "
+                    f"count {self._hours_committed} (missing log records?)"
+                )
+            while submitted < record["n_entries"]:
+                submit_next()
+            self._replay_hour(record, digest)
+            self._hours_committed += 1
+            replayed += 1
+        # Pipelines the log never mentioned were submitted in the crashed
+        # run but are durable in no committed hour: re-submit them fresh
+        # (their sessions start over -- submissions become durable only
+        # once a later hour commits).
+        fresh = len(supplied) - submitted
+        while submitted < len(supplied):
+            submit_next()
+        self._needs_recovery = False
+        # Re-open the log for appending; a torn tail is truncated here.
+        self._ensure_wal()
+        return durability.RecoveryReport(
+            snapshot_hour=snapshot_hour,
+            snapshots_skipped=snapshots_skipped,
+            replayed_hours=replayed,
+            hours_committed=self._hours_committed,
+            clock_hours=self.clock_hours,
+            wal_records=len(scan.records),
+            truncated_tail=scan.truncated_tail,
+            fresh_pipelines=fresh,
+        )
+
+    def _replay_hour(self, record: dict, digest: Optional[int]) -> None:
+        """Re-apply one WAL hour through the live platform paths.
+
+        Re-ingests the hour's stream slice under the recorded pre-hour
+        clock/RNG (regenerating the same blocks), re-applies each
+        session's recorded attempts with a settle after every one (the
+        drive's own cadence -- single-pending settles are bit-identical),
+        redistributes exactly where the drive would have, and lands the
+        hour's charges through the **same** ``request_many`` call the
+        live hour committed through.  No parallel apply path exists.
+        """
+        accountant = self.access.accountant
+        if record["schema_width"] != accountant.store.width:
+            raise RecoveryError(
+                f"WAL hour {record['hour_index']}: schema width "
+                f"{record['schema_width']} does not match platform "
+                f"{accountant.store.width} (different filter_factory?)"
+            )
+        names = [entry.name for entry in self._pipelines]
+        if record["entry_names"] != names:
+            raise RecoveryError(
+                f"WAL hour {record['hour_index']}: pipeline names "
+                f"{record['entry_names']} do not match submitted {names}"
+            )
+        self.rng.bit_generator.state = record["rng_state_before"]
+        self.ingestor.clock_hours = record["clock_start"]
+        new_blocks = self._open_hour(record["hours"])
+        if [block.key for block in new_blocks] != record["new_block_keys"]:
+            raise RecoveryError(
+                f"WAL hour {record['hour_index']}: re-ingested block keys "
+                "do not match the recorded hour (different stream source?)"
+            )
+        for delta in record["deltas"]:
+            entry = self._pipelines[delta["index"]]
+            session = entry.session
+            for attempt, window, budget, outcome, train_size in delta["attempts"]:
+                session.attempts.append(
+                    AttemptRecord(
+                        attempt=attempt,
+                        window=window,
+                        budget=budget,
+                        outcome=outcome,
+                        train_size=train_size,
+                    )
+                )
+                # Settle after every attempt -- the drive's own cadence
+                # (row_budget_fn settles mid-step), so each settle sees at
+                # most one pending attempt and stays bit-identical.
+                self._settle_charges(entry)
+            session.status = delta["status"]
+            session.epsilon = delta["epsilon"]
+            session.epsilon_floor = delta["epsilon_floor"]
+            session.delta = delta["delta"]
+            session.window_blocks = delta["window_blocks"]
+            session.total_spent = delta["total_spent"]
+            entry.settled_attempts = delta["settled_attempts"]
+            entry.release_time_hours = delta["release_time_hours"]
+            if session.status == SessionStatus.ACCEPTED:
+                self._redistribute(entry)
+            elif session.is_terminal:
+                self._redistribute(entry)
+        if record["requests"]:
+            self.access.request_many(record["requests"])
+        self.rng.bit_generator.state = record["rng_state"]
+        if digest is not None and durability.state_digest(self) != digest:
+            raise RecoveryError(
+                f"WAL hour {record['hour_index']}: replayed state digest "
+                "does not match the commit marker"
+            )
 
     # ------------------------------------------------------------------
     def run_until_quiet(self, max_hours: int = 200) -> List[ReleasedBundle]:

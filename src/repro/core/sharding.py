@@ -86,7 +86,7 @@ from repro.core.accountant import (
 )
 from repro.core.filters import TOTALS_BASE
 from repro.dp.budget import PrivacyBudget
-from repro.errors import InvalidBudgetError
+from repro.errors import InvalidBudgetError, RecoveryError
 
 __all__ = [
     "HashPartitioner",
@@ -257,6 +257,30 @@ class ShardedLedgerStore:
         for shard in np.unique(sids):
             # repro: allow(purity) -- see above
             self._shards[shard].retire(self._local[indices[sids == shard]])
+
+    def truncate_to(self, size: int) -> None:
+        """Drop every global row past ``size`` (the durability layer's hour
+        rollback), shrinking each owning shard's store in step.
+
+        Rows are appended to a shard in global registration order, so the
+        trailing *global* rows are exactly the trailing *local* rows of
+        their shards -- each shard store just truncates its own tail.
+        """
+        current = len(self._mirror)
+        size = int(size)
+        if size < 0 or size > current:
+            raise RecoveryError(
+                f"cannot truncate store of {current} rows to {size}"
+            )
+        if size == current:
+            return
+        removed_shards = self._shard_ids[size:current]
+        for shard in np.unique(removed_shards):
+            sstore = self._shards[shard]
+            sstore.truncate_to(len(sstore) - int((removed_shards == shard).sum()))
+        self._mirror.truncate_to(size)
+        # _shard_ids/_local/_members entries past the new sizes are stale
+        # but unreachable; the next append overwrites them.
 
     # -- shard topology -------------------------------------------------
     @property

@@ -171,6 +171,57 @@ class GrowingDatabase:
         except KeyError as exc:
             raise DataError(f"no block with key {exc.args[0]!r}") from None
 
+    # ------------------------------------------------------------------
+    def mark(self) -> tuple:
+        """Opaque pre-hour position for :meth:`truncate_to_mark` (the
+        durability layer's data-plane rollback)."""
+        return (
+            len(self._order),
+            self._packed._n if self._packed is not None else 0,
+            self._packing,
+            self._packed is not None,
+        )
+
+    def truncate_to_mark(self, mark: tuple) -> None:
+        """Remove every block appended since ``mark`` was captured.
+
+        Blocks are otherwise immutable/append-only; this exists solely so
+        a rolled-back platform hour can unwind its ingest, leaving the
+        database byte-identical to the pre-hour state (including the
+        packed store's write cursor and the schema-drift latch).
+        """
+        n_blocks, packed_rows, packing, had_packed = mark
+        if n_blocks > len(self._order):
+            raise DataError(
+                f"cannot truncate {len(self._order)} blocks to mark of {n_blocks}"
+            )
+        for key in self._order[n_blocks:]:
+            del self._lengths[key]
+            self._blocks.pop(key, None)
+            self._extents.pop(key, None)
+        del self._order[n_blocks:]
+        self._packing = packing
+        if self._packed is not None:
+            if had_packed:
+                self._packed.truncate_to(packed_rows)
+            else:
+                self._packed = None
+
+    def adopt_state(self, other: "GrowingDatabase") -> None:
+        """Take over another database's contents in place (crash recovery).
+
+        The durability layer snapshots the whole database object; on
+        restore the platform's existing instance -- which ingestor and
+        pipelines already hold references to -- adopts the snapshot's
+        state rather than being swapped out from under them.
+        """
+        self._blocks = other._blocks
+        self._order = other._order
+        self._lengths = other._lengths
+        self._packed = other._packed
+        self._extents = other._extents
+        self._packing = other._packing
+
 
 class StreamIngestor:
     """Pulls a stream forward in time and lands its blocks in the database.

@@ -180,6 +180,16 @@ class PackedColumns:
         self._n = stop
         return start, n
 
+    def truncate_to(self, n_rows: int) -> None:
+        """Drop every row past ``n_rows`` (the owner's tail rollback).
+        Bytes past the cursor are dead capacity, overwritten by the next
+        append -- exactly the state a shorter history would have left."""
+        if not 0 <= n_rows <= self._n:
+            raise DataError(
+                f"cannot truncate packed store of {self._n} rows to {n_rows}"
+            )
+        self._n = n_rows
+
     def slice_batch(self, start: int, stop: int) -> StreamBatch:
         """Fresh batch of the contiguous row range (one memcpy per column)."""
         return StreamBatch(

@@ -54,3 +54,45 @@ class DataError(ReproError, ValueError):
 
 class SimulationError(ReproError):
     """The workload simulator reached an inconsistent state."""
+
+
+class DurabilityError(ReproError):
+    """Base class for WAL/snapshot/recovery failures (``repro.core.durability``)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log record failed its integrity check.
+
+    Raised for a bad file magic or a complete record whose CRC32 does not
+    match its payload; the message names the offending file, byte offset,
+    and record index.  (An *incomplete* trailing record -- a torn tail from
+    a crash mid-append -- is tolerated by the reader, not an error.)
+    """
+
+    def __init__(self, path, offset: int, reason: str, record: int = -1) -> None:
+        where = f"{path} @ byte {offset}"
+        if record >= 0:
+            where += f" (record {record})"
+        super().__init__(f"corrupt WAL: {where}: {reason}")
+        self.path = path
+        self.offset = offset
+        self.record = record
+
+
+class SnapshotMismatchError(DurabilityError):
+    """A snapshot file is unreadable or incompatible with this platform.
+
+    Covers integrity failures (bad magic/CRC, naming the file and offset)
+    and configuration mismatches (schema width, global budget) between the
+    snapshot and the platform trying to restore it.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovery could not reconstruct the recorded state.
+
+    Raised when WAL replay diverges from the log (missing pipelines, block
+    keys or schema width that do not match the record, a post-hour digest
+    mismatch) or when recovery preconditions are violated (non-fresh
+    platform, un-recovered WAL directory).
+    """

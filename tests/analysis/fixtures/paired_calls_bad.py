@@ -20,3 +20,16 @@ def peek_memo_leaks(acc, sessions):
     results = [s.propose_peek() for s in sessions]
     acc.end_scan_memo()  # skipped whenever a peek raises
     return results
+
+
+def hour_never_closes(wal, record):
+    wal.begin_hour()
+    wal.append_hour(record)
+    # no commit/abort: the next begin_hour refuses and the partial hour
+    # stays as the log's tail
+
+
+def hour_closer_outside_finally(wal, record, digest):
+    wal.begin_hour()
+    wal.append_hour(record)  # a raise here leaves the hour open
+    wal.commit_hour(record["hour_index"], digest)

@@ -16,3 +16,13 @@ def peek_all(acc, sessions):
         return [s.propose_peek() for s in sessions]
     finally:
         acc.end_scan_memo()
+
+
+def durable_hour(wal, record, digest):
+    wal.begin_hour()
+    try:
+        wal.append_hour(record)
+        wal.commit_hour(record["hour_index"], digest)
+    finally:
+        if wal.hour_open:
+            wal.abort_hour()

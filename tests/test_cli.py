@@ -35,3 +35,58 @@ class TestExecution:
         assert main(["fig8", "--rates", "0.2", "--horizon", "40"]) == 0
         out = capsys.readouterr().out
         assert "block-conserve" in out
+
+
+class TestDurabilityCommands:
+    def test_wal_demo_requires_wal_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["wal-demo"])
+
+    def test_clean_run_then_recover_reports_same_digest(self, tmp_path, capsys):
+        assert main(["wal-demo", "--wal-dir", str(tmp_path), "--hours", "3"]) == 0
+        ran = capsys.readouterr().out
+        assert "3 committed" in ran
+        assert main(["recover", "--wal-dir", str(tmp_path)]) == 0
+        recovered = capsys.readouterr().out
+        assert "3 hour(s) committed" in recovered
+        digest = next(l for l in ran.splitlines() if l.startswith("state digest"))
+        assert digest in recovered
+
+    def test_crash_then_recover_matches_shorter_clean_run(self, tmp_path, capsys):
+        # hour.after_commit dies right after hour 0 lands in the WAL, so
+        # recovery must rebuild exactly the one-hour state.
+        crash_dir, clean_dir = tmp_path / "crash", tmp_path / "clean"
+        assert (
+            main(
+                [
+                    "wal-demo",
+                    "--wal-dir",
+                    str(crash_dir),
+                    "--hours",
+                    "3",
+                    "--crash-at",
+                    "hour.after_commit",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "crashed at hour.after_commit" in out
+        assert "charge log holds 1 hour(s)" in out
+        assert main(["recover", "--wal-dir", str(crash_dir)]) == 0
+        recovered = capsys.readouterr().out
+        assert main(["wal-demo", "--wal-dir", str(clean_dir), "--hours", "1"]) == 0
+        clean = capsys.readouterr().out
+        digest = next(l for l in clean.splitlines() if l.startswith("state digest"))
+        assert digest in recovered
+
+    def test_unknown_crash_point_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["wal-demo", "--wal-dir", str(tmp_path), "--crash-at", "no.such.point"]
+        )
+        assert code == 1
+        assert "unknown crash point" in capsys.readouterr().err
+
+    def test_recover_without_manifest_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["recover", "--wal-dir", str(tmp_path / "nothere")]) == 1
+        assert "manifest.json" in capsys.readouterr().err
