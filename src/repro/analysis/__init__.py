@@ -14,16 +14,53 @@ Usage
 ::
 
     PYTHONPATH=src python -m repro.analysis src tests benchmarks
+    PYTHONPATH=src python -m repro.analysis --jobs 4 src tests benchmarks
     PYTHONPATH=src python -m repro.analysis --format json --output results/lint_invariants.json
 
 Exit codes: 0 = clean, 1 = findings, 2 = usage/parse error (the CI
-``lint-invariants`` job gates on a clean exit).
+``lint-invariants`` job gates on a clean exit).  ``--jobs N`` fans the
+rules out over forked workers; the report is bit-identical to a serial
+run (``benchmarks/bench_lint.py`` asserts it and gates the wall clock).
+
+The flow-sensitive core
+-----------------------
+Rules that reason about *paths* rather than single nodes build on three
+core modules (stdlib-only, importable without the ``rules`` package):
+
+* :mod:`repro.analysis.cfg` -- ``build_cfg(func)`` turns one function
+  into a :class:`~repro.analysis.cfg.CFG`: per-statement nodes, kinds on
+  every edge (``normal``/``true``/``false``/``loop``/``exc``), synthetic
+  ``entry``/``exit``/``raise_exit`` anchors, ``finally`` bodies cloned
+  per exit kind and ``with`` desugared to a synthetic ``__exit__`` node.
+  Statements raise iff they contain a call/raise/assert/subscript,
+  except declared no-fail closers (``NON_RAISING``).
+* :mod:`repro.analysis.dataflow` -- ``solve_forward(cfg, analysis)``
+  runs any forward analysis (``initial``/``transfer``/``join``) to
+  fixpoint; ``ReachingMutations`` and ``MayAlias`` are the stock
+  analyses; ``feasible_path_exists`` / ``always_precedes`` /
+  ``always_followed_by`` are the path queries the ordering and pairing
+  rules are phrased in (with cheap branch correlation: a path may not
+  take the same test both ways unless the tested names were reassigned).
+* :mod:`repro.analysis.callgraph` -- ``CallGraph(project)`` resolves
+  ``self.x.y(...)`` calls through attribute *types* (constructor
+  assignments, annotations, property return types), subclass-aware, so
+  interprocedural rules follow real receivers instead of name matches.
+
+The static rules' blind spots (C-level NumPy writes, monkeypatching,
+reflection) are covered dynamically by :mod:`repro.analysis.sanitizer`:
+``REPRO_SANITIZER=1`` makes the test suite flip the accounting slabs
+read-only while any declared-pure call is on the stack, so a smuggled
+write faults at its exact line (CI runs tier-1 once in that mode).
 
 A finding is suppressed by an explicit allow comment naming the rule --
 the comment text is ``repro: allow(<rule>) -- reason`` after a ``#`` --
 placed either on the flagged line or on a standalone comment line
 directly above it (a standalone allow covers the next code line, so the
-reason may span several comment lines).
+reason may span several comment lines).  When the next code line opens a
+function definition -- its ``def`` or the first of its decorators -- the
+allow binds through the decorators and the whole (possibly multi-line)
+signature to the entire body: one comment above the ``def`` marks the
+whole function as a reviewed exception.
 
 Suppressions are deliberate, reviewable artifacts: every one in the tree
 should carry a reason after ``--``, and the repo-clean test pins the full

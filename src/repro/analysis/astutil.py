@@ -1,4 +1,11 @@
-"""Shared AST helpers for the invariant rules."""
+"""Shared AST helpers for the analysis core and the invariant rules.
+
+Lives outside the ``rules`` package on purpose: ``cfg``/``dataflow``/
+``callgraph`` depend on these helpers, and importing anything from
+``repro.analysis.rules`` runs that package's ``__init__`` -- which
+imports the rule modules, which import ``dataflow`` -- a cycle.  The
+core must only ever depend on this module and on each other.
+"""
 
 from __future__ import annotations
 

@@ -29,7 +29,7 @@ import ast
 from typing import Iterable
 
 from repro.analysis.engine import Finding, Module, Project, Rule
-from repro.analysis.rules.common import MUTATOR_METHODS, call_name, walk_calls
+from repro.analysis.astutil import MUTATOR_METHODS, call_name, walk_calls
 
 __all__ = ["ApiHygieneRule"]
 

@@ -8,26 +8,29 @@ worker threads against a frozen snapshot precisely because nothing along
 those paths writes -- a single mutation silently breaks byte-parity (or
 worse, thread safety) without failing any direct unit test.
 
-This rule builds a name-based call graph over every class method defined
-in ``src/repro/core/``: an edge ``f -> g`` exists when ``f``'s body calls
-any method named ``g`` (ubiquitous builtin-container method names are
-excluded from edges so ``out.append(...)`` does not drag
-``LedgerStore.append`` into the graph).  Every method reachable from the
-seed set is then scanned for:
+Since PR 8 the rule runs on the typed interprocedural call graph
+(:mod:`repro.analysis.callgraph`): ``self.access.accountant.can_charge``
+resolves through attribute and property types to the *defining* class, so
+reachability is per ``(class, method)`` pair instead of merging every
+method of one name across the tree.  Each reachable method is scanned
+with the alias-aware mutation extractor
+(:func:`repro.analysis.dataflow.mutations_in_stmt`):
 
 * assignments to ``self.*`` (including augmented and annotated targets);
-* subscript writes through ``self`` (``self._cache[k] = v``,
-  ``self._eps[rows] += x``);
+* subscript writes through ``self`` (``self._cache[k] = v``), including
+  writes through a local that aliases ``self`` storage
+  (``store = self._store; store[k] = v``);
 * calls to known accounting mutators (``record``, ``stage_charge``,
   ``settle``, ``retire``, ``write_row``/``write_rows``, ...) on any
   receiver, and container mutators (``.add``/``.update``/``.clear``...)
-  on receivers rooted at ``self``.
+  on receivers rooted at ``self`` -- again through aliases.
 
-Known limitations (by design -- this is a linter, not an interpreter):
-calls routed through stored callables (``self._row_budget_fn(...)``)
-escape the name-based graph, and methods are merged across classes by
-name.  The dynamic twin of this rule -- the full-state snapshot test in
-``tests/analysis/test_propose_peek_purity.py`` -- covers the hook paths.
+Findings name the exact mutated attribute path and the resolved call
+chain back to the seed.  Known limitations (by design -- this is a
+linter, not an interpreter): calls routed through stored callables
+(``self._row_budget_fn(...)``) still escape the graph; the runtime
+sanitizer (:mod:`repro.analysis.sanitizer`) and the full-state snapshot
+test in ``tests/analysis/test_propose_peek_purity.py`` cover those.
 
 Benign-by-design writes on read paths (memo caches with value-identical
 reads, deferred retirement persistence) must carry an explicit
@@ -38,20 +41,15 @@ reviewed, documented decision.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
+from repro.analysis.callgraph import CallGraph, MethodRef
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import MayAlias, Mutation, mutations_in_stmt
 from repro.analysis.engine import Finding, Module, Project, Rule
-from repro.analysis.rules.common import (
-    MUTATOR_METHODS,
-    SELF_MUTATOR_METHODS,
-    assigned_target_nodes,
-    attr_chain,
-    attr_root,
-    call_name,
-    walk_calls,
-)
+from repro.analysis.astutil import SELF_MUTATOR_METHODS
 
-__all__ = ["PurityRule"]
+__all__ = ["PurityRule", "PURE_SEEDS"]
 
 # Entry points of the pure-read contract.  ``propose_peek`` is the
 # parallel propose drive's whole foundation; the accountant reads are what
@@ -63,9 +61,11 @@ PURE_SEEDS = (
     "max_epsilon",
 )
 
-# Builtin-container method names excluded from call-graph *edges* (they
-# would alias e.g. ``list.append`` onto ``LedgerStore.append``).  They are
-# still checked as mutations when invoked on a ``self``-rooted receiver.
+# Builtin-container method names whose untyped call sites must not create
+# graph edges (they would alias e.g. ``list.append`` onto
+# ``LedgerStore.append``).  Typed resolution is unaffected; these only
+# gate the by-name fallback.  They are still checked as mutations when
+# invoked on a ``self``-rooted receiver.
 _EDGE_EXCLUDED = SELF_MUTATOR_METHODS | frozenset(
     {"get", "items", "keys", "values", "copy", "tolist", "join", "split",
      "min", "max", "sum", "all", "any", "astype", "reshape", "setflags"}
@@ -88,96 +88,58 @@ class PurityRule(Rule):
     # project and findings are emitted while visiting the defining module.
     def check(self, module: Module, project: Project) -> Iterable[Finding]:
         graph = self._project_graph(project)
-        reachable = graph["reachable"]
-        parents = graph["parents"]
-        for method_name, defs in graph["methods"].items():
-            if method_name not in reachable:
+        callgraph: CallGraph = graph["callgraph"]
+        parents: Dict[MethodRef, MethodRef] = graph["parents"]
+        for ref in sorted(graph["reached"]):
+            defn = callgraph.method_def(ref)
+            if defn is None:
                 continue
-            for owner_module, class_name, func in defs:
-                if owner_module is not module:
-                    continue
-                chain = self._seed_chain(method_name, parents)
-                for node, what in self._violations(func):
-                    yield self.finding(
-                        module,
-                        node,
-                        f"{class_name}.{method_name} {what}, but it is "
-                        f"reachable from pure read path {chain}",
-                    )
+            owner_module, func = defn
+            if owner_module is not module:
+                continue
+            chain = self._seed_chain(ref, parents)
+            qualname = f"{ref[0]}.{ref[1]}" if ref[0] else ref[1]
+            for mutation in self._violations(func):
+                yield Finding(
+                    path=module.relpath,
+                    line=mutation.lineno,
+                    col=mutation.col_offset + 1,
+                    rule=self.name,
+                    message=(
+                        f"{qualname} {mutation.what}, but it is reachable "
+                        f"from pure read path {chain}"
+                    ),
+                )
 
     # ------------------------------------------------------------------
     def _project_graph(self, project: Project) -> dict:
         cache = getattr(project, "_purity_graph", None)
         if cache is not None:
             return cache
-        methods: Dict[str, List[Tuple[Module, str, ast.FunctionDef]]] = {}
-        for module in project:
-            if not self.applies(module):
-                continue
-            for node in module.tree.body:
-                if not isinstance(node, ast.ClassDef):
-                    continue
-                for item in node.body:
-                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        methods.setdefault(item.name, []).append(
-                            (module, node.name, item)
-                        )
-        edges: Dict[str, Set[str]] = {}
-        for method_name, defs in methods.items():
-            out: Set[str] = set()
-            for _, _, func in defs:
-                for call in walk_calls(func):
-                    callee = call_name(call)
-                    if (
-                        callee
-                        and callee != method_name
-                        and callee in methods
-                        and callee not in _EDGE_EXCLUDED
-                    ):
-                        out.add(callee)
-            edges[method_name] = out
-        reachable: Set[str] = set()
-        parents: Dict[str, str] = {}
-        frontier = [seed for seed in PURE_SEEDS if seed in methods]
-        reachable.update(frontier)
-        while frontier:
-            current = frontier.pop()
-            for callee in sorted(edges.get(current, ())):
-                if callee not in reachable:
-                    reachable.add(callee)
-                    parents[callee] = current
-                    frontier.append(callee)
-        graph = {"methods": methods, "reachable": reachable, "parents": parents}
+        scope = [m for m in project if self.applies(m)]
+        callgraph = CallGraph(project, scope=scope, fallback_excluded=_EDGE_EXCLUDED)
+        reached, parents = callgraph.reachable_from(PURE_SEEDS)
+        graph = {"callgraph": callgraph, "reached": reached, "parents": parents}
         project._purity_graph = graph  # type: ignore[attr-defined]
         return graph
 
     @staticmethod
-    def _seed_chain(method_name: str, parents: Dict[str, str]) -> str:
-        chain = [method_name]
-        seen = {method_name}
+    def _seed_chain(ref: MethodRef, parents: Dict[MethodRef, MethodRef]) -> str:
+        chain = [ref]
+        seen = {ref}
         while chain[-1] in parents and parents[chain[-1]] not in seen:
             chain.append(parents[chain[-1]])
             seen.add(chain[-1])
-        return " <- ".join(chain)
+        return " <- ".join(
+            f"{cls}.{name}" if cls else name for cls, name in chain
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _violations(func: ast.FunctionDef) -> Iterable[Tuple[ast.AST, str]]:
-        for node in ast.walk(func):
-            for target in assigned_target_nodes(node):
-                if isinstance(target, ast.Attribute) and attr_root(target) == "self":
-                    yield node, f"assigns self.{target.attr}"
-                elif isinstance(target, ast.Subscript) and attr_root(target) == "self":
-                    chain = ".".join(attr_chain(target.value)) or "self[...]"
-                    yield node, f"writes {chain}[...]"
-            if isinstance(node, ast.Call):
-                callee = call_name(node)
-                if callee is None or not isinstance(node.func, ast.Attribute):
-                    continue
-                root = attr_root(node.func.value)
-                if callee in MUTATOR_METHODS:
-                    receiver = ".".join(attr_chain(node.func.value)) or "<expr>"
-                    yield node, f"calls mutator {receiver}.{callee}()"
-                elif callee in SELF_MUTATOR_METHODS and root == "self":
-                    receiver = ".".join(attr_chain(node.func.value))
-                    yield node, f"calls mutator {receiver}.{callee}()"
+    def _violations(func: ast.FunctionDef) -> List[Mutation]:
+        cfg = build_cfg(func)
+        aliases = MayAlias(cfg).alias_map()
+        out: List[Mutation] = []
+        for node in cfg.stmt_nodes():
+            out.extend(mutations_in_stmt(node.stmt, aliases))
+        return out

@@ -35,7 +35,7 @@ import ast
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.analysis.engine import Finding, Module, Project, Rule
-from repro.analysis.rules.common import (
+from repro.analysis.astutil import (
     MUTATOR_METHODS,
     attr_root,
     call_name,

@@ -1211,6 +1211,9 @@ class BlockAccountant:
             live_rows = live_rows[admitted]
         if memo is not None:
             live_rows.setflags(write=False)  # shared across memo readers
+            # repro: allow(purity) -- scan-memo cache fill: the memo only
+            # exists while totals are frozen, and the cached rows are the
+            # value an uncached scan would recompute identically.
             memo[floor] = live_rows
         return live_rows
 

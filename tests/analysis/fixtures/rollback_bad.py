@@ -1,0 +1,41 @@
+"""Known-bad fixture for the rollback-completeness rule.
+
+Three violations: a mutated root the rollback never restores, an hour
+advanced with no rollback helper at all, and a captured key the rollback
+never consumes.
+"""
+
+
+class Platform:
+    def _capture_hour(self):
+        # "rng_state" is captured but _rollback_hour below never reads it
+        # back: captured-but-not-restored state (finding 3).
+        return {"clock": self.clock, "rng_state": self.rng.state}
+
+    def _rollback_hour(self, txn):
+        self.clock = txn["clock"]
+        self.ingestor.restore(txn["clock"])
+
+    def advance(self):
+        txn = self._capture_hour()
+        self.wal.begin_hour()
+        try:
+            self.clock += 1
+            # Root `_audit` is mutated inside the protected region but
+            # _rollback_hour never touches it (finding 1).
+            self._audit.append(("hour", self.clock))
+            self.wal.append_hour({"clock": self.clock})
+        except Exception:
+            self._rollback_hour(txn)
+            self.wal.abort_hour()
+            raise
+        self.wal.commit_hour(0, state_digest(self))
+
+    def advance_unprotected(self):
+        # Captures and opens the hour, mutates, but has no rollback helper
+        # on any exception path (finding 2).
+        txn = self._capture_hour()
+        self.wal.begin_hour()
+        self.counters["hours"] = self.counters.get("hours", 0) + 1
+        self.wal.append_hour({"hours": self.counters["hours"]})
+        self.wal.commit_hour(0, state_digest(self))

@@ -1,0 +1,30 @@
+"""Fixed twin of ``rollback_bad.py``: every mutated root is restored,
+every captured key is consumed, and the audit log write moves out of the
+protected region (it is rebuilt from the WAL on recovery instead)."""
+
+
+class Platform:
+    def _capture_hour(self):
+        return {"clock": self.clock, "rng_state": self.rng.state}
+
+    def _rollback_hour(self, txn):
+        self.clock = txn["clock"]
+        self.rng.restore(txn["rng_state"])
+        self.ingestor.restore(txn["clock"])
+
+    def advance(self):
+        txn = self._capture_hour()
+        self.wal.begin_hour()
+        try:
+            self.clock += 1
+            # Mutation through a local alias: the may-alias analysis maps
+            # `ing` back to self.ingestor, which the rollback restores.
+            ing = self.ingestor
+            ing.add_block(self.clock)
+            self.wal.append_hour({"clock": self.clock})
+        except Exception:
+            self._rollback_hour(txn)
+            self.wal.abort_hour()
+            raise
+        self.wal.commit_hour(0, state_digest(self))
+        self._audit.append(("hour", self.clock))

@@ -1,0 +1,317 @@
+"""CFG construction and forward-solver units.
+
+The flow-sensitive rules all sit on :mod:`repro.analysis.cfg` and
+:mod:`repro.analysis.dataflow`; these tests pin the graph shapes the
+builder produces for the constructs the accounting code uses (branches,
+loops, try/finally cloning, ``with`` desugaring, exception edges) and
+that the worklist solver actually iterates to fixpoint around cycles.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import NON_RAISING, build_cfg, stmt_can_raise
+from repro.analysis.dataflow import (
+    ReachingMutations,
+    always_followed_by,
+    always_precedes,
+    feasible_path_exists,
+    solve_forward,
+)
+
+
+def cfg_of(source):
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    func = next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func), source.splitlines()
+
+
+def nodes_on(cfg, lines, needle):
+    """Every statement node anchored to the (single) line containing
+    ``needle`` -- finally cloning can legally yield several."""
+    matching = [i + 1 for i, line in enumerate(lines) if needle in line]
+    assert len(matching) == 1, f"{needle!r} must appear on exactly one line"
+    found = [n for n in cfg.stmt_nodes() if n.lineno == matching[0]]
+    assert found, f"no CFG node for {needle!r}"
+    return found
+
+
+def node_on(cfg, lines, needle):
+    found = nodes_on(cfg, lines, needle)
+    assert len(found) == 1, f"{needle!r} maps to {len(found)} nodes"
+    return found[0]
+
+
+def reachable_from(cfg, start, kinds=None):
+    seen = {start.index}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for succ, kind in cfg.succs(node):
+            if kinds is not None and kind not in kinds:
+                continue
+            if succ.index not in seen:
+                seen.add(succ.index)
+                stack.append(succ)
+    return seen
+
+
+class TestConstruction:
+    def test_straight_line_chains_entry_to_exit(self):
+        cfg, lines = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+            """
+        )
+        a = node_on(cfg, lines, "a = 1")
+        b = node_on(cfg, lines, "b = 2")
+        assert [(s.index, k) for s, k in cfg.succs(a)] == [(b.index, "normal")]
+        assert [(s.index, k) for s, k in cfg.succs(b)] == [(cfg.exit.index, "normal")]
+        # Constant assignments cannot raise: no edges into <raise> at all.
+        assert cfg.preds(cfg.raise_exit) == []
+
+    def test_if_else_branches_rejoin(self):
+        cfg, lines = cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    b = 2
+                c = 3
+            """
+        )
+        test = node_on(cfg, lines, "if flag")
+        kinds = sorted(kind for _, kind in cfg.succs(test))
+        assert kinds == ["false", "true"]
+        join = node_on(cfg, lines, "c = 3")
+        for needle in ("a = 1", "b = 2"):
+            branch = node_on(cfg, lines, needle)
+            assert join.index in reachable_from(cfg, branch)
+
+    def test_while_loop_has_back_edge_and_break_skips_else(self):
+        cfg, lines = cfg_of(
+            """
+            def f(n):
+                while n:
+                    n = step(n)
+                    if n:
+                        break
+                else:
+                    mark()
+                after()
+            """
+        )
+        header = node_on(cfg, lines, "while n")
+        body = node_on(cfg, lines, "n = step(n)")
+        brk = node_on(cfg, lines, "break")
+        loop_else = node_on(cfg, lines, "mark()")
+        after = node_on(cfg, lines, "after()")
+        # The body loops back to the header (never via unwinding).
+        assert header.index in reachable_from(
+            cfg, body, kinds={"normal", "loop", "true", "false"}
+        )
+        assert any(kind == "loop" for _, kind in cfg.preds(header))
+        # break jumps straight past the else clause...
+        assert after.index in reachable_from(cfg, brk, kinds={"normal"})
+        assert loop_else.index not in reachable_from(cfg, brk)
+        # ...while the else clause is only entered from the header test.
+        assert loop_else.index in reachable_from(cfg, header)
+
+    def test_call_statements_get_exception_edges(self):
+        cfg, lines = cfg_of(
+            """
+            def f(res):
+                work()
+                res.close()
+            """
+        )
+        worker = node_on(cfg, lines, "work()")
+        assert any(
+            succ.index == cfg.raise_exit.index and kind == "exc"
+            for succ, kind in cfg.succs(worker)
+        )
+        # Declared closers are no-fail cleanup: no exception edge.
+        assert "close" in NON_RAISING
+        closer = node_on(cfg, lines, "res.close()")
+        assert all(kind != "exc" for _, kind in cfg.succs(closer))
+        assert stmt_can_raise(worker.stmt) and not stmt_can_raise(closer.stmt)
+
+    def test_try_finally_clones_cleanup_per_exit_kind(self):
+        cfg, lines = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                finally:
+                    cleanup()
+            """
+        )
+        clones = nodes_on(cfg, lines, "cleanup()")
+        # One clone on the fall-through exit, one on the exception exit.
+        assert len(clones) >= 2
+        exit_clones = [
+            n for n in clones if cfg.exit.index in reachable_from(cfg, n)
+        ]
+        raise_clones = [
+            n for n in clones if cfg.raise_exit.index in reachable_from(cfg, n)
+        ]
+        assert exit_clones and raise_clones
+        # The exception path out of work() runs the cleanup clone, never
+        # the normal one, and cannot skip the finally body entirely.
+        worker = node_on(cfg, lines, "work()")
+        assert not feasible_path_exists(
+            cfg, [worker], [cfg.raise_exit], avoid=clones
+        )
+
+    def test_return_routes_through_finally(self):
+        cfg, lines = cfg_of(
+            """
+            def f():
+                try:
+                    return compute()
+                finally:
+                    cleanup()
+            """
+        )
+        ret = node_on(cfg, lines, "return compute()")
+        clones = nodes_on(cfg, lines, "cleanup()")
+        assert not feasible_path_exists(cfg, [ret], [cfg.exit], avoid=clones)
+
+    def test_with_desugars_to_exit_node_on_both_paths(self):
+        cfg, lines = cfg_of(
+            """
+            def f(lock):
+                with lock:
+                    work()
+            """
+        )
+        exits = [n for n in cfg.nodes if n.label == "<__exit__>"]
+        assert exits
+        worker = node_on(cfg, lines, "work()")
+        # __exit__ runs on the normal path and on the unwinding path.
+        assert not feasible_path_exists(cfg, [worker], [cfg.exit], avoid=exits)
+        assert not feasible_path_exists(
+            cfg, [worker], [cfg.raise_exit], avoid=exits
+        )
+
+    def test_catch_all_handler_stops_unwinding(self):
+        cfg, lines = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    fallback = 1
+                done = 2
+            """
+        )
+        worker = node_on(cfg, lines, "work()")
+        handler = node_on(cfg, lines, "fallback = 1")
+        assert handler.index in reachable_from(cfg, worker)
+        # A catch-all leaves no unmatched-exception bypass: the only way
+        # to unwind would be the handler body itself raising, and this
+        # one cannot.
+        assert cfg.raise_exit.index not in reachable_from(cfg, worker)
+
+    def test_narrow_handler_keeps_unmatched_bypass(self):
+        cfg, lines = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                except KeyError:
+                    fallback = 1
+            """
+        )
+        worker = node_on(cfg, lines, "work()")
+        assert cfg.raise_exit.index in reachable_from(cfg, worker)
+
+    def test_build_cfg_rejects_non_functions(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1").body[0])
+
+
+class _GenAnalysis:
+    """Synthetic gen-set analysis: each statement node contributes its
+    own index; facts are frozensets.  On a cyclic CFG the header's
+    in-fact only picks up body contributions on the second visit, so a
+    solver that fails to iterate never produces them."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, facts):
+        out = frozenset()
+        for fact in facts:
+            out |= fact
+        return out
+
+    def transfer(self, node, fact):
+        return fact | ({node.index} if node.stmt is not None else frozenset())
+
+
+class TestSolver:
+    LOOP = """
+        def f(self, items):
+            total = 0
+            for item in items:
+                total = total + item
+            return total
+        """
+
+    def test_fixpoint_carries_facts_around_the_back_edge(self):
+        cfg, lines = cfg_of(self.LOOP)
+        in_facts, out_facts = solve_forward(cfg, _GenAnalysis())
+        header = node_on(cfg, lines, "for item")
+        body = node_on(cfg, lines, "total = total + item")
+        # The body's contribution flowed around the loop into the
+        # header's in-fact -- that requires a second visit to the header.
+        assert body.index in in_facts[header.index]
+        # And the solver terminated with every reachable node solved.
+        assert cfg.exit.index in in_facts
+
+    def test_reaching_mutations_flow_through_loop(self):
+        cfg, lines = cfg_of(
+            """
+            def f(self, items):
+                for item in items:
+                    self._audit.append(item)
+                self.done = True
+            """
+        )
+        analysis = ReachingMutations(cfg)
+        in_facts, _ = solve_forward(cfg, analysis)
+        tail = node_on(cfg, lines, "self.done = True")
+        reached = {
+            analysis.events[i][1].path[:2] for i in in_facts[tail.index]
+        }
+        assert ("self", "_audit") in reached
+
+    def test_path_queries_on_branches(self):
+        cfg, lines = cfg_of(
+            """
+            def f(flag):
+                handle = acquire()
+                if flag:
+                    release(handle)
+                done()
+            """
+        )
+        opener = nodes_on(cfg, lines, "handle = acquire()")
+        closer = nodes_on(cfg, lines, "release(handle)")
+        assert always_precedes(cfg, opener, closer)
+        # The false branch reaches the exit without releasing.
+        assert not always_followed_by(cfg, opener, closer)
+        assert feasible_path_exists(
+            cfg, [cfg.entry], [cfg.exit], avoid=closer
+        )

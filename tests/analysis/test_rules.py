@@ -8,10 +8,13 @@ import pytest
 from repro.analysis.engine import Module, Project, run_rules
 from repro.analysis.rules.api_hygiene import ApiHygieneRule
 from repro.analysis.rules.float_determinism import FloatDeterminismRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.paired_calls import PairedCallsRule
 from repro.analysis.rules.purity import PurityRule
+from repro.analysis.rules.rollback import RollbackCompletenessRule
 from repro.analysis.rules.schema_width import SchemaWidthRule
 from repro.analysis.rules.thread_shared import ThreadSharedStateRule
+from repro.analysis.rules.wal_ordering import WalOrderingRule
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
@@ -26,6 +29,9 @@ CASES = [
     (ThreadSharedStateRule, "thread_shared", "src/repro/core/fixture_mod.py", 3),
     (FloatDeterminismRule, "float_determinism", "src/repro/core/fixture_mod.py", 2),
     (ApiHygieneRule, "api_hygiene", "tests/core/fixture_mod.py", 4),
+    (RollbackCompletenessRule, "rollback", "src/repro/core/fixture_mod.py", 3),
+    (WalOrderingRule, "wal_ordering", "src/repro/core/fixture_mod.py", 5),
+    (LockDisciplineRule, "lock_discipline", "src/repro/core/fixture_mod.py", 3),
 ]
 
 
@@ -71,8 +77,16 @@ class TestScoping:
 
 class TestPurityMessages:
     def test_finding_names_the_seed_chain(self):
+        # Chains are class-qualified since the typed call-graph port.
         findings = lint_fixture(PurityRule, "purity_bad", "src/repro/core/m.py")
-        assert any("<- propose_peek" in f.message for f in findings)
+        assert any("<- Session.propose_peek" in f.message for f in findings)
+
+    def test_finding_names_the_exact_mutation_path(self):
+        findings = lint_fixture(PurityRule, "purity_bad", "src/repro/core/m.py")
+        messages = "\n".join(f.message for f in findings)
+        assert "assigns self.window_blocks" in messages
+        assert "writes self._seen[...]" in messages
+        assert "calls mutator self._store.retire()" in messages
 
     def test_mutation_outside_reachable_set_is_legal(self):
         # purity_good's settle() mutates freely: not reachable from any seed.

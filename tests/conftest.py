@@ -11,6 +11,14 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+# REPRO_SANITIZER=1 runs the whole suite with the runtime write barrier:
+# the accounting slabs are read-only while any declared-pure call is on
+# the stack, so a hidden mutation faults at its exact line (see
+# repro.analysis.sanitizer; CI runs tier-1 once in this mode).
+from repro.analysis import sanitizer as _sanitizer  # noqa: E402
+
+_sanitizer.install_from_env()
+
 
 @pytest.fixture
 def rng():
