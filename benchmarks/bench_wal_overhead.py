@@ -26,6 +26,7 @@ if str(_SRC) not in sys.path:
 
 from benchjson import RESULTS_DIR, write_bench_json, write_text_atomic
 from repro.core import durability
+from repro.errors import RecoveryError
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.platform import Sage
 from repro.workload.oracle import CountStreamSource, OraclePipeline
@@ -96,9 +97,36 @@ def bench_overhead(hours, n_pipelines, snapshot_every):
         if durability.state_digest(recovered) != volatile_digests[-1]:
             raise AssertionError("recovered state diverged from the live run")
         recovered.close()
-        # ... and the WAL alone, with every snapshot deleted.
-        for snap in durability.SnapshotStore(wal_dir).snapshot_paths():
-            snap.unlink()
+        # ... and the compaction contract: each snapshot write compacts
+        # the WAL to the oldest *retained* snapshot's hour, so with every
+        # snapshot deleted the early hours are gone on purpose and
+        # recovery must refuse with a typed error, not rebuild silently
+        # from a gapped log.
+        if snapshot_every and durability.SnapshotStore(wal_dir).snapshot_paths():
+            for snap in durability.SnapshotStore(wal_dir).snapshot_paths():
+                snap.unlink()
+            gapped = _build(wal_dir=wal_dir)
+            try:
+                gapped.recover(_pipes(n_pipelines))
+            except RecoveryError:
+                pass
+            else:
+                raise AssertionError(
+                    "recovery from a compacted WAL with no snapshots must "
+                    "raise RecoveryError"
+                )
+            finally:
+                gapped.close()
+
+    # The WAL alone still rebuilds the whole run when nothing compacts
+    # it: a snapshot-free drive keeps every hour in the log.
+    with tempfile.TemporaryDirectory(prefix="wal_bench_replay_") as tmp:
+        wal_dir = Path(tmp)
+        durable = _build(wal_dir=wal_dir)
+        durable_digests, _ = _drive(durable, n_pipelines, hours)
+        durable.close()
+        if durable_digests != volatile_digests:
+            raise AssertionError("snapshot-free durable drive diverged")
         replayed = _build(wal_dir=wal_dir)
         report = replayed.recover(_pipes(n_pipelines))
         if report.snapshot_hour is not None or report.replayed_hours != hours:

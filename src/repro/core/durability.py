@@ -340,6 +340,65 @@ class WalWriter:
         self._sync()
         self._hour_start = None
 
+    def compact(self, upto_hour: int) -> int:
+        """Drop hour/commit records for hours before ``upto_hour``.
+
+        The platform calls this after each snapshot write with the
+        *oldest retained* snapshot's hour: every dropped hour is folded
+        into every snapshot recovery could still load, so the corrupt-
+        newest-snapshot fallback keeps working.  Records that carry no
+        hour index are preserved untouched, in order.
+
+        The rewrite is crash-atomic (same-directory temp file, fsync,
+        ``os.replace``): a crash mid-compaction leaves either the old log
+        or the new one, both complete.  Returns the number of records
+        dropped (0 means the file was not rewritten).  An open hour must
+        be committed or aborted first.
+        """
+        if self._hour_start is not None:
+            raise RecoveryError(
+                f"WAL {self._path}: cannot compact while an hour is open"
+            )
+        upto_hour = int(upto_hour)
+        if upto_hour <= 0:
+            return 0
+        self._fh.flush()
+        scan = read_wal(self._path)
+        kept: List[dict] = []
+        dropped = 0
+        for record in scan.records:
+            hour_index = record.get("hour_index")
+            if (
+                record.get("kind") in ("hour", "commit")
+                and hour_index is not None
+                and int(hour_index) < upto_hour
+            ):
+                dropped += 1
+            else:
+                kept.append(record)
+        if not dropped:
+            return 0
+        tmp = self._path.with_name(self._path.name + ".compact")
+        with open(tmp, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            for record in kept:
+                fh.write(_encode_record(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self._path)
+        try:
+            dir_fd = os.open(self._path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent best effort
+            pass
+        self._fh = open(self._path, "r+b")
+        self._fh.seek(0, os.SEEK_END)
+        return dropped
+
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
@@ -430,6 +489,19 @@ class SnapshotStore:
             raise SnapshotMismatchError(
                 f"snapshot {path}: undecodable payload ({exc})"
             ) from exc
+
+    def oldest_retained_hour(self) -> Optional[int]:
+        """The hour of the oldest snapshot still on disk, from its
+        filename -- the WAL compaction horizon: every hour before it is
+        folded into every snapshot recovery could still fall back to."""
+        paths = self.snapshot_paths()
+        if not paths:
+            return None
+        stem = paths[0].stem  # snapshot-<hour zero-padded>
+        try:
+            return int(stem.split("-", 1)[1])
+        except (IndexError, ValueError):  # pragma: no cover - foreign file
+            return None
 
     def latest(self) -> Optional[Tuple[int, dict, List[Path]]]:
         """The newest loadable snapshot as ``(hour, payload, skipped)``.

@@ -1032,6 +1032,12 @@ class Sage:
             self._hours_committed,
             durability.build_snapshot_payload(self, self._hours_committed),
         )
+        # Compact the charge log up to the *oldest* snapshot still on
+        # disk: recovery can fall back that far (corrupt-newest), but
+        # never further, so everything older is dead weight in the WAL.
+        oldest = self._snapshots.oldest_retained_hour()
+        if oldest is not None and self._wal is not None:
+            self._wal.compact(oldest)
 
     def recover(self, pipelines: Sequence = ()) -> "durability.RecoveryReport":
         """Rebuild this platform's state from its WAL directory.

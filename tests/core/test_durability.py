@@ -230,6 +230,110 @@ class TestSnapshotStore:
 
 
 # ----------------------------------------------------------------------
+# WAL compaction
+# ----------------------------------------------------------------------
+class TestWalCompaction:
+    def _committed_hours(self, path):
+        scan = durability.read_wal(path)
+        return [r["hour_index"] for r in scan.records if r["kind"] == "hour"]
+
+    def _fill(self, path, hours):
+        writer = durability.WalWriter(path)
+        for hour in range(hours):
+            writer.begin_hour()
+            writer.append_hour({"hour_index": hour, "n_entries": 0})
+            writer.commit_hour(hour, 1000 + hour)
+        return writer
+
+    def test_compact_drops_hours_before_horizon(self, tmp_path):
+        path = tmp_path / "charge.wal"
+        writer = self._fill(path, 6)
+        assert writer.compact(3) == 6  # hour + commit records for 0..2
+        assert self._committed_hours(path) == [3, 4, 5]
+        # The compacted log keeps accepting appends on the reopened handle.
+        writer.begin_hour()
+        writer.append_hour({"hour_index": 6, "n_entries": 0})
+        writer.commit_hour(6, 1006)
+        writer.close()
+        scan = durability.read_wal(path)
+        assert not scan.truncated_tail
+        assert self._committed_hours(path) == [3, 4, 5, 6]
+
+    def test_compact_refuses_while_hour_open(self, tmp_path):
+        writer = durability.WalWriter(tmp_path / "charge.wal")
+        writer.begin_hour()
+        with pytest.raises(RecoveryError, match="compact"):
+            writer.compact(1)
+        writer.abort_hour()
+        writer.close()
+
+    def test_compact_without_drops_leaves_bytes_untouched(self, tmp_path):
+        path = tmp_path / "charge.wal"
+        writer = self._fill(path, 4)
+        writer.compact(2)
+        before = path.read_bytes()
+        assert writer.compact(0) == 0
+        assert writer.compact(2) == 0  # horizon already applied
+        writer.close()
+        assert path.read_bytes() == before
+
+    def test_snapshot_write_compacts_to_oldest_retained(self, tmp_path):
+        sage = _build("single-basic", wal_dir=tmp_path, snapshot_every=2)
+        for pipeline, config in _pipes():
+            sage.submit(pipeline, config)
+        for _ in range(8):
+            sage.advance(1.0)
+        # Snapshots at hours 2,4,6,8 pruned to keep=3 leave {4,6,8}.
+        oldest = sage._snapshots.oldest_retained_hour()
+        assert oldest == 4
+        hours = self._committed_hours(durability.wal_path(tmp_path))
+        assert hours == list(range(oldest, 8))
+        sage.close()
+
+    @pytest.mark.parametrize("variant", ["single-basic", "sharded-basic"])
+    def test_recovery_from_compacted_wal_is_byte_identical(self, variant, tmp_path):
+        digests = _clean_digests(variant, hours=10)
+        sage = _build(variant, wal_dir=tmp_path, snapshot_every=2)
+        for pipeline, config in _pipes():
+            sage.submit(pipeline, config)
+        for _ in range(8):
+            sage.advance(1.0)
+        sage.close()
+        assert min(self._committed_hours(durability.wal_path(tmp_path))) == 4
+        recovered = _build(variant, wal_dir=tmp_path, snapshot_every=2)
+        report = recovered.recover(_pipes())
+        assert report.hours_committed == 8
+        assert report.snapshot_hour == 8 and report.replayed_hours == 0
+        assert durability.state_digest(recovered) == digests[8]
+        for hour in (9, 10):
+            recovered.advance(1.0)
+            assert durability.state_digest(recovered) == digests[hour]
+        recovered.close()
+
+    def test_corrupt_newest_snapshot_falls_back_within_horizon(self, tmp_path):
+        # The compaction horizon is the *oldest retained* snapshot, so the
+        # fallback to an older snapshot still finds every hour it needs.
+        digests = _clean_digests("single-basic", hours=8)
+        sage = _build("single-basic", wal_dir=tmp_path, snapshot_every=2)
+        for pipeline, config in _pipes():
+            sage.submit(pipeline, config)
+        for _ in range(8):
+            sage.advance(1.0)
+        sage.close()
+        newest = sorted(tmp_path.glob("snapshot-*.snap"))[-1]
+        data = bytearray(newest.read_bytes())
+        data[-1] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        recovered = _build("single-basic", wal_dir=tmp_path, snapshot_every=2)
+        report = recovered.recover(_pipes())
+        assert report.snapshots_skipped == 1
+        assert report.snapshot_hour == 6 and report.replayed_hours == 2
+        assert report.hours_committed == 8
+        assert durability.state_digest(recovered) == digests[8]
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
 # Clean durable runs and recovery
 # ----------------------------------------------------------------------
 class TestDurableDrive:
