@@ -1,0 +1,128 @@
+"""Invariant-linter wall clock: collection, serial rules, parallel rules.
+
+Two questions about ``python -m repro.analysis``:
+
+* **Parity first**: the ``--jobs N`` fan-out must produce a report
+  bit-identical to the serial run -- same findings, same order, same
+  per-rule stats.  Any divergence fails the bench before a single
+  timing is recorded.
+* **Budget**: the linter runs on every CI push, so its full-tree wall
+  clock is gated (``--assert-budget``, seconds).  The budget is a
+  regression tripwire for the analysis passes themselves (an accidental
+  quadratic CFG walk, an uncached call graph), not a scheduling SLA --
+  it is calibrated loosely against the 1-CPU CI runner.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_lint.py``).
+"""
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from benchjson import RESULTS_DIR, write_bench_json, write_text_atomic
+from repro.analysis.engine import collect_project, run_rules, run_rules_parallel
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_JOBS = min(4, os.cpu_count() or 1)
+DEFAULT_BUDGET_S = 20.0
+
+
+def bench_lint(jobs, repeats=3):
+    """Time collection plus serial and parallel rule runs over the real
+    tree; returns (collect_s, serial_s, parallel_s, n_files) using the
+    best of ``repeats`` for each timed phase."""
+    collect_s = serial_s = parallel_s = None
+    project = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        project = collect_project(REPO_ROOT, list(DEFAULT_PATHS))
+        elapsed = time.perf_counter() - start
+        collect_s = elapsed if collect_s is None else min(collect_s, elapsed)
+
+    rules = default_rules()
+    serial_report = parallel_report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serial_report = run_rules(project, rules)
+        elapsed = time.perf_counter() - start
+        serial_s = elapsed if serial_s is None else min(serial_s, elapsed)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        parallel_report = run_rules_parallel(project, rules, jobs)
+        elapsed = time.perf_counter() - start
+        parallel_s = elapsed if parallel_s is None else min(parallel_s, elapsed)
+
+    if parallel_report != serial_report:
+        raise AssertionError(
+            f"--jobs {jobs} report diverged from the serial run "
+            "(findings or stats differ)"
+        )
+    return collect_s, serial_s, parallel_s, len(project)
+
+
+def run(jobs, assert_budget=0.0):
+    collect_s, serial_s, parallel_s, n_files = bench_lint(jobs)
+    total_s = collect_s + min(serial_s, parallel_s)
+    lines = [
+        f"Invariant linter: {n_files} files, {len(default_rules())} rules, "
+        f"jobs={jobs} (cpus={os.cpu_count()})",
+        f"{'phase':>16}  {'wall':>10}",
+        f"{'collect+parse':>16}  {collect_s * 1e3:>8.1f}ms",
+        f"{'rules serial':>16}  {serial_s * 1e3:>8.1f}ms",
+        f"{'rules parallel':>16}  {parallel_s * 1e3:>8.1f}ms",
+        f"{'speedup':>16}  {serial_s / parallel_s:>9.2f}x",
+        "parity: --jobs report is bit-identical to the serial run",
+    ]
+    write_bench_json(
+        "lint",
+        {"files": n_files, "jobs": jobs, "paths": list(DEFAULT_PATHS)},
+        serial_s * 1e3,
+        parallel_s * 1e3,
+    )
+    if assert_budget and total_s > assert_budget:
+        raise AssertionError(
+            f"full lint took {total_s:.2f}s, over the {assert_budget:.1f}s budget"
+        )
+    return "\n".join(lines)
+
+
+def test_lint_bench_smoke():
+    """CI gate: serial/parallel parity plus the wall-clock budget.  The
+    budget is loose (the full tree lints in ~2s on the CI runner); it
+    exists to catch an analysis pass going super-linear, not to pin the
+    constant factor."""
+    collect_s, serial_s, parallel_s, n_files = bench_lint(DEFAULT_JOBS, repeats=1)
+    assert n_files > 100  # the sweep really covered the tree
+    total_s = collect_s + min(serial_s, parallel_s)
+    assert total_s <= DEFAULT_BUDGET_S, (
+        f"full lint took {total_s:.2f}s, over the {DEFAULT_BUDGET_S:.1f}s budget"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument(
+        "--assert-budget",
+        type=float,
+        default=0.0,
+        help="fail if collection plus the faster rule run exceeds this "
+        "many seconds",
+    )
+    args = parser.parse_args()
+    table = run(args.jobs, assert_budget=args.assert_budget)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_text_atomic(RESULTS_DIR / "bench_lint.txt", table + "\n")
+
+
+if __name__ == "__main__":
+    main()

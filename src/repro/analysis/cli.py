@@ -24,6 +24,7 @@ from repro.analysis.engine import (
     render_human,
     report_as_json,
     run_rules,
+    run_rules_parallel,
 )
 from repro.analysis.rules import default_rules
 
@@ -70,6 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered rules and exit",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the rules out over N forked workers; the report is "
+        "bit-identical to a serial run (default: 1)",
+    )
+    parser.add_argument(
         "--include-fixtures",
         action="store_true",
         help="also lint directories named 'fixtures' (skipped by default: "
@@ -105,7 +114,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         project = collect_project(
             Path(args.root), args.paths, include_fixtures=args.include_fixtures
         )
-        findings, stats = run_rules(project, rules)
+        if args.jobs > 1:
+            findings, stats = run_rules_parallel(project, rules, args.jobs)
+        else:
+            findings, stats = run_rules(project, rules)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

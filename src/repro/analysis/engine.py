@@ -26,6 +26,7 @@ __all__ = [
     "Rule",
     "collect_project",
     "run_rules",
+    "run_rules_parallel",
     "render_human",
     "report_as_json",
 ]
@@ -73,6 +74,15 @@ class Module:
     reading ``repro: allow(schema-width) -- replaying the reference
     layout`` placed directly above ``totals[:, 0] += charge.epsilon``
     suppresses the schema-width finding on that statement.
+
+    When the next code line opens a function definition -- its ``def``
+    header, or the first of its decorators -- the standalone allow binds
+    to the *entire* definition: decorators, a signature that spans
+    several lines, and the whole body.  Findings anchor to the line of
+    the offending statement, which for a function-level contract is
+    rarely the header line; binding the allow to the body is what makes
+    "this whole function is a reviewed exception" expressible as one
+    comment above the ``def``.
     """
 
     def __init__(self, relpath: str, source: str, tree: ast.Module) -> None:
@@ -80,6 +90,15 @@ class Module:
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
+        # First line of each function definition (counting decorators)
+        # -> last line of its body, for whole-function allow binding.
+        spans: Dict[int, int] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                start = min(
+                    [node.lineno] + [d.lineno for d in node.decorator_list]
+                )
+                spans[start] = max(getattr(node, "end_lineno", None) or 0, node.lineno)
         self.allow: Dict[int, frozenset] = {}
         for lineno, col, comment in self._comments(source):
             match = _ALLOW_RE.search(comment)
@@ -90,7 +109,7 @@ class Module:
             )
             if not rules:
                 continue
-            self.allow[lineno] = self.allow.get(lineno, frozenset()) | rules
+            self._allow_line(lineno, rules)
             if not self.lines[lineno - 1][:col].strip():
                 # Standalone comment: covers the next *code* line, so an
                 # allow may open a multi-line explanation block.
@@ -100,7 +119,11 @@ class Module:
                     or self.lines[cursor - 1].lstrip().startswith("#")
                 ):
                     cursor += 1
-                self.allow[cursor] = self.allow.get(cursor, frozenset()) | rules
+                for line in range(cursor, spans.get(cursor, cursor) + 1):
+                    self._allow_line(line, rules)
+
+    def _allow_line(self, lineno: int, rules: frozenset) -> None:
+        self.allow[lineno] = self.allow.get(lineno, frozenset()) | rules
 
     @staticmethod
     def _comments(source: str):
@@ -234,6 +257,74 @@ def run_rules(
                 else:
                     stats[rule.name]["findings"] += 1
                     kept.append(finding)
+    kept.sort()
+    return kept, stats
+
+
+# Worker-side state for run_rules_parallel: set in the parent before the
+# fork so children inherit the parsed project instead of repickling it.
+_PARALLEL_STATE: Optional[Tuple["Project", Sequence["Rule"]]] = None
+
+
+def _check_module_chunk(indices: Sequence[int]):
+    """Run every rule over one chunk of module indices (worker body)."""
+    project, rules = _PARALLEL_STATE
+    findings: List[Finding] = []
+    stats = {
+        rule.name: {"findings": 0, "suppressed": 0, "files": 0} for rule in rules
+    }
+    for index in indices:
+        module = project.modules[index]
+        for rule in rules:
+            if not rule.applies(module):
+                continue
+            stats[rule.name]["files"] += 1
+            for finding in rule.check(module, project):
+                if module.suppressed(rule.name, finding.line):
+                    stats[rule.name]["suppressed"] += 1
+                else:
+                    stats[rule.name]["findings"] += 1
+                    findings.append(finding)
+    return findings, stats
+
+
+def run_rules_parallel(
+    project: Project, rules: Sequence[Rule], jobs: int
+) -> Tuple[List[Finding], Dict[str, Dict[str, int]]]:
+    """``run_rules`` fanned out over ``jobs`` forked workers.
+
+    Modules are dealt round-robin across workers; each worker runs every
+    rule over its share with the full project in scope (inherited through
+    the fork, so cross-module context -- call graphs, class indexes -- is
+    available without pickling the ASTs).  Findings are merged and sorted
+    and per-rule stats summed, so the result is bit-identical to the
+    serial ``run_rules`` regardless of worker count or scheduling.
+
+    Falls back to the serial path when ``jobs <= 1`` or the platform has
+    no ``fork`` start method.
+    """
+    import multiprocessing
+
+    jobs = min(int(jobs), len(project.modules)) if project.modules else 1
+    if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        return run_rules(project, rules)
+    chunks = [list(range(start, len(project.modules), jobs)) for start in range(jobs)]
+    global _PARALLEL_STATE
+    _PARALLEL_STATE = (project, rules)
+    try:
+        with multiprocessing.get_context("fork").Pool(jobs) as pool:
+            results = pool.map(_check_module_chunk, chunks)
+    finally:
+        _PARALLEL_STATE = None
+    kept: List[Finding] = []
+    stats: Dict[str, Dict[str, int]] = {
+        rule.name: {"findings": 0, "suppressed": 0, "files": 0} for rule in rules
+    }
+    for findings, chunk_stats in results:
+        kept.extend(findings)
+        for name, counters in chunk_stats.items():
+            for key, value in counters.items():
+                stats[name][key] += value
     kept.sort()
     return kept, stats
 

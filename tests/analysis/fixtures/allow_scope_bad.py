@@ -1,0 +1,22 @@
+"""Suppression-scope fixture, violating half: a decorated function with a
+multi-line signature whose body touches raw totals columns.  No allow
+comment anywhere, so both column accesses must surface as findings even
+though they hide behind a decorator and a signature that spans lines."""
+
+
+def traced(fn):
+    return fn
+
+
+class Reporter:
+    @traced
+    def hourly_summary(
+        self,
+        store,
+        *,
+        include_retired=False,
+        scale=1.0,
+    ):
+        spent = store.totals[:, 0].sum() * scale
+        burned = store.totals[:, 1].sum()
+        return spent, burned

@@ -1,0 +1,25 @@
+"""Suppression-scope fixture, compliant half: the same decorated,
+multi-line-signature function as ``allow_scope_bad.py``, but with one
+standalone allow comment above the decorator.  The allow must bind
+through the decorator and the whole signature to every body line, so
+both column accesses are suppressed by the single comment."""
+
+
+def traced(fn):
+    return fn
+
+
+class Reporter:
+    # repro: allow(schema-width) -- replaying the reference layout for a
+    # report that predates the pluggable schema; reviewed, columns pinned.
+    @traced
+    def hourly_summary(
+        self,
+        store,
+        *,
+        include_retired=False,
+        scale=1.0,
+    ):
+        spent = store.totals[:, 0].sum() * scale
+        burned = store.totals[:, 1].sum()
+        return spent, burned

@@ -16,9 +16,11 @@ from repro.analysis.engine import (
     render_human,
     report_as_json,
     run_rules,
+    run_rules_parallel,
 )
 from repro.analysis.rules import ALL_RULES, default_rules
 from repro.analysis.rules.api_hygiene import ApiHygieneRule
+from repro.analysis.rules.schema_width import SchemaWidthRule
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -54,6 +56,34 @@ class TestModule:
         module = Module.from_source(source, "src/x.py")
         assert module.suppressed("api-hygiene", 4)
 
+    def test_standalone_allow_binds_through_decorator_to_whole_body(self):
+        source = (
+            "# repro: allow(schema-width) -- reviewed legacy layout\n"
+            "@property\n"
+            "def spent(\n"
+            "    self,\n"
+            "    scale=1.0,\n"
+            "):\n"
+            "    return self.totals[:, 0] * scale\n"
+        )
+        module = Module.from_source(source, "src/x.py")
+        # Decorator, every signature line, and the body are all covered.
+        for line in range(2, 8):
+            assert module.suppressed("schema-width", line), line
+        assert not module.suppressed("purity", 7)
+
+    def test_standalone_allow_on_plain_statement_stays_one_line(self):
+        source = (
+            "def f(store):\n"
+            "    # repro: allow(schema-width) -- reviewed\n"
+            "    a = store.totals[:, 0]\n"
+            "    b = store.totals[:, 1]\n"
+            "    return a, b\n"
+        )
+        module = Module.from_source(source, "src/x.py")
+        assert module.suppressed("schema-width", 3)
+        assert not module.suppressed("schema-width", 4)
+
     def test_wildcard_allow_suppresses_every_rule(self):
         module = Module.from_source(
             "def f(x=[]):  # repro: allow(*) -- generated code\n    return x\n",
@@ -82,6 +112,24 @@ class TestSuppression:
         findings, _ = lint_source(source, "src/x.py", ApiHygieneRule())
         assert len(findings) == 1
 
+    def test_allow_scope_fixture_pair(self):
+        # The bad half has no allow: both body-line column accesses fire.
+        # The good half's single standalone allow above the decorator
+        # binds through the multi-line signature to the whole body.
+        fixtures = Path(__file__).parent / "fixtures"
+        bad = Module.from_source(
+            (fixtures / "allow_scope_bad.py").read_text(), "src/allow_scope_bad.py"
+        )
+        good = Module.from_source(
+            (fixtures / "allow_scope_good.py").read_text(), "src/allow_scope_good.py"
+        )
+        rule = SchemaWidthRule()
+        findings, stats = run_rules(Project(REPO_ROOT, [bad]), [rule])
+        assert len(findings) == 2
+        findings, stats = run_rules(Project(REPO_ROOT, [good]), [rule])
+        assert findings == []
+        assert stats["schema-width"]["suppressed"] == 2
+
 
 class TestCollection:
     def test_fixtures_skipped_by_default(self):
@@ -102,6 +150,29 @@ class TestCollection:
         target = "src/repro/analysis/engine.py"
         project = collect_project(REPO_ROOT, [target, target, "src/repro/analysis"])
         assert len([m for m in project if m.relpath == target]) == 1
+
+
+class TestParallel:
+    def test_parallel_matches_serial_on_fixture_tree(self):
+        # The fixture tree is the densest finding source we have; every
+        # finding and every stat counter must survive the fan-out, in
+        # the same order.
+        project = collect_project(
+            REPO_ROOT, ["tests/analysis/fixtures"], include_fixtures=True
+        )
+        rules = default_rules()
+        serial = run_rules(project, rules)
+        assert serial[0]  # the comparison is vacuous on a clean tree
+        for jobs in (2, 3, 16):
+            assert run_rules_parallel(project, rules, jobs) == serial
+
+    def test_jobs_one_and_oversubscription_fall_back(self):
+        project = collect_project(REPO_ROOT, ["src/repro/analysis/engine.py"])
+        rules = default_rules()
+        serial = run_rules(project, rules)
+        assert run_rules_parallel(project, rules, 1) == serial
+        # More workers than modules clamps to the module count.
+        assert run_rules_parallel(project, rules, 64) == serial
 
 
 class TestReporting:
@@ -181,6 +252,22 @@ class TestCli:
         out = capsys.readouterr().out
         for cls in ALL_RULES:
             assert cls.name in out
+
+    def test_jobs_flag_report_matches_serial(self, tmp_path, capsys):
+        argv = [
+            "--root",
+            str(REPO_ROOT),
+            "--format",
+            "json",
+            "tests/analysis/fixtures",
+            "--include-fixtures",
+        ]
+        serial_out = tmp_path / "serial.json"
+        par_out = tmp_path / "parallel.json"
+        code_serial = main(argv + ["--output", str(serial_out)])
+        code_par = main(argv + ["--jobs", "4", "--output", str(par_out)])
+        assert code_serial == code_par == 1
+        assert serial_out.read_bytes() == par_out.read_bytes()
 
     def test_json_output_file(self, tmp_path, capsys):
         out_file = tmp_path / "report.json"
