@@ -11,7 +11,10 @@ protocol: sessions propose charges, the platform stages them, and the whole
 hour commits through one batched ``request_many`` call.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace-out quickstart-trace.json
 """
+
+import argparse
 
 import numpy as np
 
@@ -29,9 +32,31 @@ def dp_trainer(X, y, budget: PrivacyBudget, rng):
     return model.fit(X, y, rng)
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace of the drive (adds nothing when omitted)",
+    )
+    args = parser.parse_args(argv)
+
+    telemetry = None
+    if args.trace_out:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+
     source = TaxiGenerator(points_per_hour=8_000)
-    sage = Sage(source, epsilon_global=1.0, delta_global=1e-6, block_hours=1.0, seed=7)
+    sage = Sage(
+        source,
+        epsilon_global=1.0,
+        delta_global=1e-6,
+        block_hours=1.0,
+        seed=7,
+        telemetry=telemetry,
+    )
 
     # loss_bound is the developer-declared clip B of Listing 2: per-example
     # squared errors are clipped into [0, B] before the DP sum.  Declaring
@@ -47,6 +72,12 @@ def main():
 
     print("streaming data and training adaptively ...")
     sage.run_until_quiet(max_hours=100)
+
+    if telemetry is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(telemetry.tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}")
 
     print(f"\npipeline status : {entry.status}")
     for attempt in entry.session.attempts:

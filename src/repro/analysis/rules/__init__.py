@@ -18,6 +18,7 @@ from repro.analysis.rules.paired_calls import PairedCallsRule
 from repro.analysis.rules.purity import PurityRule
 from repro.analysis.rules.rollback import RollbackCompletenessRule
 from repro.analysis.rules.schema_width import SchemaWidthRule
+from repro.analysis.rules.telemetry import TelemetryIsolationRule
 from repro.analysis.rules.thread_shared import ThreadSharedStateRule
 from repro.analysis.rules.wal_ordering import WalOrderingRule
 
@@ -33,6 +34,7 @@ ALL_RULES = (
     RollbackCompletenessRule,
     WalOrderingRule,
     LockDisciplineRule,
+    TelemetryIsolationRule,
 )
 
 

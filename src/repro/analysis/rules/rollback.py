@@ -58,6 +58,14 @@ EXEMPT_ROOTS = frozenset(
         "_propose_pool",
         "_snapshots",
         "_hours_committed",
+        # Telemetry (PR 9) is observational by contract: counters are
+        # monotonic, the hour mark is reset at the top of every advance,
+        # and a rolled-back hour deliberately keeps its trace -- the spans
+        # record what happened, including the failure.
+        "_telemetry",
+        "_tracer",
+        "_metrics",
+        "_hour_mark",
     }
 )
 

@@ -58,8 +58,18 @@ MUTABLE_ATTRS = frozenset(
         "_ledgers",
         "_pipelines",
         "_table",
+        # Registry-backed drive counters (PR 9): the properties read the
+        # metrics registry's plain dicts, which the serial drive updates
+        # mid-hour -- as racy from a pool thread as the old attributes.
         "last_hour_charges",
         "last_hour_speculations",
+        # Telemetry state itself: the tracer's span stack / clock and the
+        # registry's dicts are serial-drive-only (the determinism contract
+        # in repro.obs forbids emission from worker threads).
+        "_telemetry",
+        "_tracer",
+        "_metrics",
+        "_hour_mark",
     }
 )
 

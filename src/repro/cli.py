@@ -10,6 +10,8 @@ Usage::
     python -m repro inventory                 # Table 1 configurations
     python -m repro wal-demo --wal-dir state  # durable workload + charge log
     python -m repro recover --wal-dir state   # rebuild from WAL + snapshots
+    python -m repro obs-report                # drive + privacy/throughput metrics
+    python -m repro trace --out drive.json    # Chrome trace of a full drive
 
 The CLI is a thin veneer over ``repro.experiments``; it exists so a
 downstream user can reproduce a single artifact without writing a script.
@@ -79,11 +81,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a process death at this named crash point "
         "(see repro.core.faults.CRASH_POINTS)",
     )
+    pw.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="trace the drive and write Chrome trace-event JSON here",
+    )
 
     pr = sub.add_parser(
         "recover", help="rebuild a wal-demo platform from its log and snapshots"
     )
     pr.add_argument("--wal-dir", required=True, help="directory wal-demo wrote")
+    pr.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="trace the recovery replay and write Chrome trace-event JSON here",
+    )
+
+    po = sub.add_parser(
+        "obs-report",
+        help="drive a demo workload with telemetry and print its metrics",
+    )
+    po.add_argument("--hours", type=int, default=6, help="hours of stream time")
+    po.add_argument("--pipelines", type=int, default=3, help="oracle pipelines")
+    po.add_argument("--seed", type=int, default=5)
+    po.add_argument(
+        "--shards", type=int, default=0, help="accountant shards (0 = single store)"
+    )
+    po.add_argument(
+        "--format",
+        choices=["json", "prometheus"],
+        default="json",
+        help="metrics output format",
+    )
+
+    pt = sub.add_parser(
+        "trace",
+        help="drive a sharded durable demo hour-by-hour and write a Chrome "
+        "trace (load the file in Perfetto / chrome://tracing)",
+    )
+    pt.add_argument("--out", required=True, metavar="PATH", help="trace file to write")
+    pt.add_argument("--hours", type=int, default=6, help="hours of stream time")
+    pt.add_argument("--pipelines", type=int, default=3, help="oracle pipelines")
+    pt.add_argument("--seed", type=int, default=5)
+    pt.add_argument("--shards", type=int, default=4, help="accountant shards")
+    pt.add_argument(
+        "--snapshot-every", type=int, default=2, help="snapshot cadence (0 = never)"
+    )
     return parser
 
 
@@ -170,7 +215,7 @@ def _write_json_atomic(path, payload) -> None:
     os.replace(tmp, path)
 
 
-def _demo_platform(manifest, wal_dir):
+def _demo_platform(manifest, wal_dir, telemetry=None):
     from repro.core.platform import Sage
     from repro.core.sharding import sharded_accountant_factory
     from repro.workload.oracle import CountStreamSource
@@ -183,6 +228,7 @@ def _demo_platform(manifest, wal_dir):
         seed=manifest["seed"],
         wal_dir=wal_dir,
         snapshot_every=manifest["snapshot_every"],
+        telemetry=telemetry,
         **kwargs,
     )
 
@@ -198,6 +244,24 @@ def _demo_pipelines(manifest):
         )
         for i, target in enumerate(manifest["targets"])
     ]
+
+
+def _maybe_telemetry(trace_out):
+    """A fresh :class:`~repro.obs.Telemetry` when a trace was requested."""
+    if not trace_out:
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry()
+
+
+def _maybe_write_trace(telemetry, trace_out, lines) -> None:
+    if telemetry is None:
+        return
+    from repro.obs import write_chrome_trace
+
+    path = write_chrome_trace(telemetry.tracer, trace_out)
+    lines.append(f"trace written to {path} (open in Perfetto / chrome://tracing)")
 
 
 def _cmd_wal_demo(args) -> str:
@@ -216,7 +280,8 @@ def _cmd_wal_demo(args) -> str:
         "targets": [3_000.0 * (2.0 ** i) for i in range(args.pipelines)],
     }
     _write_json_atomic(wal_dir / "manifest.json", manifest)
-    sage = _demo_platform(manifest, wal_dir)
+    telemetry = _maybe_telemetry(args.trace_out)
+    sage = _demo_platform(manifest, wal_dir, telemetry=telemetry)
     for pipeline, config in _demo_pipelines(manifest):
         sage.submit(pipeline, config)
     lines = []
@@ -239,6 +304,9 @@ def _cmd_wal_demo(args) -> str:
         scan = durability.read_wal(durability.wal_path(wal_dir))
         durable = len(durability.pair_hour_records(scan.records))
         lines.append(f"charge log holds {durable} hour(s); run `recover` to rebuild")
+        # The trace survives the simulated death: it shows every span up
+        # to (and including) the armed fault.trip event.
+        _maybe_write_trace(telemetry, args.trace_out, lines)
         return "\n".join(lines)
     lines.append(
         f"ran {args.hours} hour(s), {sage.hours_committed} committed to "
@@ -246,6 +314,7 @@ def _cmd_wal_demo(args) -> str:
     )
     lines.append(f"state digest: {durability.state_digest(sage):#010x}")
     sage.close()
+    _maybe_write_trace(telemetry, args.trace_out, lines)
     return "\n".join(lines)
 
 
@@ -261,11 +330,73 @@ def _cmd_recover(args) -> str:
     if not manifest_path.exists():
         raise RecoveryError(f"no manifest.json in {wal_dir} (not a wal-demo directory?)")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    sage = _demo_platform(manifest, wal_dir)
+    telemetry = _maybe_telemetry(args.trace_out)
+    sage = _demo_platform(manifest, wal_dir, telemetry=telemetry)
     report = sage.recover(_demo_pipelines(manifest))
-    lines = [report.describe(), f"state digest: {durability.state_digest(sage):#010x}"]
+    lines = [
+        report.describe(telemetry),
+        f"state digest: {durability.state_digest(sage):#010x}",
+    ]
     sage.close()
+    _maybe_write_trace(telemetry, args.trace_out, lines)
     return "\n".join(lines)
+
+
+def _cmd_obs_report(args) -> str:
+    from repro.obs import Telemetry, render_json, render_prometheus
+
+    telemetry = Telemetry()
+    manifest = {
+        "seed": args.seed,
+        "shards": args.shards,
+        "snapshot_every": 0,
+        "targets": [3_000.0 * (2.0 ** i) for i in range(args.pipelines)],
+    }
+    sage = _demo_platform(manifest, wal_dir=None, telemetry=telemetry)
+    for pipeline, config in _demo_pipelines(manifest):
+        sage.submit(pipeline, config)
+    for _ in range(args.hours):
+        sage.advance(1.0)
+    # Fold the end-of-drive privacy state into the registry: loss bound vs
+    # budget, block lifecycle, per-block dashboard, per-shard bounds.
+    telemetry.metrics.observe_privacy(sage.access.accountant)
+    telemetry.metrics.observe_dashboard(sage.access.accountant)
+    sage.close()
+    render = render_prometheus if args.format == "prometheus" else render_json
+    return render(telemetry.metrics).rstrip("\n")
+
+
+def _cmd_trace(args) -> str:
+    import tempfile
+
+    from repro.obs import Telemetry, write_chrome_trace
+
+    telemetry = Telemetry()
+    manifest = {
+        "seed": args.seed,
+        "shards": args.shards,
+        "snapshot_every": args.snapshot_every,
+        "targets": [3_000.0 * (2.0 ** i) for i in range(args.pipelines)],
+    }
+    # Durable + sharded on a throwaway WAL directory, so the trace shows
+    # the full span taxonomy: per-shard validation, WAL append/fsync,
+    # snapshot writes, and compaction -- not just the volatile drive.
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as wal_dir:
+        sage = _demo_platform(manifest, wal_dir, telemetry=telemetry)
+        for pipeline, config in _demo_pipelines(manifest):
+            sage.submit(pipeline, config)
+        for _ in range(args.hours):
+            sage.advance(1.0)
+        sage.close()
+    path = write_chrome_trace(telemetry.tracer, args.out)
+    tracer = telemetry.tracer
+    return "\n".join(
+        [
+            f"drove {args.hours} hour(s) over {args.shards} shard(s)",
+            f"{len(tracer.spans)} span(s), {len(tracer.events)} event(s)",
+            f"trace written to {path} (open in Perfetto / chrome://tracing)",
+        ]
+    )
 
 
 _COMMANDS = {
@@ -277,6 +408,8 @@ _COMMANDS = {
     "inventory": _cmd_inventory,
     "wal-demo": _cmd_wal_demo,
     "recover": _cmd_recover,
+    "obs-report": _cmd_obs_report,
+    "trace": _cmd_trace,
 }
 
 

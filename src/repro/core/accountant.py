@@ -139,6 +139,7 @@ whole-stream admit scans may be computed once and shared across sessions.
 from __future__ import annotations
 
 import inspect
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -536,6 +537,10 @@ class BlockAccountant:
         # usable_blocks() linear in the number of *live* blocks even when a
         # stream has run for thousands of hours.
         self._dead: set = set()
+        # Telemetry tracer attached by a traced platform (None = tracing
+        # off).  Consulted only on the mutating charge path, never by the
+        # pure read surface, and never fed back into accounting decisions.
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # Block lifecycle
@@ -581,6 +586,20 @@ class BlockAccountant:
     def store(self) -> LedgerStore:
         """The struct-of-arrays totals store (rows in registration order)."""
         return self._store
+
+    @property
+    def batch_filter(self) -> PrivacyFilter:
+        """The prototype batch filter (telemetry reads its order grid to
+        gauge Renyi order saturation; accounting goes through the batch
+        scan methods, not this handle)."""
+        return self._batch_filter
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a telemetry tracer (``None`` detaches).  The tracer only
+        ever *records* -- batch spans on ``charge_many`` and, for sharded
+        accountants, per-shard commit spans -- so attaching one cannot
+        change any admission decision."""
+        self._tracer = tracer
 
     @property
     def delta_reserved(self) -> float:
@@ -952,12 +971,17 @@ class BlockAccountant:
             return []
         if not self._vectorized:
             return self._apply_many_scalar(norm, commit=True)
-        touched, work, counts_delta = self._validate_many_vectorized(norm)
-        # Crash point between phase-one validation and the phase-two commit
-        # (for the sharded accountant this sits exactly between the 2PC
-        # phases: every shard has validated, no shard has written).
-        faults.trip("charge.between_validate_and_commit")
-        return self._commit_validated(norm, touched, work, counts_delta)
+        with (
+            self._tracer.span("charge.batch", requests=len(norm))
+            if self._tracer is not None
+            else nullcontext()
+        ):
+            touched, work, counts_delta = self._validate_many_vectorized(norm)
+            # Crash point between phase-one validation and the phase-two
+            # commit (for the sharded accountant this sits exactly between
+            # the 2PC phases: every shard has validated, none has written).
+            faults.trip("charge.between_validate_and_commit")
+            return self._commit_validated(norm, touched, work, counts_delta)
 
     def _commit_validated(
         self,

@@ -113,6 +113,7 @@ import os
 import pickle
 import struct
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -268,7 +269,9 @@ class WalWriter:
     the last complete record.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, telemetry=None) -> None:
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._metrics = telemetry.metrics if telemetry is not None else None
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         if self._path.exists() and self._path.stat().st_size > 0:
@@ -291,8 +294,15 @@ class WalWriter:
         return self._hour_start is not None
 
     def _sync(self) -> None:
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self._tracer is None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            return
+        with self._tracer.span("wal.fsync") as span:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self._metrics.inc("sage_wal_fsyncs_total")
+        self._metrics.observe("sage_wal_fsync_ticks", span.duration)
 
     def begin_hour(self) -> None:
         """Open an hour: remember the offset ``abort_hour`` truncates to."""
@@ -311,20 +321,35 @@ class WalWriter:
         faults.trip("wal.before_append")
         record = dict(payload)
         record["kind"] = "hour"
-        self._fh.write(_encode_record(record))
-        self._sync()
+        encoded = _encode_record(record)
+        with (
+            self._tracer.span("wal.append", bytes=len(encoded))
+            if self._tracer is not None
+            else nullcontext()
+        ):
+            self._fh.write(encoded)
+            self._sync()
+        if self._metrics is not None:
+            self._metrics.inc("sage_wal_bytes_total", len(encoded))
+            self._metrics.observe("sage_wal_append_bytes", len(encoded))
         faults.trip("wal.after_append")
 
     def commit_hour(self, hour_index: int, digest: int) -> None:
         """Append the commit marker (post-commit digest) and close the hour."""
         if self._hour_start is None:
             raise RecoveryError(f"WAL {self._path}: no hour is open to commit")
-        self._fh.write(
-            _encode_record(
-                {"kind": "commit", "hour_index": int(hour_index), "digest": int(digest)}
-            )
+        encoded = _encode_record(
+            {"kind": "commit", "hour_index": int(hour_index), "digest": int(digest)}
         )
-        self._sync()
+        with (
+            self._tracer.span("wal.commit", hour_index=int(hour_index))
+            if self._tracer is not None
+            else nullcontext()
+        ):
+            self._fh.write(encoded)
+            self._sync()
+        if self._metrics is not None:
+            self._metrics.inc("sage_wal_bytes_total", len(encoded))
         self._hour_start = None
 
     def abort_hour(self) -> None:
@@ -378,25 +403,34 @@ class WalWriter:
                 kept.append(record)
         if not dropped:
             return 0
-        tmp = self._path.with_name(self._path.name + ".compact")
-        with open(tmp, "wb") as fh:
-            fh.write(WAL_MAGIC)
-            for record in kept:
-                fh.write(_encode_record(record))
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._fh.close()
-        os.replace(tmp, self._path)
-        try:
-            dir_fd = os.open(self._path.parent, os.O_RDONLY)
+        with (
+            self._tracer.span(
+                "wal.compact", upto_hour=upto_hour, dropped=dropped
+            )
+            if self._tracer is not None
+            else nullcontext()
+        ):
+            tmp = self._path.with_name(self._path.name + ".compact")
+            with open(tmp, "wb") as fh:
+                fh.write(WAL_MAGIC)
+                for record in kept:
+                    fh.write(_encode_record(record))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self._path)
             try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:  # pragma: no cover - platform-dependent best effort
-            pass
-        self._fh = open(self._path, "r+b")
-        self._fh.seek(0, os.SEEK_END)
+                dir_fd = os.open(self._path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:  # pragma: no cover - platform-dependent best effort
+                pass
+            self._fh = open(self._path, "r+b")
+            self._fh.seek(0, os.SEEK_END)
+        if self._metrics is not None:
+            self._metrics.inc("sage_wal_compact_dropped_total", dropped)
         return dropped
 
     def close(self) -> None:
@@ -417,7 +451,9 @@ class SnapshotStore:
     falls back to the next older valid one.
     """
 
-    def __init__(self, directory, keep: int = 3) -> None:
+    def __init__(self, directory, keep: int = 3, telemetry=None) -> None:
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._metrics = telemetry.metrics if telemetry is not None else None
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._keep = max(1, int(keep))
@@ -431,28 +467,38 @@ class SnapshotStore:
     def write(self, hour_index: int, payload: dict) -> Path:
         final = self.path_for(hour_index)
         blob = SNAP_MAGIC + _encode_record(payload)
-        tmp = final.with_name(final.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            # Two writes around the crash point: a mid-snapshot death
-            # leaves only the temp file -- the published snapshot set is
-            # untouched and recovery falls back to the previous one.
-            half = len(blob) // 2
-            fh.write(blob[:half])
-            fh.flush()
-            faults.trip("snapshot.mid_write")
-            fh.write(blob[half:])
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
-        try:
-            dir_fd = os.open(self._dir, os.O_RDONLY)
+        with (
+            self._tracer.span(
+                "snapshot.write", hour_index=int(hour_index), bytes=len(blob)
+            )
+            if self._tracer is not None
+            else nullcontext()
+        ):
+            tmp = final.with_name(final.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                # Two writes around the crash point: a mid-snapshot death
+                # leaves only the temp file -- the published snapshot set is
+                # untouched and recovery falls back to the previous one.
+                half = len(blob) // 2
+                fh.write(blob[:half])
+                fh.flush()
+                faults.trip("snapshot.mid_write")
+                fh.write(blob[half:])
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
             try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:  # pragma: no cover - platform-dependent best effort
-            pass
-        self._prune()
+                dir_fd = os.open(self._dir, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:  # pragma: no cover - platform-dependent best effort
+                pass
+            self._prune()
+        if self._metrics is not None:
+            self._metrics.inc("sage_snapshots_written_total")
+            self._metrics.set_gauge("sage_snapshot_bytes", len(blob))
         return final
 
     def _prune(self) -> None:
@@ -748,8 +794,11 @@ class RecoveryReport:
     # run but durable in no committed hour): re-submitted fresh at the end
     # of recovery, their sessions starting over.
     fresh_pipelines: int
+    # Replayed hours whose WAL commit digest was present and verified (an
+    # hour replayed from a marker-less record contributes 0).
+    digests_verified: int = 0
 
-    def describe(self) -> str:
+    def describe(self, telemetry=None) -> str:
         base = "recovered from scratch" if self.snapshot_hour is None else (
             f"recovered from snapshot hour {self.snapshot_hour}"
         )
@@ -768,4 +817,17 @@ class RecoveryReport:
                 f"{self.fresh_pipelines} supplied pipeline(s) not in the log "
                 "were re-submitted fresh"
             )
-        return "; ".join(parts)
+        if self.digests_verified:
+            parts.append(f"verified {self.digests_verified} commit digest(s)")
+        text = "; ".join(parts)
+        if telemetry is not None:
+            telemetry.tracer.event(
+                "recover.report",
+                snapshot_hour=self.snapshot_hour,
+                replayed_hours=self.replayed_hours,
+                hours_committed=self.hours_committed,
+                digests_verified=self.digests_verified,
+                fresh_pipelines=self.fresh_pipelines,
+            )
+            telemetry.metrics.observe_recovery(self)
+        return text

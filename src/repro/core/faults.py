@@ -46,7 +46,7 @@ point                                   fires
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List
 
 from repro.errors import ReproError
 
@@ -55,6 +55,7 @@ __all__ = [
     "FaultConfigError",
     "InjectedCrash",
     "InjectedFault",
+    "add_observer",
     "arm",
     "arm_crash",
     "arm_error",
@@ -63,6 +64,7 @@ __all__ = [
     "clear",
     "disarm",
     "is_armed",
+    "remove_observer",
     "trip",
 ]
 
@@ -106,6 +108,13 @@ class InjectedCrash(BaseException):
 # of an un-armed trip() is one truthiness check on an empty dict.
 _HANDLERS: Dict[str, "_Armed"] = {}
 
+# Observers notified when an armed handler is about to fire (telemetry:
+# a traced platform records ``fault.trip`` events).  Notification happens
+# only on the armed slow path, so the production no-op cost of trip() is
+# unchanged, and observers run *before* the handler raises -- the trip is
+# recorded even when the handler simulates process death.
+_OBSERVERS: List[Callable[[str], None]] = []
+
 
 class _Armed:
     __slots__ = ("handler", "skip")
@@ -134,6 +143,8 @@ def trip(point: str) -> None:
     if armed.skip > 0:
         armed.skip -= 1
         return
+    for observer in tuple(_OBSERVERS):
+        observer(point)
     armed.handler(point)
 
 
@@ -167,6 +178,20 @@ def disarm(point: str) -> None:
 
 def is_armed(point: str) -> bool:
     return _check_point(point) in _HANDLERS
+
+
+def add_observer(observer: Callable[[str], None]) -> None:
+    """Register a callable notified with the point name whenever an armed
+    handler is about to fire (never on un-armed trips)."""
+    _OBSERVERS.append(observer)
+
+
+def remove_observer(observer: Callable[[str], None]) -> None:
+    """Unregister an observer (no-op if it is not registered)."""
+    try:
+        _OBSERVERS.remove(observer)
+    except ValueError:
+        pass
 
 
 def clear() -> None:

@@ -173,6 +173,11 @@ def loss_dashboard(
     stays in global registration order, so the dashboard aggregates all
     shards, in stream order (regression-tested sharded-vs-single in
     ``tests/core/test_sharding.py``).
+
+    To export these bounds as metrics (``sage_block_epsilon{block=...}``
+    gauges for a Prometheus scrape or the JSON report), use
+    :meth:`repro.obs.MetricsRegistry.observe_dashboard`, which reads the
+    same totals in one pass without building this dict.
     """
     keys = accountant.block_keys
     if not strong:

@@ -84,9 +84,10 @@ accountant's tail scan as a vectorized ``row_filter``.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -110,6 +111,7 @@ from repro.errors import (
     PipelineError,
     RecoveryError,
 )
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Sage", "SubmittedPipeline", "ReservationTable", "SpeculativeProposal"]
 
@@ -371,6 +373,16 @@ class Sage:
     staged hourly drive (``batched_advance`` with a staging-capable
     accountant and no per-context policies): the WAL records each hour as
     one request batch, which only the staged path produces.
+
+    ``telemetry`` attaches a :class:`repro.obs.Telemetry` (tracer +
+    metrics registry) to the whole deployment: every phase of the hourly
+    drive emits spans/events and the drive counters land in the registry
+    (see the :mod:`repro.obs` taxonomy).  Telemetry never feeds back into
+    any decision, so trajectories stay byte-identical with it on or off;
+    ``None`` (the default) reduces every instrumentation site to one
+    ``is not None`` check.  The platform always owns a metrics registry
+    -- the ``last_hour_*`` diagnostics read from it -- and ``telemetry``
+    merely supplies a shared one plus the tracer.
     """
 
     def __init__(
@@ -388,7 +400,21 @@ class Sage:
         wal_dir=None,
         snapshot_every: int = 0,
         snapshot_keep: int = 3,
+        telemetry=None,
     ) -> None:
+        # Telemetry first: the accountant, WAL writer, and snapshot store
+        # constructed below all thread it through.  Disabled mode keeps
+        # the tracer None (faults.trip-style no-op probes); the metrics
+        # registry always exists -- the last_hour_* compatibility
+        # properties read the drive counters from it.
+        self._telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._metrics = (
+            telemetry.metrics if telemetry is not None else MetricsRegistry()
+        )
+        # Counter readings at the top of the current advance(); the
+        # last-hour diagnostics are deltas against this mark.
+        self._hour_mark: Tuple[float, float, float] = (0, 0, 0)
         self.database = GrowingDatabase()
         self.rng = np.random.default_rng(seed)
         self.ingestor = StreamIngestor(
@@ -419,14 +445,13 @@ class Sage:
         # the sequential drive either way.
         self.propose_workers = max(0, int(propose_workers))
         self._propose_pool: Optional[ThreadPoolExecutor] = None
-        # Speculations (adopted, invalidated) in the most recent advance():
-        # a speculation is counted exactly once, under the outcome its
-        # snapshot token earned it (diagnostics for the parallel drive's
-        # hit rate; ordinary proposes -- sequential hours, second and later
-        # attempts -- appear in neither counter).
-        self.last_hour_speculations = (0, 0)
-        # Charges committed by the most recent advance() (diagnostics).
-        self.last_hour_charges = 0
+        # The drive emits its spans from the accountant's serial commit
+        # points (charge batches, per-shard validation footprints).
+        if self._tracer is not None:
+            self.access.accountant.attach_tracer(self._tracer)
+            # Armed crash points report their firings as trace events
+            # (the registry is process-global; close() detaches).
+            faults.add_observer(self._observe_fault)
         # Durability (write-ahead charge log + snapshots; see
         # repro.core.durability).  The WAL writer is created lazily on the
         # first durable hour so merely constructing a platform never
@@ -445,7 +470,7 @@ class Sage:
                     "per-context policies"
                 )
             self._snapshots = durability.SnapshotStore(
-                self._wal_dir, keep=snapshot_keep
+                self._wal_dir, keep=snapshot_keep, telemetry=telemetry
             )
             # Prior state on disk (WAL content past the magic, or any
             # snapshot) means this platform must recover() before advancing.
@@ -466,6 +491,74 @@ class Sage:
     def hours_committed(self) -> int:
         """Completed ``advance`` calls (durable mode: WAL hour indices)."""
         return self._hours_committed
+
+    @property
+    def telemetry(self):
+        """The attached :class:`repro.obs.Telemetry`, or ``None``."""
+        return self._telemetry
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The platform's metrics registry (always present; shared with
+        the attached telemetry when one was supplied)."""
+        return self._metrics
+
+    @property
+    def last_hour_charges(self) -> int:
+        """Charges granted by the most recent ``advance()`` -- a
+        compatibility view over ``sage_charges_granted_total`` since the
+        drive counters folded into the metrics registry (PR 9)."""
+        granted, _, _ = self._hour_mark
+        return int(
+            self._metrics.counter_value("sage_charges_granted_total") - granted
+        )
+
+    @property
+    def last_hour_speculations(self) -> Tuple[int, int]:
+        """Speculations (adopted, invalidated) in the most recent
+        ``advance()``: each speculation is counted exactly once, under the
+        outcome its snapshot token earned it (ordinary proposes appear in
+        neither counter).  Compatibility view over the registry's
+        ``sage_speculations_*_total`` counters."""
+        _, adopted, invalidated = self._hour_mark
+        metrics = self._metrics
+        return (
+            int(
+                metrics.counter_value("sage_speculations_adopted_total")
+                - adopted
+            ),
+            int(
+                metrics.counter_value("sage_speculations_invalidated_total")
+                - invalidated
+            ),
+        )
+
+    def _mark_hour_metrics(self) -> None:
+        """Open an hour for the last-hour deltas: remember the drive
+        counters' current readings."""
+        metrics = self._metrics
+        self._hour_mark = (
+            metrics.counter_value("sage_charges_granted_total"),
+            metrics.counter_value("sage_speculations_adopted_total"),
+            metrics.counter_value("sage_speculations_invalidated_total"),
+        )
+
+    def _finish_hour_metrics(self) -> None:
+        """Close the hour in the registry: per-hour gauges from the
+        counter deltas plus the advanced-hours counter."""
+        metrics = self._metrics
+        adopted, invalidated = self.last_hour_speculations
+        metrics.set_gauge("sage_hour_charges", self.last_hour_charges)
+        metrics.set_gauge("sage_hour_speculations_adopted", adopted)
+        metrics.set_gauge("sage_hour_speculations_invalidated", invalidated)
+        metrics.inc("sage_hours_advanced_total")
+
+    def _observe_fault(self, point: str) -> None:
+        """Fault-registry observer: an *armed* crash point fired."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.event("fault.trip", point=point)
+        self._metrics.inc("sage_fault_trips_total", point=point)
 
     @property
     def reservation_table(self) -> ReservationTable:
@@ -619,6 +712,11 @@ class Sage:
         if self._wal is not None:
             self._wal.close()
             self._wal = None
+        if self._tracer is not None:
+            # Detach from the process-global fault registry (idempotent);
+            # a platform advanced after close() simply stops reporting
+            # armed-fault firings.
+            faults.remove_observer(self._observe_fault)
 
     def __enter__(self) -> "Sage":
         return self
@@ -718,19 +816,22 @@ class Sage:
         """
         session = entry.session
         session.wake()
-        adopted, invalidated = self.last_hour_speculations
+        metrics = self._metrics
+        tracer = self._tracer
         if spec is not None and not self._speculation_valid(
             entry, spec, waiting_count
         ):
             spec = None
-            invalidated += 1
-            self.last_hour_speculations = (adopted, invalidated)
+            metrics.inc("sage_speculations_invalidated_total")
+            if tracer is not None:
+                tracer.event("speculation.invalidated", session=entry.name)
         while session.status == SessionStatus.RUNNING:
             if spec is not None:
                 proposal, status_after = spec.proposal, spec.status_after
                 spec = None
-                adopted += 1
-                self.last_hour_speculations = (adopted, invalidated)
+                metrics.inc("sage_speculations_adopted_total")
+                if tracer is not None:
+                    tracer.event("speculation.adopted", session=entry.name)
                 if proposal is None:
                     # Exactly the transition propose() would have made.
                     session.status = status_after
@@ -750,8 +851,18 @@ class Sage:
                     self.access.request(window, proposal.budget, label=entry.name)
             except (BlockRetiredError, BudgetExceededError):
                 granted = False
-            if granted:
-                self.last_hour_charges += 1
+            metrics.inc(
+                "sage_charges_granted_total"
+                if granted
+                else "sage_charges_denied_total"
+            )
+            if tracer is not None:
+                tracer.event(
+                    "charge.granted" if granted else "charge.denied",
+                    session=entry.name,
+                    epsilon=proposal.budget.epsilon,
+                    blocks=len(window),
+                )
             session.complete(
                 ChargeDecision(
                     proposal=proposal,
@@ -787,14 +898,22 @@ class Sage:
         every ledger set, allocate evenly to waiting pipelines, grant the
         free pool.  Returns the new blocks (also the WAL replay re-entry
         point -- identical given identical clock/RNG state)."""
-        new_blocks = self.ingestor.advance(hours)
-        # Register the hour's blocks in every ledger set (stream-wide and
-        # per-context); the access layer interleaves sets per key so a
-        # failure cannot leave them inconsistent.
-        self.access.register_blocks([block.key for block in new_blocks])
-        for block in new_blocks:
-            self._allocate_block(block.key)
-        self._grant_free_pool()
+        tracer = self._tracer
+        with (
+            tracer.span("advance.open")
+            if tracer is not None
+            else nullcontext()
+        ) as opening:
+            new_blocks = self.ingestor.advance(hours)
+            # Register the hour's blocks in every ledger set (stream-wide
+            # and per-context); the access layer interleaves sets per key
+            # so a failure cannot leave them inconsistent.
+            self.access.register_blocks([block.key for block in new_blocks])
+            for block in new_blocks:
+                self._allocate_block(block.key)
+            self._grant_free_pool()
+            if opening is not None:
+                opening.set(new_blocks=len(new_blocks))
         return new_blocks
 
     def _drive_hour(self, staged: bool) -> List[ReleasedBundle]:
@@ -805,18 +924,34 @@ class Sage:
         # proposal against the freshly opened (empty) overlay.  Needs
         # the staged path -- speculation tokens are defined against it.
         speculations: Dict[int, SpeculativeProposal] = {}
+        tracer = self._tracer
         if staged and self.propose_workers > 0:
-            speculations = self._speculate_proposals()
+            if tracer is not None:
+                with tracer.span(
+                    "advance.propose_fanout", workers=self.propose_workers
+                ) as fanout:
+                    speculations = self._speculate_proposals()
+                    fanout.set(peeked=len(speculations))
+            else:
+                speculations = self._speculate_proposals()
         released: List[ReleasedBundle] = []
         # Maintained O(1) through the loop: sessions only leave the
         # waiting set by terminating during their own drive below.
         waiting_count = sum(1 for p in self._pipelines if p.waiting)
+        driven = 0
         for entry in self._pipelines:
             if not entry.waiting:
                 continue
-            self._drive_session(
-                entry, staged, speculations.get(id(entry)), waiting_count
-            )
+            with (
+                tracer.span("session.drive", session=entry.name)
+                if tracer is not None
+                else nullcontext()
+            ):
+                self._drive_session(
+                    entry, staged, speculations.get(id(entry)), waiting_count
+                )
+            self._metrics.inc("sage_sessions_driven_total")
+            driven += 1
             if entry.session.is_terminal:
                 waiting_count -= 1
             self._settle_charges(entry)
@@ -838,6 +973,11 @@ class Sage:
                 self._redistribute(entry)
             elif entry.session.is_terminal:
                 self._redistribute(entry)
+        # One settle marker per hour (not per session: settle instants
+        # ride the per-session hot path, and the session.drive spans
+        # already carry the per-session timeline).
+        if tracer is not None and driven:
+            tracer.event("reservations.settle", sessions=driven)
         return released
 
     def _advance_volatile(
@@ -846,21 +986,39 @@ class Sage:
         """The in-memory-only hourly drive (no ``wal_dir``) -- the seed
         semantics: a mid-hour exception still commits whatever was staged,
         exactly as the sequential path would already have charged it."""
-        self._open_hour(hours)
-        if staged:
-            self.access.begin_staging()
-        self.last_hour_charges = 0
-        self.last_hour_speculations = (0, 0)
-        try:
-            # Inside the try so a failed peek/drive still closes the overlay.
-            released = self._drive_hour(staged)
-        finally:
-            # Commit whatever was staged even if a pipeline raised mid-hour:
-            # completed attempts' charges must land, exactly as they already
-            # would have on the sequential path.
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.hour = self._hours_committed
+        self._mark_hour_metrics()
+        with (
+            tracer.span("advance.hour", mode="volatile")
+            if tracer is not None
+            else nullcontext()
+        ):
+            self._open_hour(hours)
             if staged:
-                self.access.commit_staged()
+                self.access.begin_staging()
+            try:
+                # Inside the try so a failed peek/drive still closes the
+                # overlay.
+                released = self._drive_hour(staged)
+            finally:
+                # Commit whatever was staged even if a pipeline raised
+                # mid-hour: completed attempts' charges must land, exactly
+                # as they already would have on the sequential path.
+                if staged:
+                    self._metrics.observe(
+                        "sage_staged_batch_requests",
+                        self.access.accountant.staged_request_count,
+                    )
+                    with (
+                        tracer.span("staging.commit")
+                        if tracer is not None
+                        else nullcontext()
+                    ):
+                        self.access.commit_staged()
         self._hours_committed += 1
+        self._finish_hour_metrics()
         return released
 
     def _advance_durable(self, hours: float) -> List[ReleasedBundle]:
@@ -882,36 +1040,56 @@ class Sage:
             )
         wal = self._ensure_wal()
         txn = self._capture_hour()
-        self.last_hour_charges = 0
-        self.last_hour_speculations = (0, 0)
-        wal.begin_hour()
-        try:
-            new_blocks = self._open_hour(hours)
-            faults.trip("hour.opened")
-            self.access.begin_staging()
-            released = self._drive_hour(staged=True)
-            # Build the record while the staged batch is still open (it
-            # carries the batch verbatim), write ahead, then commit.
-            record = self._build_hour_record(txn, hours, new_blocks)
-            wal.append_hour(record)
-            self.access.commit_staged()
-        except Exception:
-            # InjectedCrash (BaseException) deliberately bypasses this:
-            # a crash gets no rollback -- recovery must rebuild from disk.
-            try:
-                self._rollback_hour(txn)
-            finally:
-                if self.access.staging_active:
-                    self.access.abort_staged()
-                wal.abort_hour()
-            raise
-        self._hours_committed += 1
-        wal.commit_hour(self._hours_committed - 1, durability.state_digest(self))
-        faults.trip("hour.after_commit")
-        if self._snapshot_every > 0 and (
-            self._hours_committed % self._snapshot_every == 0
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.hour = self._hours_committed
+        self._mark_hour_metrics()
+        with (
+            tracer.span("advance.hour", mode="durable")
+            if tracer is not None
+            else nullcontext()
         ):
-            self._write_snapshot()
+            wal.begin_hour()
+            try:
+                new_blocks = self._open_hour(hours)
+                faults.trip("hour.opened")
+                self.access.begin_staging()
+                released = self._drive_hour(staged=True)
+                # Build the record while the staged batch is still open (it
+                # carries the batch verbatim), write ahead, then commit.
+                record = self._build_hour_record(txn, hours, new_blocks)
+                self._metrics.observe(
+                    "sage_staged_batch_requests",
+                    self.access.accountant.staged_request_count,
+                )
+                wal.append_hour(record)
+                with (
+                    tracer.span("staging.commit")
+                    if tracer is not None
+                    else nullcontext()
+                ):
+                    self.access.commit_staged()
+            except Exception:
+                # InjectedCrash (BaseException) deliberately bypasses this:
+                # a crash gets no rollback -- recovery must rebuild from
+                # disk.
+                try:
+                    self._rollback_hour(txn)
+                finally:
+                    if self.access.staging_active:
+                        self.access.abort_staged()
+                    wal.abort_hour()
+                raise
+            self._hours_committed += 1
+            wal.commit_hour(
+                self._hours_committed - 1, durability.state_digest(self)
+            )
+            faults.trip("hour.after_commit")
+            if self._snapshot_every > 0 and (
+                self._hours_committed % self._snapshot_every == 0
+            ):
+                self._write_snapshot()
+        self._finish_hour_metrics()
         return released
 
     # ------------------------------------------------------------------
@@ -921,7 +1099,9 @@ class Sage:
         if self._wal_dir is None:
             raise DurabilityError("platform was constructed without a wal_dir")
         if self._wal is None:
-            self._wal = durability.WalWriter(durability.wal_path(self._wal_dir))
+            self._wal = durability.WalWriter(
+                durability.wal_path(self._wal_dir), telemetry=self._telemetry
+            )
         return self._wal
 
     def _capture_hour(self) -> dict:
@@ -1083,44 +1263,70 @@ class Sage:
                 self.submit(item)
             submitted += 1
 
-        scan = durability.read_wal(durability.wal_path(self._wal_dir))
-        hour_pairs = durability.pair_hour_records(scan.records)
-        latest = self._snapshots.latest()
-        snapshot_hour: Optional[int] = None
-        snapshots_skipped = 0
-        if latest is not None:
-            snapshot_hour, payload, skipped = latest
-            snapshots_skipped = len(skipped)
-            while submitted < len(payload["entries"]):
+        tracer = self._tracer
+        with (
+            tracer.span("recover.run")
+            if tracer is not None
+            else nullcontext()
+        ):
+            scan = durability.read_wal(durability.wal_path(self._wal_dir))
+            hour_pairs = durability.pair_hour_records(scan.records)
+            latest = self._snapshots.latest()
+            snapshot_hour: Optional[int] = None
+            snapshots_skipped = 0
+            if latest is not None:
+                snapshot_hour, payload, skipped = latest
+                snapshots_skipped = len(skipped)
+                while submitted < len(payload["entries"]):
+                    submit_next()
+                durability.restore_snapshot_payload(self, payload)
+                self._hours_committed = snapshot_hour
+                if tracer is not None:
+                    tracer.event(
+                        "recover.snapshot",
+                        hour=snapshot_hour,
+                        skipped=snapshots_skipped,
+                    )
+            replayed = 0
+            digests_verified = 0
+            for record, digest in hour_pairs:
+                hour_index = record["hour_index"]
+                if hour_index < self._hours_committed:
+                    continue  # already folded into the snapshot
+                if hour_index != self._hours_committed:
+                    raise RecoveryError(
+                        f"WAL hour {hour_index} does not follow committed hour "
+                        f"count {self._hours_committed} (missing log records?)"
+                    )
+                while submitted < record["n_entries"]:
+                    submit_next()
+                if tracer is not None:
+                    tracer.hour = hour_index
+                with (
+                    tracer.span(
+                        "recover.hour",
+                        hour_index=hour_index,
+                        digest_checked=digest is not None,
+                    )
+                    if tracer is not None
+                    else nullcontext()
+                ):
+                    self._replay_hour(record, digest)
+                self._hours_committed += 1
+                replayed += 1
+                if digest is not None:
+                    digests_verified += 1
+            # Pipelines the log never mentioned were submitted in the
+            # crashed run but are durable in no committed hour: re-submit
+            # them fresh (their sessions start over -- submissions become
+            # durable only once a later hour commits).
+            fresh = len(supplied) - submitted
+            while submitted < len(supplied):
                 submit_next()
-            durability.restore_snapshot_payload(self, payload)
-            self._hours_committed = snapshot_hour
-        replayed = 0
-        for record, digest in hour_pairs:
-            hour_index = record["hour_index"]
-            if hour_index < self._hours_committed:
-                continue  # already folded into the snapshot
-            if hour_index != self._hours_committed:
-                raise RecoveryError(
-                    f"WAL hour {hour_index} does not follow committed hour "
-                    f"count {self._hours_committed} (missing log records?)"
-                )
-            while submitted < record["n_entries"]:
-                submit_next()
-            self._replay_hour(record, digest)
-            self._hours_committed += 1
-            replayed += 1
-        # Pipelines the log never mentioned were submitted in the crashed
-        # run but are durable in no committed hour: re-submit them fresh
-        # (their sessions start over -- submissions become durable only
-        # once a later hour commits).
-        fresh = len(supplied) - submitted
-        while submitted < len(supplied):
-            submit_next()
-        self._needs_recovery = False
-        # Re-open the log for appending; a torn tail is truncated here.
-        self._ensure_wal()
-        return durability.RecoveryReport(
+            self._needs_recovery = False
+            # Re-open the log for appending; a torn tail is truncated here.
+            self._ensure_wal()
+        report = durability.RecoveryReport(
             snapshot_hour=snapshot_hour,
             snapshots_skipped=snapshots_skipped,
             replayed_hours=replayed,
@@ -1129,7 +1335,10 @@ class Sage:
             wal_records=len(scan.records),
             truncated_tail=scan.truncated_tail,
             fresh_pipelines=fresh,
+            digests_verified=digests_verified,
         )
+        self._metrics.observe_recovery(report)
+        return report
 
     def _replay_hour(self, record: dict, digest: Optional[int]) -> None:
         """Re-apply one WAL hour through the live platform paths.

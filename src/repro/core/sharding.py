@@ -520,6 +520,30 @@ class ShardedBlockAccountant(BlockAccountant):
         order = np.argsort(touched)
         return touched[order], work[order], counts_delta[order]
 
+    def _commit_validated(self, norm, touched, work, counts_delta):
+        """Phase two, with per-shard telemetry when a tracer is attached.
+
+        Spans are emitted here -- the serial commit point -- never from
+        inside the validation pool, so a traced run's emission order (and
+        therefore its logical clock) is deterministic regardless of how
+        phase one was scheduled.  Each touched shard gets one
+        ``shard.validate`` span derived from the batch's committed
+        footprint, then the inherited cross-shard bulk write runs under a
+        ``shard.commit`` span.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return super()._commit_validated(norm, touched, work, counts_delta)
+        sids = self._store.shard_of_rows(touched)
+        shards, row_counts = np.unique(sids, return_counts=True)
+        for shard, rows in zip(shards.tolist(), row_counts.tolist()):
+            with tracer.span("shard.validate", shard=shard, rows=rows):
+                pass
+        with tracer.span(
+            "shard.commit", shards=len(shards), requests=len(norm)
+        ):
+            return super()._commit_validated(norm, touched, work, counts_delta)
+
     def _ensure_commit_pool(self) -> ThreadPoolExecutor:
         if self._commit_pool is None:
             self._commit_pool = ThreadPoolExecutor(

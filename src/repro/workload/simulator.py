@@ -73,6 +73,11 @@ class WorkloadConfig:
     # Worker threads for the parallel propose phase of each batched hour
     # (0 = sequential propose).  Identical trajectories either way.
     propose_workers: int = 0
+    # Optional ``repro.obs.Telemetry`` threaded through to the platform for
+    # the block strategies (baselines have no platform to instrument).
+    # Excluded from config equality: two runs with the same knobs are the
+    # same experiment whether or not someone was watching.
+    telemetry: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -159,6 +164,7 @@ class WorkloadSimulator:
             batched_advance=cfg.batched_advance,
             accountant_factory=accountant_factory,
             propose_workers=cfg.propose_workers,
+            telemetry=cfg.telemetry,
         )
         self.last_platform = sage
         strategy = "aggressive" if cfg.strategy == "block-aggressive" else "conserve"

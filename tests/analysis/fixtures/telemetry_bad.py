@@ -1,0 +1,20 @@
+"""Known-bad telemetry fixture: emission on the pure read path.
+
+Linted with a faked relpath inside ``src/repro/core/`` -- the real tree
+never sees this file (the engine skips directories named ``fixtures``).
+"""
+
+
+class Accountant:
+    def can_charge(self, keys, budget):
+        self._tracer.event("charge.peeked", keys=len(keys))  # emission on a seed
+        return self._scan(keys, budget)
+
+    def _scan(self, keys, budget):
+        with self._tracer.span("scan.window"):  # emission on a reachable helper
+            rows = self._rows(keys)
+        self._metrics.inc("sage_scans_total")  # registry write on the read path
+        return all(rows)
+
+    def _rows(self, keys):
+        return [True for _ in keys]

@@ -1,0 +1,20 @@
+"""Fixed telemetry fixture: emission only on the mutating drive path."""
+
+
+class Accountant:
+    def can_charge(self, keys, budget):
+        return self._scan(keys, budget)
+
+    def _scan(self, keys, budget):
+        return all(self._rows(keys))
+
+    def _rows(self, keys):
+        return [True for _ in keys]
+
+    def charge_many(self, requests):
+        # Emission is fine here: charge_many is not reachable from any
+        # pure read seed -- it IS the serial mutating drive.
+        with self._tracer.span("charge.batch", requests=len(requests)):
+            committed = [self._scan(keys, budget) for keys, budget in requests]
+        self._metrics.inc("sage_charges_granted_total", sum(committed))
+        return committed

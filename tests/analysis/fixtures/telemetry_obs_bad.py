@@ -1,0 +1,10 @@
+"""Known-bad obs-side telemetry fixture: an observer mutates accounting.
+
+Linted with a faked relpath inside ``src/repro/obs/``.
+"""
+
+
+def observe_everything(metrics, accountant):
+    accountant.charge_many([])  # telemetry must never commit charges
+    accountant.store.write_rows([], [], [])  # or write the ledger store
+    metrics.set_gauge("sage_privacy_blocks_total", len(accountant.block_keys))

@@ -1,0 +1,7 @@
+"""Fixed obs-side telemetry fixture: observers only read and export."""
+
+
+def observe_everything(metrics, accountant):
+    loss = accountant.stream_loss_bound()
+    metrics.set_gauge("sage_privacy_epsilon_spent", loss.epsilon)
+    metrics.set_gauge("sage_privacy_blocks_total", len(accountant.block_keys))

@@ -43,7 +43,7 @@ def test_seeded_unrestored_mutation_fails_rollback():
     findings = lint_seeded(
         PLATFORM,
         anchor,
-        anchor + "\n            self._hour_trace = record",
+        anchor + "\n                self._hour_trace = record",
         RollbackCompletenessRule(),
     )
     assert any(
@@ -57,11 +57,17 @@ def test_seeded_unrestored_mutation_fails_rollback():
 def test_seeded_unsynced_append_fails_wal_ordering():
     """Dropping the fsync after the write-ahead record's write must be
     flagged: buffered bytes break the write-ahead guarantee."""
-    anchor = "self._fh.write(_encode_record(record))\n        self._sync()"
+    anchor = (
+        "            self._fh.write(encoded)\n"
+        "            self._sync()\n"
+        "        if self._metrics is not None:\n"
+        '            self._metrics.inc("sage_wal_bytes_total", len(encoded))\n'
+        '            self._metrics.observe("sage_wal_append_bytes", len(encoded))'
+    )
     findings = lint_seeded(
         DURABILITY,
         anchor,
-        "self._fh.write(_encode_record(record))",
+        anchor.replace("            self._sync()\n", "", 1),
         WalOrderingRule(),
     )
     assert any(
@@ -74,7 +80,9 @@ def test_seeded_stale_digest_fails_wal_ordering():
     """Committing the hour with a constant instead of a live state digest
     must be flagged: recovery's parity check becomes a no-op."""
     anchor = (
-        "wal.commit_hour(self._hours_committed - 1, durability.state_digest(self))"
+        "wal.commit_hour(\n"
+        "                self._hours_committed - 1, durability.state_digest(self)\n"
+        "            )"
     )
     findings = lint_seeded(
         PLATFORM,

@@ -13,6 +13,7 @@ from repro.analysis.rules.paired_calls import PairedCallsRule
 from repro.analysis.rules.purity import PurityRule
 from repro.analysis.rules.rollback import RollbackCompletenessRule
 from repro.analysis.rules.schema_width import SchemaWidthRule
+from repro.analysis.rules.telemetry import TelemetryIsolationRule
 from repro.analysis.rules.thread_shared import ThreadSharedStateRule
 from repro.analysis.rules.wal_ordering import WalOrderingRule
 
@@ -32,6 +33,8 @@ CASES = [
     (RollbackCompletenessRule, "rollback", "src/repro/core/fixture_mod.py", 3),
     (WalOrderingRule, "wal_ordering", "src/repro/core/fixture_mod.py", 5),
     (LockDisciplineRule, "lock_discipline", "src/repro/core/fixture_mod.py", 3),
+    (TelemetryIsolationRule, "telemetry", "src/repro/core/fixture_mod.py", 3),
+    (TelemetryIsolationRule, "telemetry_obs", "src/repro/obs/fixture_mod.py", 2),
 ]
 
 

@@ -1,0 +1,197 @@
+"""Exporters: pinned goldens, Chrome trace schema, byte determinism."""
+
+import json
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.platform import Sage
+from repro.obs import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    chrome_trace,
+    render_chrome_trace,
+    render_json,
+    render_prometheus,
+    write_chrome_trace,
+)
+from repro.workload.oracle import CountStreamSource, OraclePipeline
+
+
+def tiny_registry():
+    registry = MetricsRegistry()
+    registry.inc("sage_charges_granted_total", 3)
+    registry.inc("sage_fault_trips_total", point="wal.after_append")
+    registry.set_gauge("sage_privacy_epsilon_spent", 0.75)
+    registry.set_gauge("sage_block_epsilon", 0.5, block="0")
+    registry.observe("sage_staged_batch_requests", 3.0)
+    registry.observe("sage_staged_batch_requests", 9.0)
+    return registry
+
+
+def tiny_tracer():
+    tracer = Tracer()
+    tracer.hour = 0
+    with tracer.span("advance.hour", mode="volatile"):
+        with tracer.span("session.drive", session="p0"):
+            tracer.event("charge.granted", epsilon=0.25)
+    return tracer
+
+
+JSON_GOLDEN = """\
+{
+  "counters": {
+    "sage_charges_granted_total": 3,
+    "sage_fault_trips_total{point=\\"wal.after_append\\"}": 1
+  },
+  "gauges": {
+    "sage_block_epsilon{block=\\"0\\"}": 0.5,
+    "sage_privacy_epsilon_spent": 0.75
+  },
+  "histograms": {
+    "sage_staged_batch_requests": {
+      "buckets": {
+        "+Inf": 2,
+        "1": 0,
+        "1024": 2,
+        "1048576": 2,
+        "16": 2,
+        "16384": 2,
+        "256": 2,
+        "262144": 2,
+        "4": 1,
+        "4096": 2,
+        "64": 2,
+        "65536": 2
+      },
+      "count": 2,
+      "max": 9.0,
+      "min": 3.0,
+      "sum": 12.0
+    }
+  }
+}
+"""
+
+PROMETHEUS_GOLDEN = """\
+# TYPE sage_charges_granted_total counter
+sage_charges_granted_total 3
+# TYPE sage_fault_trips_total counter
+sage_fault_trips_total{point="wal.after_append"} 1
+# TYPE sage_block_epsilon gauge
+sage_block_epsilon{block="0"} 0.5
+# TYPE sage_privacy_epsilon_spent gauge
+sage_privacy_epsilon_spent 0.75
+# TYPE sage_staged_batch_requests histogram
+sage_staged_batch_requests_bucket{le="1"} 0
+sage_staged_batch_requests_bucket{le="4"} 1
+sage_staged_batch_requests_bucket{le="16"} 2
+sage_staged_batch_requests_bucket{le="64"} 2
+sage_staged_batch_requests_bucket{le="256"} 2
+sage_staged_batch_requests_bucket{le="1024"} 2
+sage_staged_batch_requests_bucket{le="4096"} 2
+sage_staged_batch_requests_bucket{le="16384"} 2
+sage_staged_batch_requests_bucket{le="65536"} 2
+sage_staged_batch_requests_bucket{le="262144"} 2
+sage_staged_batch_requests_bucket{le="1048576"} 2
+sage_staged_batch_requests_bucket{le="+Inf"} 2
+sage_staged_batch_requests_sum 12
+sage_staged_batch_requests_count 2
+"""
+
+
+class TestGoldens:
+    def test_json_golden(self):
+        assert render_json(tiny_registry()) == JSON_GOLDEN
+
+    def test_prometheus_golden(self):
+        assert render_prometheus(tiny_registry()) == PROMETHEUS_GOLDEN
+
+    def test_chrome_trace_golden(self):
+        doc = chrome_trace(tiny_tracer())
+        assert doc == {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {
+                    "name": "advance.hour",
+                    "cat": "advance",
+                    "ph": "X",
+                    "ts": 1.0,
+                    "dur": 4.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "id": 1,
+                    "args": {"hour": 0, "parent": None, "mode": "volatile"},
+                },
+                {
+                    "name": "session.drive",
+                    "cat": "session",
+                    "ph": "X",
+                    "ts": 2.0,
+                    "dur": 2.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "id": 2,
+                    "args": {"hour": 0, "parent": 1, "session": "p0"},
+                },
+                {
+                    "name": "charge.granted",
+                    "cat": "charge",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": 3.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "id": 3,
+                    "args": {"hour": 0, "epsilon": 0.25},
+                },
+            ],
+        }
+
+
+def drive_traced(hours=4):
+    telemetry = Telemetry()
+    sage = Sage(CountStreamSource(4000, scale=1000), seed=5, telemetry=telemetry)
+    for i in range(3):
+        sage.submit(
+            OraclePipeline(name=f"p{i}", n_at_eps1=3_000.0 * (2.0 ** i)),
+            AdaptiveConfig(max_attempts=16),
+        )
+    for _ in range(hours):
+        sage.advance(1.0)
+    telemetry.metrics.observe_privacy(sage.access.accountant)
+    telemetry.metrics.observe_dashboard(sage.access.accountant)
+    sage.close()
+    return telemetry
+
+
+class TestFullDriveDeterminism:
+    def test_every_export_is_byte_identical_run_to_run(self):
+        a, b = drive_traced(), drive_traced()
+        assert render_json(a.metrics) == render_json(b.metrics)
+        assert render_prometheus(a.metrics) == render_prometheus(b.metrics)
+        assert render_chrome_trace(a.tracer) == render_chrome_trace(b.tracer)
+
+    def test_chrome_trace_schema(self):
+        doc = chrome_trace(drive_traced().tracer)
+        events = doc["traceEvents"]
+        assert events, "a traced drive must produce events"
+        for event in events:
+            assert event["ph"] in ("X", "i")
+            assert (event["pid"], event["tid"]) == (1, 1)
+            assert isinstance(event["ts"], float)
+            assert "hour" in event["args"]
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert "parent" in event["args"]
+        # Sorted by (ts, id): one deterministic timeline.
+        keys = [(e["ts"], e["id"]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_write_chrome_trace_atomic_roundtrip(self, tmp_path):
+        telemetry = drive_traced(hours=2)
+        out = tmp_path / "nested" / "trace.json"
+        returned = write_chrome_trace(telemetry.tracer, out)
+        assert returned == out
+        assert not out.with_name(out.name + ".tmp").exists()
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload == chrome_trace(telemetry.tracer)

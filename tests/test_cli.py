@@ -1,5 +1,7 @@
 """CLI wiring (fast paths only; heavy subcommands smoke-tested in benches)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -90,3 +92,98 @@ class TestDurabilityCommands:
     def test_recover_without_manifest_is_a_clean_error(self, tmp_path, capsys):
         assert main(["recover", "--wal-dir", str(tmp_path / "nothere")]) == 1
         assert "manifest.json" in capsys.readouterr().err
+
+
+def load_trace(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert set(payload) == {"displayTimeUnit", "traceEvents"}
+    return payload["traceEvents"]
+
+
+class TestObservabilityCommands:
+    def test_obs_report_json(self, capsys):
+        assert main(["obs-report", "--hours", "2", "--pipelines", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counters"]["sage_hours_advanced_total"] == 2
+        assert report["counters"]["sage_charges_granted_total"] > 0
+        assert report["gauges"]["sage_privacy_epsilon_spent"] > 0.0
+        assert 'sage_block_epsilon{block="0"}' in report["gauges"]
+        assert "sage_staged_batch_requests" in report["histograms"]
+
+    def test_obs_report_prometheus(self, capsys):
+        code = main(
+            ["obs-report", "--hours", "2", "--shards", "2", "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sage_charges_granted_total counter" in out
+        assert 'sage_shard_epsilon_bound{shard="0"}' in out
+        assert 'sage_staged_batch_requests_bucket{le="+Inf"}' in out
+
+    def test_obs_report_is_deterministic(self, capsys):
+        assert main(["obs-report", "--hours", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["obs-report", "--hours", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "drive.json"
+        assert main(["trace", "--out", str(out_path), "--hours", "3"]) == 0
+        summary = capsys.readouterr().out
+        assert "3 hour(s)" in summary and str(out_path) in summary
+        events = load_trace(out_path)
+        names = {event["name"] for event in events}
+        # The traced demo is sharded + durable, so the full taxonomy shows up.
+        assert {
+            "advance.hour",
+            "session.drive",
+            "charge.batch",
+            "shard.validate",
+            "shard.commit",
+            "staging.commit",
+            "wal.append",
+            "wal.fsync",
+            "snapshot.write",
+        } <= names
+        spans = [event for event in events if event["ph"] == "X"]
+        assert spans and all(event["dur"] >= 0 for event in spans)
+
+    def test_wal_demo_and_recover_trace_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "crash.json"
+        assert (
+            main(
+                [
+                    "wal-demo",
+                    "--wal-dir",
+                    str(tmp_path / "wal"),
+                    "--hours",
+                    "3",
+                    "--crash-at",
+                    "hour.after_commit",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # The trace survives the simulated crash and records the trip itself.
+        names = {event["name"] for event in load_trace(trace_path)}
+        assert "fault.trip" in names and "wal.commit" in names
+
+        recover_trace = tmp_path / "recover.json"
+        assert (
+            main(
+                [
+                    "recover",
+                    "--wal-dir",
+                    str(tmp_path / "wal"),
+                    "--trace-out",
+                    str(recover_trace),
+                ]
+            )
+            == 0
+        )
+        assert "verified 1 commit digest(s)" in capsys.readouterr().out
+        names = {event["name"] for event in load_trace(recover_trace)}
+        assert {"recover.run", "recover.hour", "recover.report"} <= names
