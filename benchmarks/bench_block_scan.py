@@ -23,7 +23,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-from benchjson import write_bench_json
+from benchjson import write_bench_json, write_bench_report
 from repro.core.accountant import BlockAccountant
 from repro.dp.budget import PrivacyBudget
 
@@ -91,27 +91,29 @@ def bench_size(n_blocks: int, repeats: int = 5):
 
 
 def run(sizes=SIZES, assert_speedup: float = 0.0) -> str:
-    lines = [
-        "block-ledger scan: usable_blocks + can_charge (best of 5)",
-        f"{'blocks':>8}  {'per-ledger':>12}  {'vectorized':>12}  {'speedup':>8}",
-    ]
+    cases = []
     for n_blocks in sizes:
         t_slow, t_fast, speedup = bench_size(n_blocks)
-        lines.append(
-            f"{n_blocks:>8}  {t_slow * 1e3:>10.2f}ms  {t_fast * 1e3:>10.2f}ms  {speedup:>7.1f}x"
-        )
-        write_bench_json(
-            f"block_scan_{n_blocks}",
-            {"blocks": n_blocks, "charge_fraction": CHARGE_FRACTION, "window": WINDOW},
-            t_slow * 1e3,
-            t_fast * 1e3,
+        cases.append(
+            write_bench_json(
+                f"block_scan_{n_blocks}",
+                {"blocks": n_blocks, "charge_fraction": CHARGE_FRACTION, "window": WINDOW},
+                t_slow * 1e3,
+                t_fast * 1e3,
+                bench="block_scan",
+            )
         )
         if assert_speedup and n_blocks >= 10_000 and speedup < assert_speedup:
             raise AssertionError(
                 f"scan speedup {speedup:.1f}x at {n_blocks} blocks is below the "
                 f"required {assert_speedup}x"
             )
-    return "\n".join(lines)
+    return write_bench_report(
+        "block_scan",
+        "block-ledger scan: usable_blocks + can_charge (best of 5)",
+        cases,
+        columns=("per-ledger", "vectorized"),
+    )
 
 
 def test_scan_speedup_at_10k():
@@ -130,11 +132,7 @@ def main() -> None:
         help="fail unless the >=10k-block scans beat the loop by this factor",
     )
     args = parser.parse_args()
-    table = run(tuple(args.blocks), assert_speedup=args.assert_speedup)
-    print(table)
-    results = Path(__file__).resolve().parent.parent / "results"
-    results.mkdir(exist_ok=True)
-    (results / "bench_block_scan.txt").write_text(table + "\n")
+    print(run(tuple(args.blocks), assert_speedup=args.assert_speedup))
 
 
 if __name__ == "__main__":

@@ -39,7 +39,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-from benchjson import RESULTS_DIR, write_bench_json
+from benchjson import write_bench_json, write_bench_report
 from repro.core.accountant import BlockAccountant
 from repro.core.adaptive import AdaptiveConfig, AdaptiveSession, SessionStatus
 from repro.core.platform import Sage, SubmittedPipeline
@@ -373,20 +373,16 @@ def run(n_pipelines, n_blocks, assert_speedup=0.0, assert_batched_speedup=0.0):
     check_batched_advance_parity()
     check_charge_parity(min(n_pipelines, 64), n_blocks)
 
-    lines = [
-        "hourly settlement: vectorized vs seed scalar paths (best of 3)",
-        f"{'case':>32}  {'scalar':>12}  {'vectorized':>12}  {'speedup':>8}",
-    ]
+    cases = []
     t_slow, t_fast, speedup = bench_advance(n_pipelines, n_blocks)
-    lines.append(
-        f"{f'advance {n_pipelines}x{n_blocks}':>32}  {t_slow * 1e3:>10.2f}ms"
-        f"  {t_fast * 1e3:>10.2f}ms  {speedup:>7.1f}x"
-    )
-    write_bench_json(
-        "hourly_settlement_advance",
-        {"pipelines": n_pipelines, "blocks": n_blocks},
-        t_slow * 1e3,
-        t_fast * 1e3,
+    cases.append(
+        write_bench_json(
+            "hourly_settlement_advance",
+            {"pipelines": n_pipelines, "blocks": n_blocks},
+            t_slow * 1e3,
+            t_fast * 1e3,
+            bench="hourly_settlement",
+        )
     )
     if assert_speedup and speedup < assert_speedup:
         raise AssertionError(
@@ -395,15 +391,14 @@ def run(n_pipelines, n_blocks, assert_speedup=0.0, assert_batched_speedup=0.0):
         )
 
     b_slow, b_fast, b_speedup = bench_advance_batched(n_pipelines, n_blocks)
-    lines.append(
-        f"{f'advance_batched {n_pipelines}x{n_blocks}':>32}  "
-        f"{b_slow * 1e3:>10.2f}ms  {b_fast * 1e3:>10.2f}ms  {b_speedup:>7.1f}x"
-    )
-    write_bench_json(
-        "hourly_settlement_batched",
-        {"pipelines": n_pipelines, "blocks": n_blocks, "hours": BATCHED_HOURS},
-        b_slow * 1e3,
-        b_fast * 1e3,
+    cases.append(
+        write_bench_json(
+            "hourly_settlement_batched",
+            {"pipelines": n_pipelines, "blocks": n_blocks, "hours": BATCHED_HOURS},
+            b_slow * 1e3,
+            b_fast * 1e3,
+            bench="hourly_settlement",
+        )
     )
     if assert_batched_speedup and b_speedup < assert_batched_speedup:
         raise AssertionError(
@@ -413,15 +408,14 @@ def run(n_pipelines, n_blocks, assert_speedup=0.0, assert_batched_speedup=0.0):
         )
 
     c_slow, c_fast, c_speedup = bench_charge_many(n_pipelines, n_blocks)
-    lines.append(
-        f"{f'charge_many {n_pipelines}x{CHARGE_WINDOW}keys':>32}  "
-        f"{c_slow * 1e3:>10.2f}ms  {c_fast * 1e3:>10.2f}ms  {c_speedup:>7.1f}x"
-    )
-    write_bench_json(
-        "hourly_settlement_charge_many",
-        {"requests": n_pipelines, "blocks": n_blocks, "window": CHARGE_WINDOW},
-        c_slow * 1e3,
-        c_fast * 1e3,
+    cases.append(
+        write_bench_json(
+            "hourly_settlement_charge_many",
+            {"requests": n_pipelines, "blocks": n_blocks, "window": CHARGE_WINDOW},
+            c_slow * 1e3,
+            c_fast * 1e3,
+            bench="hourly_settlement",
+        )
     )
     # charge_many's win is bounded by the per-ledger history appends both
     # paths share, so its gate is looser than the headline advance gate.
@@ -431,7 +425,12 @@ def run(n_pipelines, n_blocks, assert_speedup=0.0, assert_batched_speedup=0.0):
             f"charge_many speedup {c_speedup:.1f}x is below the required "
             f"{charge_gate}x"
         )
-    return "\n".join(lines)
+    return write_bench_report(
+        "hourly_settlement",
+        "hourly settlement: vectorized vs seed scalar paths "
+        f"({n_pipelines} pipelines x {n_blocks} blocks, best of 3)",
+        cases,
+    )
 
 
 def test_settlement_speedup():
@@ -461,15 +460,14 @@ def main():
         "per-session charge loop by this factor",
     )
     args = parser.parse_args()
-    table = run(
-        args.pipelines,
-        args.blocks,
-        assert_speedup=args.assert_speedup,
-        assert_batched_speedup=args.assert_batched_speedup,
+    print(
+        run(
+            args.pipelines,
+            args.blocks,
+            assert_speedup=args.assert_speedup,
+            assert_batched_speedup=args.assert_batched_speedup,
+        )
     )
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_hourly_settlement.txt").write_text(table + "\n")
 
 
 if __name__ == "__main__":

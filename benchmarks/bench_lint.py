@@ -25,7 +25,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from benchjson import RESULTS_DIR, write_bench_json, write_text_atomic
+from benchjson import write_bench_json, write_bench_report
 from repro.analysis.engine import collect_project, run_rules, run_rules_parallel
 from repro.analysis.rules import default_rules
 
@@ -71,27 +71,29 @@ def bench_lint(jobs, repeats=3):
 def run(jobs, assert_budget=0.0):
     collect_s, serial_s, parallel_s, n_files = bench_lint(jobs)
     total_s = collect_s + min(serial_s, parallel_s)
-    lines = [
-        f"Invariant linter: {n_files} files, {len(default_rules())} rules, "
-        f"jobs={jobs} (cpus={os.cpu_count()})",
-        f"{'phase':>16}  {'wall':>10}",
-        f"{'collect+parse':>16}  {collect_s * 1e3:>8.1f}ms",
-        f"{'rules serial':>16}  {serial_s * 1e3:>8.1f}ms",
-        f"{'rules parallel':>16}  {parallel_s * 1e3:>8.1f}ms",
-        f"{'speedup':>16}  {serial_s / parallel_s:>9.2f}x",
-        "parity: --jobs report is bit-identical to the serial run",
-    ]
-    write_bench_json(
+    case = write_bench_json(
         "lint",
         {"files": n_files, "jobs": jobs, "paths": list(DEFAULT_PATHS)},
         serial_s * 1e3,
         parallel_s * 1e3,
+        bench="lint",
+    )
+    table = write_bench_report(
+        "lint",
+        f"Invariant linter: {n_files} files, {len(default_rules())} rules, "
+        f"jobs={jobs} (cpus={os.cpu_count()})",
+        [case],
+        columns=("serial", "parallel"),
+        notes=[
+            f"collect+parse: {collect_s * 1e3:.1f}ms (untimed by the rule rows)",
+            "parity: --jobs report is bit-identical to the serial run",
+        ],
     )
     if assert_budget and total_s > assert_budget:
         raise AssertionError(
             f"full lint took {total_s:.2f}s, over the {assert_budget:.1f}s budget"
         )
-    return "\n".join(lines)
+    return table
 
 
 def test_lint_bench_smoke():
@@ -118,10 +120,7 @@ def main():
         "many seconds",
     )
     args = parser.parse_args()
-    table = run(args.jobs, assert_budget=args.assert_budget)
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    write_text_atomic(RESULTS_DIR / "bench_lint.txt", table + "\n")
+    print(run(args.jobs, assert_budget=args.assert_budget))
 
 
 if __name__ == "__main__":

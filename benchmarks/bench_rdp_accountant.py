@@ -27,7 +27,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-from benchjson import RESULTS_DIR, write_bench_json
+from benchjson import write_bench_json, write_bench_report
 from repro.dp.rdp import (
     DEFAULT_ORDERS,
     calibrate_sigma,
@@ -117,29 +117,29 @@ def bench_case(q, steps, epsilon, repeats=3):
 
 def run(assert_speedup=0.0):
     check_parity()
-    lines = [
-        "RDP moments accountant: calibrate_sigma (best of 3, cold cache)",
-        f"{'case':>28}  {'scalar':>12}  {'vectorized':>12}  {'speedup':>8}",
-    ]
+    cases = []
     for q, steps, epsilon in CASES:
         t_slow, t_fast, speedup = bench_case(q, steps, epsilon)
-        name = f"q={q} T={steps} eps={epsilon}"
-        lines.append(
-            f"{name:>28}  {t_slow * 1e3:>10.2f}ms  {t_fast * 1e3:>10.2f}ms"
-            f"  {speedup:>7.1f}x"
-        )
-        write_bench_json(
-            f"rdp_calibrate_q{q}_T{steps}",
-            {"q": q, "steps": steps, "epsilon": epsilon, "delta": DELTA},
-            t_slow * 1e3,
-            t_fast * 1e3,
+        cases.append(
+            write_bench_json(
+                f"rdp_calibrate_q{q}_T{steps}",
+                {"q": q, "steps": steps, "epsilon": epsilon, "delta": DELTA},
+                t_slow * 1e3,
+                t_fast * 1e3,
+                bench="rdp_accountant",
+            )
         )
         if assert_speedup and speedup < assert_speedup:
             raise AssertionError(
-                f"calibrate_sigma speedup {speedup:.1f}x ({name}) is below "
-                f"the required {assert_speedup}x"
+                f"calibrate_sigma speedup {speedup:.1f}x (q={q} T={steps}) is "
+                f"below the required {assert_speedup}x"
             )
-    return "\n".join(lines)
+    return write_bench_report(
+        "rdp_accountant",
+        "RDP moments accountant: calibrate_sigma (best of 3, cold cache)",
+        cases,
+        notes=["parity: vectorized RDP and sigmas match the scalar path"],
+    )
 
 
 def test_rdp_parity_and_speedup():
@@ -159,10 +159,7 @@ def main():
         help="fail unless vectorized calibrate_sigma wins by this factor",
     )
     args = parser.parse_args()
-    table = run(assert_speedup=args.assert_speedup)
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_rdp_accountant.txt").write_text(table + "\n")
+    print(run(assert_speedup=args.assert_speedup))
 
 
 if __name__ == "__main__":

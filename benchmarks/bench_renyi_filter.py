@@ -32,7 +32,12 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-from benchjson import RESULTS_DIR
+from benchjson import (
+    RESULTS_DIR,
+    write_bench_json,
+    write_bench_report,
+    write_text_atomic,
+)
 from repro.core.accountant import BlockAccountant
 from repro.core.filters import (
     BasicCompositionFilter,
@@ -160,35 +165,45 @@ def run(
     speedup = t_scalar / t_renyi
     ratio = t_renyi / t_strong
 
-    lines = [
+    scan_case = write_bench_json(
+        "renyi_scan",
+        {
+            "blocks": n_blocks,
+            "charge_fraction": CHARGE_FRACTION,
+            "window": WINDOW,
+            "strong_ms": t_strong * 1e3,
+        },
+        t_scalar * 1e3,
+        t_renyi * 1e3,
+        bench="renyi_filter",
+    )
+    table = write_bench_report(
+        "renyi_filter",
         "Renyi vs strong composition at equal "
         f"(eps_g={EPSILON_GLOBAL}, delta_g={DELTA_GLOBAL})",
-        "",
-        f"charges admitted per block (plain eps={SGD_CHARGE['epsilon']}, "
-        f"delta={SGD_CHARGE['delta']}):",
-        f"  basic  {counts['basic']:>6}",
-        f"  strong {counts['strong']:>6}",
-        f"  renyi  {counts['renyi']:>6}  "
-        f"({counts['renyi'] / max(1, counts['strong']):.1f}x strong)",
-        "",
-        f"charges admitted per block (Gaussian mechanism q={GAUSSIAN_CHARGE['q']}, "
-        f"sigma={GAUSSIAN_CHARGE['sigma']}, steps={GAUSSIAN_CHARGE['steps']}, "
-        f"converted eps={gaussian_eps:.3f}):",
-        f"  basic  {counts['basic_gaussian']:>6}",
-        f"  strong {counts['strong_gaussian']:>6}",
-        f"  renyi  {counts['renyi_gaussian']:>6}  "
-        f"({counts['renyi_gaussian'] / max(1, counts['strong_gaussian']):.1f}x strong)",
-        "",
-        f"scan hot path at {n_blocks} blocks (usable_blocks + can_charge, best of 5):",
-        f"  per-ledger loop   {t_scalar * 1e3:>8.2f}ms",
-        f"  strong (4 cols)   {t_strong * 1e3:>8.2f}ms",
-        f"  renyi  (73 cols)  {t_renyi * 1e3:>8.2f}ms  "
-        f"({speedup:.1f}x loop, {ratio:.1f}x strong's time)",
-    ]
+        [scan_case],
+        columns=("per-ledger", "renyi (73 cols)"),
+        notes=[
+            f"strong (4 cols) scans the same hot path in {t_strong * 1e3:.2f}ms "
+            f"(renyi takes {ratio:.1f}x strong's time)",
+            f"admitted per block, plain eps={SGD_CHARGE['epsilon']} "
+            f"delta={SGD_CHARGE['delta']}: basic {counts['basic']}, "
+            f"strong {counts['strong']}, renyi {counts['renyi']} "
+            f"({counts['renyi'] / max(1, counts['strong']):.1f}x strong)",
+            f"admitted per block, Gaussian q={GAUSSIAN_CHARGE['q']} "
+            f"sigma={GAUSSIAN_CHARGE['sigma']} steps={GAUSSIAN_CHARGE['steps']} "
+            f"(converted eps={gaussian_eps:.3f}): "
+            f"basic {counts['basic_gaussian']}, "
+            f"strong {counts['strong_gaussian']}, "
+            f"renyi {counts['renyi_gaussian']} "
+            f"({counts['renyi_gaussian'] / max(1, counts['strong_gaussian']):.1f}x strong)",
+        ],
+    )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "name": "renyi_filter",
+        "meta": scan_case["meta"],
         "params": {
             "epsilon_global": EPSILON_GLOBAL,
             "delta_global": DELTA_GLOBAL,
@@ -211,8 +226,9 @@ def run(
             "ratio_vs_strong": ratio,
         },
     }
-    (RESULTS_DIR / "bench_renyi_filter.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    write_text_atomic(
+        RESULTS_DIR / "bench_renyi_filter.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
     )
 
     if assert_admission_gain:
@@ -237,7 +253,7 @@ def run(
             f"Renyi scan takes {ratio:.1f}x the strong filter's time, over "
             f"the allowed {assert_scan_ratio}x"
         )
-    return "\n".join(lines)
+    return table
 
 
 def test_admission_gain_and_scan_parity():
@@ -270,15 +286,14 @@ def main() -> None:
         "strong filter's scan time",
     )
     args = parser.parse_args()
-    table = run(
-        n_blocks=args.blocks,
-        assert_admission_gain=args.assert_admission_gain,
-        assert_speedup=args.assert_speedup,
-        assert_scan_ratio=args.assert_scan_ratio,
+    print(
+        run(
+            n_blocks=args.blocks,
+            assert_admission_gain=args.assert_admission_gain,
+            assert_speedup=args.assert_speedup,
+            assert_scan_ratio=args.assert_scan_ratio,
+        )
     )
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_renyi_filter.txt").write_text(table + "\n")
 
 
 if __name__ == "__main__":

@@ -34,7 +34,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-from benchjson import RESULTS_DIR, write_bench_json
+from benchjson import write_bench_json, write_bench_report
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.platform import Sage
 from repro.core.sharding import sharded_accountant_factory
@@ -197,29 +197,24 @@ def bench_assembly(n_blocks, repeats=5):
 def run(n_pipelines, n_blocks, workers, assert_speedup=0.0, assert_assembly=0.0):
     check_sharded_parity()
 
-    lines = [
-        "sharded advance: parallel propose vs sequential drive "
-        f"({n_pipelines} pipelines x {n_blocks} blocks, {workers} workers)",
-        f"{'case':>28}  {'sequential':>12}  {'parallel':>12}  {'speedup':>8}",
-    ]
+    cases = []
     per_shard = {}
     for n_shards in SHARD_COUNTS:
         t_seq, t_par, speedup = bench_advance(n_pipelines, n_blocks, n_shards, workers)
         per_shard[n_shards] = (t_seq, t_par, speedup)
-        lines.append(
-            f"{f'advance shards={n_shards}':>28}  {t_seq * 1e3:>10.2f}ms"
-            f"  {t_par * 1e3:>10.2f}ms  {speedup:>7.2f}x"
-        )
-        write_bench_json(
-            f"sharded_advance_s{n_shards}",
-            {
-                "pipelines": n_pipelines,
-                "blocks": n_blocks,
-                "shards": n_shards,
-                "workers": workers,
-            },
-            t_seq * 1e3,
-            t_par * 1e3,
+        cases.append(
+            write_bench_json(
+                f"sharded_advance_s{n_shards}",
+                {
+                    "pipelines": n_pipelines,
+                    "blocks": n_blocks,
+                    "shards": n_shards,
+                    "workers": workers,
+                },
+                t_seq * 1e3,
+                t_par * 1e3,
+                bench="sharded_advance",
+            )
         )
         if assert_speedup and speedup < assert_speedup:
             raise AssertionError(
@@ -242,25 +237,35 @@ def run(n_pipelines, n_blocks, workers, assert_speedup=0.0, assert_assembly=0.0)
         },
         head_seq * 1e3,
         head_par * 1e3,
+        bench="sharded_advance",
     )
 
     a_slow, a_fast, a_speedup = bench_assembly(n_blocks)
-    lines.append(
-        f"{f'assembly {n_blocks} blocks':>28}  {a_slow * 1e3:>10.2f}ms"
-        f"  {a_fast * 1e3:>10.2f}ms  {a_speedup:>7.1f}x"
-    )
     write_bench_json(
         "stream_assembly",
         {"blocks": n_blocks, "rows_per_block": 1},
         a_slow * 1e3,
         a_fast * 1e3,
+        bench="sharded_advance",
     )
     if assert_assembly and a_speedup < assert_assembly:
         raise AssertionError(
             f"packed assembly speedup {a_speedup:.1f}x is below the required "
             f"{assert_assembly}x"
         )
-    return "\n".join(lines)
+    return write_bench_report(
+        "sharded_advance",
+        "sharded advance: parallel propose vs sequential drive "
+        f"({n_pipelines} pipelines x {n_blocks} blocks, {workers} workers)",
+        cases,
+        columns=("sequential", "parallel"),
+        notes=[
+            f"assembly {n_blocks} blocks: concatenate {a_slow * 1e3:.2f}ms -> "
+            f"packed {a_fast * 1e3:.2f}ms ({a_speedup:.1f}x)",
+            "parity: sharded + parallel drives reproduce the single-store "
+            "sequential drive byte for byte",
+        ],
+    )
 
 
 def test_sharded_advance_speedup():
@@ -292,16 +297,15 @@ def main():
         "by this factor",
     )
     args = parser.parse_args()
-    table = run(
-        args.pipelines,
-        args.blocks,
-        args.workers,
-        assert_speedup=args.assert_speedup,
-        assert_assembly=args.assert_assembly_speedup,
+    print(
+        run(
+            args.pipelines,
+            args.blocks,
+            args.workers,
+            assert_speedup=args.assert_speedup,
+            assert_assembly=args.assert_assembly_speedup,
+        )
     )
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_sharded_advance.txt").write_text(table + "\n")
 
 
 if __name__ == "__main__":

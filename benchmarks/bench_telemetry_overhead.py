@@ -44,7 +44,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from benchjson import RESULTS_DIR, write_bench_json, write_text_atomic
+from benchjson import write_bench_json, write_bench_report
 from repro.core import durability
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.platform import Sage
@@ -165,19 +165,7 @@ def run(hours, n_pipelines, repeats, assert_max_overhead=0.0):
     t_off, t_on, overhead, overhead_per_hour = bench_overhead(
         hours, n_pipelines, repeats
     )
-    lines = [
-        f"telemetry overhead: {hours} hours x {n_pipelines} pipelines, "
-        f"median of {repeats} paired runs",
-        f"{'case':>16}  {'total':>10}  {'per hour':>10}",
-        f"{'bare':>16}  {t_off * 1e3:>8.1f}ms  {t_off / hours * 1e3:>8.2f}ms",
-        f"{'instrumented':>16}  {t_on * 1e3:>8.1f}ms  {t_on / hours * 1e3:>8.2f}ms",
-        f"{'overhead':>16}  {overhead:>9.2f}x",
-        "record budget: one session.drive span per session; "
-        f"{overhead_per_hour:.2f} other records/hour "
-        f"(cap {OVERHEAD_RECORDS_PER_HOUR})",
-        "parity: instrumented==bare per-hour digests before any timing",
-    ]
-    write_bench_json(
+    case = write_bench_json(
         "telemetry_overhead",
         {
             "hours": hours,
@@ -187,13 +175,29 @@ def run(hours, n_pipelines, repeats, assert_max_overhead=0.0):
         },
         t_on * 1e3,
         t_off * 1e3,
+        bench="telemetry_overhead",
+    )
+    table = write_bench_report(
+        "telemetry_overhead",
+        f"telemetry overhead: {hours} hours x {n_pipelines} pipelines, "
+        f"median of {repeats} paired runs",
+        [case],
+        columns=("instrumented", "bare"),
+        notes=[
+            "speedup column reads as the instrumented/bare overhead ratio "
+            f"(pairwise median {overhead:.2f}x)",
+            "record budget: one session.drive span per session; "
+            f"{overhead_per_hour:.2f} other records/hour "
+            f"(cap {OVERHEAD_RECORDS_PER_HOUR})",
+            "parity: instrumented==bare per-hour digests before any timing",
+        ],
     )
     if assert_max_overhead and overhead > assert_max_overhead:
         raise AssertionError(
             f"instrumented drive costs {overhead:.2f}x the bare drive, over "
             f"the allowed {assert_max_overhead}x"
         )
-    return "\n".join(lines)
+    return table
 
 
 def test_telemetry_overhead_smoke():
@@ -221,15 +225,14 @@ def main():
         "always-on record budget)",
     )
     args = parser.parse_args()
-    table = run(
-        args.hours,
-        args.pipelines,
-        args.repeats,
-        assert_max_overhead=args.assert_max_overhead,
+    print(
+        run(
+            args.hours,
+            args.pipelines,
+            args.repeats,
+            assert_max_overhead=args.assert_max_overhead,
+        )
     )
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    write_text_atomic(RESULTS_DIR / "bench_telemetry_overhead.txt", table + "\n")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from benchjson import RESULTS_DIR, write_bench_json, write_text_atomic
+from benchjson import write_bench_json, write_bench_report
 from repro.core import durability
 from repro.errors import RecoveryError
 from repro.core.adaptive import AdaptiveConfig
@@ -142,28 +142,32 @@ def bench_overhead(hours, n_pipelines, snapshot_every):
 
 def run(hours, n_pipelines, snapshot_every, assert_max_overhead=0.0):
     t_off, t_on, overhead = bench_overhead(hours, n_pipelines, snapshot_every)
-    lines = [
-        f"WAL overhead: {hours} hours x {n_pipelines} pipelines "
-        f"(snapshot every {snapshot_every or 'never'})",
-        f"{'case':>16}  {'total':>10}  {'per hour':>10}",
-        f"{'volatile':>16}  {t_off * 1e3:>8.1f}ms  {t_off / hours * 1e3:>8.2f}ms",
-        f"{'durable':>16}  {t_on * 1e3:>8.1f}ms  {t_on / hours * 1e3:>8.2f}ms",
-        f"{'overhead':>16}  {overhead:>9.2f}x",
-        "parity: durable==volatile per hour; snapshot+tail and pure-WAL "
-        "recovery both reproduce the final digest",
-    ]
-    write_bench_json(
+    case = write_bench_json(
         "wal_overhead",
         {"hours": hours, "pipelines": n_pipelines, "snapshot_every": snapshot_every},
         t_on * 1e3,
         t_off * 1e3,
+        bench="wal_overhead",
+    )
+    table = write_bench_report(
+        "wal_overhead",
+        f"WAL overhead: {hours} hours x {n_pipelines} pipelines "
+        f"(snapshot every {snapshot_every or 'never'})",
+        [case],
+        columns=("durable", "volatile"),
+        notes=[
+            "speedup column reads as the durable/volatile overhead ratio "
+            f"({t_on / hours * 1e3:.2f}ms vs {t_off / hours * 1e3:.2f}ms per hour)",
+            "parity: durable==volatile per hour; snapshot+tail and pure-WAL "
+            "recovery both reproduce the final digest",
+        ],
     )
     if assert_max_overhead and overhead > assert_max_overhead:
         raise AssertionError(
             f"durable drive costs {overhead:.2f}x the volatile drive, over "
             f"the allowed {assert_max_overhead}x"
         )
-    return "\n".join(lines)
+    return table
 
 
 def test_wal_overhead_smoke():
@@ -189,15 +193,14 @@ def main():
         "volatile drive",
     )
     args = parser.parse_args()
-    table = run(
-        args.hours,
-        args.pipelines,
-        args.snapshot_every,
-        assert_max_overhead=args.assert_max_overhead,
+    print(
+        run(
+            args.hours,
+            args.pipelines,
+            args.snapshot_every,
+            assert_max_overhead=args.assert_max_overhead,
+        )
     )
-    print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    write_text_atomic(RESULTS_DIR / "bench_wal_overhead.txt", table + "\n")
 
 
 if __name__ == "__main__":

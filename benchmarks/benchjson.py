@@ -1,18 +1,35 @@
-"""Machine-readable benchmark results.
+"""Machine-readable benchmark results + the shared result renderer.
 
 Every perf benchmark writes, alongside its rendered text table, one JSON
 document per measured case under ``results/bench_<name>.json`` with the
 fixed schema::
 
-    {"name": ..., "params": {...}, "scalar_ms": ..., "vectorized_ms": ...,
-     "speedup": ...}
+    {"name": ..., "bench": ..., "params": {...}, "scalar_ms": ...,
+     "vectorized_ms": ..., "speedup": ..., "meta": {"git_sha": ...,
+     "timestamp": ..., "host": ..., "python": ..., "numpy": ...}}
 
-so the perf trajectory is diffable and trackable across PRs.
+and appends the same payload to ``results/perf_history.jsonl`` -- the
+perf trajectory ``repro perf-report`` renders and CI's
+``perf-regression`` job gates (see :mod:`repro.obs.perfdb`).  ``params``
+is validated JSON-serializable up front, so a bad case fails loudly
+before any timing work instead of torn-writing a half-result.
+
+The text tables under ``results/bench_*.txt`` all come from one renderer
+(:func:`render_bench_table` / :func:`write_bench_report`) fed by the
+JSON payloads, so every bench reports in the same shape and the tables
+never drift from the machine-readable results.
 """
 
 import json
 import os
+import sys
 from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs import perfdb
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -27,17 +44,83 @@ def write_text_atomic(path: Path, text: str) -> None:
 
 
 def write_bench_json(
-    name: str, params: dict, scalar_ms: float, vectorized_ms: float
-) -> Path:
-    """Persist one benchmark case; returns the written path."""
+    name: str,
+    params: dict,
+    scalar_ms: float,
+    vectorized_ms: float,
+    bench: str = "",
+) -> dict:
+    """Persist one benchmark case and append it to the perf history.
+
+    Returns the written payload (so benches can hand their cases to
+    :func:`write_bench_report`).  ``bench`` names the owning benchmark
+    for the trajectory's per-(bench, case) keying; empty means the case
+    name already carries it.
+    """
+    try:
+        params = json.loads(json.dumps(params))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"bench case {name!r}: params must be JSON-serializable "
+            f"({exc})"
+        ) from None
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "name": name,
+        "bench": bench,
         "params": params,
         "scalar_ms": scalar_ms,
         "vectorized_ms": vectorized_ms,
         "speedup": (scalar_ms / vectorized_ms) if vectorized_ms > 0 else None,
+        "meta": perfdb.run_metadata(),
     }
     path = RESULTS_DIR / f"bench_{name}.json"
     write_text_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    perfdb.append_history(payload)
+    return payload
+
+
+def render_bench_table(
+    title: str,
+    cases,
+    columns=("scalar", "vectorized"),
+    notes=(),
+) -> str:
+    """One fixed-shape text table over ``write_bench_json`` payloads.
+
+    ``columns`` labels the two timing columns (benches measure different
+    pairs: per-ledger vs vectorized, bare vs instrumented, volatile vs
+    durable); ``notes`` appends free-form context lines under the table.
+    """
+    name_width = max([24] + [len(case["name"]) for case in cases])
+    slow_label, fast_label = columns
+    lines = [
+        title,
+        f"{'case':<{name_width}}  {slow_label:>14}  {fast_label:>14}  "
+        f"{'speedup':>8}",
+    ]
+    for case in cases:
+        speedup = case.get("speedup")
+        rendered = f"{speedup:>7.1f}x" if speedup is not None else "      --"
+        lines.append(
+            f"{case['name']:<{name_width}}  "
+            f"{case['scalar_ms']:>12.2f}ms  "
+            f"{case['vectorized_ms']:>12.2f}ms  {rendered}"
+        )
+    lines.extend(notes)
+    return "\n".join(lines)
+
+
+def write_bench_report(
+    bench: str,
+    title: str,
+    cases,
+    columns=("scalar", "vectorized"),
+    notes=(),
+) -> str:
+    """Render the shared table and write ``results/bench_<bench>.txt``
+    atomically; returns the table for the bench to print."""
+    table = render_bench_table(title, cases, columns=columns, notes=notes)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_text_atomic(RESULTS_DIR / f"bench_{bench}.txt", table + "\n")
+    return table

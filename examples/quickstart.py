@@ -12,6 +12,8 @@ hour commits through one batched ``request_many`` call.
 
 Run:  python examples/quickstart.py
       python examples/quickstart.py --trace-out quickstart-trace.json
+      python examples/quickstart.py --profile-out quickstart-profile.json \
+          --flame-out quickstart.folded
 """
 
 import argparse
@@ -40,13 +42,26 @@ def main(argv=None):
         default=None,
         help="write a Chrome trace of the drive (adds nothing when omitted)",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="wall-clock profile the drive and write its Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--flame-out",
+        metavar="PATH",
+        default=None,
+        help="write the profile as collapsed stacks (flamegraph.pl input)",
+    )
     args = parser.parse_args(argv)
 
     telemetry = None
-    if args.trace_out:
-        from repro.obs import Telemetry
+    if args.trace_out or args.profile_out or args.flame_out:
+        from repro.obs import Telemetry, WallProfiler
 
-        telemetry = Telemetry()
+        profiling = args.profile_out or args.flame_out
+        telemetry = Telemetry(profiler=WallProfiler() if profiling else None)
 
     source = TaxiGenerator(points_per_hour=8_000)
     sage = Sage(
@@ -76,8 +91,17 @@ def main(argv=None):
     if telemetry is not None:
         from repro.obs import write_chrome_trace
 
-        write_chrome_trace(telemetry.tracer, args.trace_out)
-        print(f"trace written to {args.trace_out}")
+        if args.trace_out:
+            write_chrome_trace(telemetry.tracer, args.trace_out)
+            print(f"trace written to {args.trace_out}")
+        if args.profile_out:
+            write_chrome_trace(telemetry.profiler, args.profile_out)
+            print(f"profile written to {args.profile_out}")
+        if args.flame_out:
+            from repro.obs.analyze import write_collapsed
+
+            write_collapsed(telemetry.profiler, args.flame_out)
+            print(f"collapsed stacks written to {args.flame_out}")
 
     print(f"\npipeline status : {entry.status}")
     for attempt in entry.session.attempts:

@@ -21,11 +21,16 @@ halves, and this rule enforces both statically:
   property forbids.
 
 A telemetry *emission* is a ``span`` / ``event`` / ``inc`` / ``set_gauge``
-/ ``observe`` call whose receiver chain is rooted in telemetry state (a
-name containing ``tracer`` / ``telemetry`` / ``metrics`` -- the platform
-deliberately names its handles that way, and the thread-shared-state rule
-keeps those handles off pool threads).  Deliberate exceptions carry the
-standard ``# repro: allow(telemetry-isolation) -- reason`` marker.
+/ ``observe`` / ``record_span`` call whose receiver chain is rooted in
+telemetry state (a name containing ``tracer`` / ``telemetry`` /
+``metrics`` / ``profiler`` / ``probe`` -- the platform deliberately names
+its handles that way, and the thread-shared-state rule keeps those
+handles off pool threads).  PR 10's :class:`~repro.obs.WallProfiler`
+rides the same emission surface plus ``record_span``, and the same
+isolation applies: a wall-clock span on a pure read path would fire from
+worker threads with a pool-scheduled emission order.  Deliberate
+exceptions carry the standard ``# repro: allow(telemetry-isolation) --
+reason`` marker.
 """
 
 from __future__ import annotations
@@ -43,11 +48,15 @@ __all__ = ["TelemetryIsolationRule", "TELEMETRY_METHODS"]
 _CORE_PREFIX = "src/repro/core/"
 _OBS_PREFIX = "src/repro/obs/"
 
-#: Emission surface of the tracer and the metrics registry.
-TELEMETRY_METHODS = frozenset({"span", "event", "inc", "set_gauge", "observe"})
+#: Emission surface of the tracer, the metrics registry, and the
+#: wall-clock profiler (``record_span`` synthesizes an already-closed
+#: span from a pool-measured duration -- still an emission).
+TELEMETRY_METHODS = frozenset(
+    {"span", "event", "inc", "set_gauge", "observe", "record_span"}
+)
 
 # Receiver-chain roots that mark a call as telemetry emission.
-_TELEMETRY_ROOTS = ("tracer", "telemetry", "metrics")
+_TELEMETRY_ROOTS = ("tracer", "telemetry", "metrics", "profiler", "probe")
 
 
 def _is_telemetry_emission(call: ast.Call) -> bool:

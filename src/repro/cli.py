@@ -12,6 +12,9 @@ Usage::
     python -m repro recover --wal-dir state   # rebuild from WAL + snapshots
     python -m repro obs-report                # drive + privacy/throughput metrics
     python -m repro trace --out drive.json    # Chrome trace of a full drive
+    python -m repro profile                   # wall-clock phase breakdown
+    python -m repro perf-diff a.json b.json   # two profiles side by side
+    python -m repro perf-report --check       # perf trajectory + regression gate
 
 The CLI is a thin veneer over ``repro.experiments``; it exists so a
 downstream user can reproduce a single artifact without writing a script.
@@ -87,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trace the drive and write Chrome trace-event JSON here",
     )
+    pw.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="wall-clock profile the drive and write its Chrome trace JSON here",
+    )
 
     pr = sub.add_parser(
         "recover", help="rebuild a wal-demo platform from its log and snapshots"
@@ -97,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="trace the recovery replay and write Chrome trace-event JSON here",
+    )
+    pr.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="wall-clock profile the replay and write its Chrome trace JSON here",
     )
 
     po = sub.add_parser(
@@ -128,6 +143,61 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--shards", type=int, default=4, help="accountant shards")
     pt.add_argument(
         "--snapshot-every", type=int, default=2, help="snapshot cadence (0 = never)"
+    )
+
+    pp = sub.add_parser(
+        "profile",
+        help="drive a sharded durable demo under the wall profiler and "
+        "print the per-phase breakdown and per-hour critical paths",
+    )
+    pp.add_argument("--hours", type=int, default=6, help="hours of stream time")
+    pp.add_argument("--pipelines", type=int, default=3, help="oracle pipelines")
+    pp.add_argument("--seed", type=int, default=5)
+    pp.add_argument("--shards", type=int, default=4, help="accountant shards")
+    pp.add_argument(
+        "--snapshot-every", type=int, default=2, help="snapshot cadence (0 = never)"
+    )
+    pp.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the profile as Chrome trace-event JSON",
+    )
+    pp.add_argument(
+        "--flame-out",
+        default=None,
+        metavar="PATH",
+        help="also write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
+
+    pd = sub.add_parser(
+        "perf-diff",
+        help="diff two exported traces/profiles (Chrome trace JSON) per phase",
+    )
+    pd.add_argument("before", help="baseline trace/profile JSON")
+    pd.add_argument("after", help="comparison trace/profile JSON")
+
+    pf = sub.add_parser(
+        "perf-report",
+        help="render the bench perf trajectory from results/perf_history.jsonl",
+    )
+    pf.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="history file (default: results/perf_history.jsonl)",
+    )
+    pf.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any case's latest run fell out of its tolerance band",
+    )
+    pf.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="fraction of the baseline median a latest speedup may drop to "
+        "(default 0.35)",
     )
     return parser
 
@@ -246,22 +316,32 @@ def _demo_pipelines(manifest):
     ]
 
 
-def _maybe_telemetry(trace_out):
-    """A fresh :class:`~repro.obs.Telemetry` when a trace was requested."""
-    if not trace_out:
+def _maybe_telemetry(trace_out, profile_out=None):
+    """A fresh :class:`~repro.obs.Telemetry` when a trace or wall-clock
+    profile was requested (the profiler rides alongside the tracer)."""
+    if not trace_out and not profile_out:
         return None
-    from repro.obs import Telemetry
+    from repro.obs import Telemetry, WallProfiler
 
-    return Telemetry()
+    return Telemetry(profiler=WallProfiler() if profile_out else None)
 
 
 def _maybe_write_trace(telemetry, trace_out, lines) -> None:
-    if telemetry is None:
+    if telemetry is None or not trace_out:
         return
     from repro.obs import write_chrome_trace
 
     path = write_chrome_trace(telemetry.tracer, trace_out)
     lines.append(f"trace written to {path} (open in Perfetto / chrome://tracing)")
+
+
+def _maybe_write_profile(telemetry, profile_out, lines) -> None:
+    if telemetry is None or telemetry.profiler is None or not profile_out:
+        return
+    from repro.obs import write_chrome_trace
+
+    path = write_chrome_trace(telemetry.profiler, profile_out)
+    lines.append(f"profile written to {path} (wall-clock microseconds)")
 
 
 def _cmd_wal_demo(args) -> str:
@@ -280,7 +360,7 @@ def _cmd_wal_demo(args) -> str:
         "targets": [3_000.0 * (2.0 ** i) for i in range(args.pipelines)],
     }
     _write_json_atomic(wal_dir / "manifest.json", manifest)
-    telemetry = _maybe_telemetry(args.trace_out)
+    telemetry = _maybe_telemetry(args.trace_out, args.profile_out)
     sage = _demo_platform(manifest, wal_dir, telemetry=telemetry)
     for pipeline, config in _demo_pipelines(manifest):
         sage.submit(pipeline, config)
@@ -307,6 +387,7 @@ def _cmd_wal_demo(args) -> str:
         # The trace survives the simulated death: it shows every span up
         # to (and including) the armed fault.trip event.
         _maybe_write_trace(telemetry, args.trace_out, lines)
+        _maybe_write_profile(telemetry, args.profile_out, lines)
         return "\n".join(lines)
     lines.append(
         f"ran {args.hours} hour(s), {sage.hours_committed} committed to "
@@ -315,6 +396,7 @@ def _cmd_wal_demo(args) -> str:
     lines.append(f"state digest: {durability.state_digest(sage):#010x}")
     sage.close()
     _maybe_write_trace(telemetry, args.trace_out, lines)
+    _maybe_write_profile(telemetry, args.profile_out, lines)
     return "\n".join(lines)
 
 
@@ -330,7 +412,7 @@ def _cmd_recover(args) -> str:
     if not manifest_path.exists():
         raise RecoveryError(f"no manifest.json in {wal_dir} (not a wal-demo directory?)")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    telemetry = _maybe_telemetry(args.trace_out)
+    telemetry = _maybe_telemetry(args.trace_out, args.profile_out)
     sage = _demo_platform(manifest, wal_dir, telemetry=telemetry)
     report = sage.recover(_demo_pipelines(manifest))
     lines = [
@@ -339,6 +421,7 @@ def _cmd_recover(args) -> str:
     ]
     sage.close()
     _maybe_write_trace(telemetry, args.trace_out, lines)
+    _maybe_write_profile(telemetry, args.profile_out, lines)
     return "\n".join(lines)
 
 
@@ -399,6 +482,82 @@ def _cmd_trace(args) -> str:
     )
 
 
+def _cmd_profile(args) -> str:
+    import tempfile
+
+    from repro.obs import Telemetry, WallProfiler, write_chrome_trace
+    from repro.obs.analyze import (
+        render_breakdown,
+        render_critical_path,
+        write_collapsed,
+    )
+
+    telemetry = Telemetry(profiler=WallProfiler())
+    manifest = {
+        "seed": args.seed,
+        "shards": args.shards,
+        "snapshot_every": args.snapshot_every,
+        "targets": [3_000.0 * (2.0 ** i) for i in range(args.pipelines)],
+    }
+    # Same durable + sharded demo the trace command drives, so the
+    # profile decomposes the full taxonomy -- including per-shard
+    # validation wall time and the fsync path.
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as wal_dir:
+        sage = _demo_platform(manifest, wal_dir, telemetry=telemetry)
+        for pipeline, config in _demo_pipelines(manifest):
+            sage.submit(pipeline, config)
+        for _ in range(args.hours):
+            sage.advance(1.0)
+        sage.close()
+    profiler = telemetry.profiler
+    lines = [
+        f"profiled {args.hours} hour(s) over {args.shards} shard(s)",
+        "",
+        render_breakdown(profiler),
+        "",
+        render_critical_path(profiler),
+    ]
+    if args.out:
+        path = write_chrome_trace(profiler, args.out)
+        lines.append(f"profile written to {path} (wall-clock microseconds)")
+    if args.flame_out:
+        path = write_collapsed(profiler, args.flame_out)
+        lines.append(f"collapsed stacks written to {path}")
+    return "\n".join(lines)
+
+
+def _cmd_perf_diff(args) -> str:
+    from pathlib import Path
+
+    from repro.obs.analyze import load_chrome_trace, render_diff
+
+    before = load_chrome_trace(Path(args.before))
+    after = load_chrome_trace(Path(args.after))
+    return "\n".join(
+        [
+            f"perf diff: {args.before} -> {args.after}",
+            render_diff(before, after),
+        ]
+    )
+
+
+def _cmd_perf_report(args):
+    from pathlib import Path
+
+    from repro.obs import perfdb
+
+    path = Path(args.history) if args.history else perfdb.HISTORY_PATH
+    history = perfdb.load_history(path)
+    tolerance = (
+        args.tolerance if args.tolerance is not None else perfdb.DEFAULT_TOLERANCE
+    )
+    report = perfdb.render_report(history, tolerance=tolerance)
+    if not args.check:
+        return report
+    regressions = perfdb.check_regressions(history, tolerance=tolerance)
+    return report, (1 if regressions else 0)
+
+
 _COMMANDS = {
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
@@ -410,6 +569,9 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "obs-report": _cmd_obs_report,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "perf-diff": _cmd_perf_diff,
+    "perf-report": _cmd_perf_report,
 }
 
 
@@ -423,8 +585,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (DurabilityError, FaultConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    # perf-report --check returns (text, exit_code): the report always
+    # prints, the code carries the regression verdict to CI.
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -909,6 +909,19 @@ class BlockAccountant:
             counts_delta[lrows] += 1
         return touched, work, counts_delta
 
+    def _validate_for_commit(self, norm: List[tuple]):
+        """Phase-one validation as invoked from the commit path.
+
+        Same contract as :meth:`_validate_many_vectorized`, which it
+        delegates to -- but this seam is reachable only from
+        :meth:`charge_many` (a mutator), never from the pure read surface
+        (``can_charge_many`` calls the validator directly).  The sharded
+        accountant overrides it to stopwatch per-shard validation for the
+        wall profiler, which the telemetry-isolation and purity rules
+        forbid on the shared pure-reachable validator itself.
+        """
+        return self._validate_many_vectorized(norm)
+
     def _apply_many_scalar(self, norm: List[tuple], commit: bool) -> List[ChargeRecord]:
         """Per-ledger sequential apply with full rollback -- the exact path
         for filters whose decisions batched scans cannot reproduce."""
@@ -976,7 +989,7 @@ class BlockAccountant:
             if self._tracer is not None
             else nullcontext()
         ):
-            touched, work, counts_delta = self._validate_many_vectorized(norm)
+            touched, work, counts_delta = self._validate_for_commit(norm)
             # Crash point between phase-one validation and the phase-two
             # commit (for the sharded accountant this sits exactly between
             # the 2PC phases: every shard has validated, none has written).

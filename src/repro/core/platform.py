@@ -406,9 +406,12 @@ class Sage:
         # constructed below all thread it through.  Disabled mode keeps
         # the tracer None (faults.trip-style no-op probes); the metrics
         # registry always exists -- the last_hour_* compatibility
-        # properties read the drive counters from it.
+        # properties read the drive counters from it.  The handle is the
+        # telemetry probe: the tracer itself normally, or the tracer +
+        # wall-profiler tee when profiling is on -- same span/event/hour
+        # surface either way.
         self._telemetry = telemetry
-        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._tracer = telemetry.probe if telemetry is not None else None
         self._metrics = (
             telemetry.metrics if telemetry is not None else MetricsRegistry()
         )
@@ -942,6 +945,12 @@ class Sage:
         for entry in self._pipelines:
             if not entry.waiting:
                 continue
+            # The span covers the session's whole hour -- drive, settle,
+            # release, redistribute -- so the profiler attributes the
+            # settlement tail (a whole-table ReservationTable op per
+            # terminating session) to the session that caused it.  The
+            # settle/release helpers emit no telemetry, so the widened
+            # body leaves the deterministic tick sequence untouched.
             with (
                 tracer.span("session.drive", session=entry.name)
                 if tracer is not None
@@ -950,29 +959,29 @@ class Sage:
                 self._drive_session(
                     entry, staged, speculations.get(id(entry)), waiting_count
                 )
-            self._metrics.inc("sage_sessions_driven_total")
-            driven += 1
-            if entry.session.is_terminal:
-                waiting_count -= 1
-            self._settle_charges(entry)
-            faults.trip("settle.mid_session")
-            if entry.session.status == SessionStatus.ACCEPTED:
-                run = entry.session.final_run
-                bundle = self.store.release(
-                    name=entry.name,
-                    model=run.model,
-                    features=run.features,
-                    validation=run.validation,
-                    budget=entry.session.total_spent,
-                    block_keys=entry.session.attempts[-1].window,
-                    release_time_hours=self.clock_hours,
-                )
-                entry.bundle = bundle
-                entry.release_time_hours = self.clock_hours
-                released.append(bundle)
-                self._redistribute(entry)
-            elif entry.session.is_terminal:
-                self._redistribute(entry)
+                self._metrics.inc("sage_sessions_driven_total")
+                driven += 1
+                if entry.session.is_terminal:
+                    waiting_count -= 1
+                self._settle_charges(entry)
+                faults.trip("settle.mid_session")
+                if entry.session.status == SessionStatus.ACCEPTED:
+                    run = entry.session.final_run
+                    bundle = self.store.release(
+                        name=entry.name,
+                        model=run.model,
+                        features=run.features,
+                        validation=run.validation,
+                        budget=entry.session.total_spent,
+                        block_keys=entry.session.attempts[-1].window,
+                        release_time_hours=self.clock_hours,
+                    )
+                    entry.bundle = bundle
+                    entry.release_time_hours = self.clock_hours
+                    released.append(bundle)
+                    self._redistribute(entry)
+                elif entry.session.is_terminal:
+                    self._redistribute(entry)
         # One settle marker per hour (not per session: settle instants
         # ride the per-session hot path, and the session.drive spans
         # already carry the per-session timeline).

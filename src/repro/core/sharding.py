@@ -73,9 +73,10 @@ sharded store's per-shard writes.
 
 from __future__ import annotations
 
+import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -402,6 +403,11 @@ class ShardedBlockAccountant(BlockAccountant):
         )
         self._commit_workers = max(0, int(commit_workers))
         self._commit_pool: Optional[ThreadPoolExecutor] = None
+        # Per-shard phase-one wall times (microseconds), stopwatched by
+        # _validate_for_commit when a profiler is attached and consumed
+        # by _commit_validated -- commit-path-only scratch, always None
+        # outside one charge_many call.
+        self._profile_walls: Optional[Dict[int, float]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -470,14 +476,18 @@ class ShardedBlockAccountant(BlockAccountant):
             counts_delta[lrows] += 1
         return touched, work, counts_delta, refusal
 
-    def _validate_many_vectorized(self, norm: List[tuple]):
+    def _validate_many_vectorized(self, norm: List[tuple], walls=None):
         """Sharded phase-one validation with the single-store contract.
 
-        Same signature and semantics as the base method -- returns the
+        Same call shape and semantics as the base method -- returns the
         sorted global ``(touched, work, counts_delta)`` of the whole batch,
         or raises the sequential path's error for the globally first
         refusing ``(request, key)`` -- so ``charge_many``,
         ``can_charge_many``, and the commit path run unmodified on top.
+        ``walls`` (commit path only, profiler attached) is a caller-owned
+        dict filled with each shard's validation wall time in microseconds
+        -- stopwatched inside the worker callable but written back
+        serially, so the pool threads never touch shared state.
         """
         store = self._store
         row_lists = [self._key_rows(keys) for keys, _, _ in norm]
@@ -492,17 +502,24 @@ class ShardedBlockAccountant(BlockAccountant):
                 )
 
         shards = sorted(per_shard)
+        timed = walls is not None
+
+        def validate(s):
+            if not timed:
+                return self._validate_shard(per_shard[s], norm, s), 0.0
+            t0 = time.perf_counter()
+            res = self._validate_shard(per_shard[s], norm, s)
+            return res, (time.perf_counter() - t0) * 1e6
+
         if self._commit_workers and len(shards) > 1:
             pool = self._ensure_commit_pool()
-            results = list(
-                pool.map(
-                    lambda s: self._validate_shard(per_shard[s], norm, s), shards
-                )
-            )
+            pairs = list(pool.map(validate, shards))
         else:
-            results = [
-                self._validate_shard(per_shard[s], norm, s) for s in shards
-            ]
+            pairs = [validate(s) for s in shards]
+        results = [res for res, _ in pairs]
+        if timed:
+            for s, (_, wall) in zip(shards, pairs):
+                walls[s] = wall
 
         refusals = [res[3] for res in results if res[3] is not None]
         if refusals:
@@ -520,6 +537,24 @@ class ShardedBlockAccountant(BlockAccountant):
         order = np.argsort(touched)
         return touched[order], work[order], counts_delta[order]
 
+    def _validate_for_commit(self, norm: List[tuple]):
+        """Commit-path validation, stopwatching shards for the profiler.
+
+        Without a profiler this is exactly the inherited delegation.  With
+        one, each shard's phase-one wall time is measured (inside the
+        worker callable, with plain ``perf_counter`` arithmetic -- no
+        telemetry calls off the serial path) and parked for
+        :meth:`_commit_validated` to attribute at the serial commit point.
+        The stash is dead scratch on every other path: ``can_charge_many``
+        calls the validator directly and never reaches this seam.
+        """
+        if getattr(self._tracer, "profiler", None) is None:
+            return self._validate_many_vectorized(norm)
+        walls: Dict[int, float] = {}
+        result = self._validate_many_vectorized(norm, walls)
+        self._profile_walls = walls
+        return result
+
     def _commit_validated(self, norm, touched, work, counts_delta):
         """Phase two, with per-shard telemetry when a tracer is attached.
 
@@ -530,15 +565,34 @@ class ShardedBlockAccountant(BlockAccountant):
         ``shard.validate`` span derived from the batch's committed
         footprint, then the inherited cross-shard bulk write runs under a
         ``shard.commit`` span.
+
+        With a profiler attached the tee splits here: the deterministic
+        ``shard.validate`` spans go straight to the tracer half (their
+        tick durations are emission-order artifacts either way), while the
+        profiler half gets one synthesized span per shard carrying the
+        wall time :meth:`_validate_for_commit` measured -- the per-shard
+        decomposition of the batch's parallel phase.  ``shard.commit``
+        rides the tee like every other site (phase two is serial, its
+        wall duration is real).
         """
         tracer = self._tracer
+        walls, self._profile_walls = self._profile_walls, None
         if tracer is None:
             return super()._commit_validated(norm, touched, work, counts_delta)
+        profiler = getattr(tracer, "profiler", None)
+        base = getattr(tracer, "tracer", tracer)
         sids = self._store.shard_of_rows(touched)
         shards, row_counts = np.unique(sids, return_counts=True)
         for shard, rows in zip(shards.tolist(), row_counts.tolist()):
-            with tracer.span("shard.validate", shard=shard, rows=rows):
+            with base.span("shard.validate", shard=shard, rows=rows):
                 pass
+            if profiler is not None and walls is not None:
+                profiler.record_span(
+                    "shard.validate",
+                    walls.get(shard, 0.0),
+                    shard=shard,
+                    rows=rows,
+                )
         with tracer.span(
             "shard.commit", shards=len(shards), requests=len(norm)
         ):

@@ -1,18 +1,21 @@
-"""Deterministic telemetry for the Sage platform (PR 9).
+"""Deterministic telemetry for the Sage platform (PR 9 + PR 10).
 
 Sage is pitched as an always-on platform whose operators watch per-block
 privacy loss and retirement in real time (Lecuyer et al., SOSP 2019,
 section 6).  This package is that observability surface: a
 :class:`~repro.obs.trace.Tracer` of structured spans/events over every
 phase of the hourly drive, a :class:`~repro.obs.metrics.MetricsRegistry`
-of privacy/throughput/durability metrics, and exporters
-(:mod:`repro.obs.export`) for deterministic JSON, the Prometheus text
-format, and Chrome trace-event JSON (Perfetto-loadable).
+of privacy/throughput/durability metrics, a wall-clock
+:class:`~repro.obs.profile.WallProfiler` (PR 10), span-tree analytics
+(:mod:`repro.obs.analyze`), a perf-trajectory store
+(:mod:`repro.obs.perfdb`), and exporters (:mod:`repro.obs.export`) for
+deterministic JSON, the Prometheus text format, Chrome trace-event JSON
+(Perfetto-loadable), and collapsed-stack flamegraphs.
 
 Enable it per platform::
 
-    from repro.obs import Telemetry
-    telemetry = Telemetry()
+    from repro.obs import Telemetry, WallProfiler
+    telemetry = Telemetry(profiler=WallProfiler())  # profiler optional
     sage = Sage(source, telemetry=telemetry)
     ...
     print(render_json(telemetry.metrics))
@@ -29,6 +32,20 @@ Instrumentation lives only on driver/mutating paths; the pure read
 surface (``propose_peek`` / ``admits_keys`` / ``can_charge`` /
 ``max_epsilon`` and everything they reach) stays telemetry-free,
 enforced by the ``telemetry-isolation`` lint rule.
+
+**The wall-clock / logical-tick split (PR 10).**  Correctness
+observability and performance observability deliberately run on
+different clocks.  The tracer keeps logical ticks: its output is
+replayable and byte-identical across runs, and it participates in every
+byte-parity artifact.  The :class:`~repro.obs.profile.WallProfiler`
+records the *same span taxonomy* with real ``perf_counter`` durations;
+it attaches alongside -- never instead of -- the tracer (a
+:class:`~repro.obs.profile.Probe` tees each emission site to both), so
+"where did the hour go" never costs "can I replay the hour".  The
+profiler's output is excluded from byte-parity artifacts (wall time is
+not replayable); the profiled *run* remains byte-identical to a bare
+run, and the tracer's exports are byte-identical whether or not a
+profiler rides along.  Profiling observes, never participates.
 
 Span taxonomy (category = dotted prefix)
 ----------------------------------------
@@ -115,38 +132,59 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+from repro.obs.profile import (
+    Probe,
+    SpanStats,
+    WallClock,
+    WallProfiler,
+    render_profile,
+)
 from repro.obs.trace import Event, Span, TickClock, Tracer
 
 __all__ = [
     "BUCKET_BOUNDS",
     "Event",
     "MetricsRegistry",
+    "Probe",
     "Span",
+    "SpanStats",
     "Telemetry",
     "TickClock",
     "Tracer",
+    "WallClock",
+    "WallProfiler",
     "chrome_trace",
     "render_chrome_trace",
     "render_json",
+    "render_profile",
     "render_prometheus",
     "write_chrome_trace",
 ]
 
 
 class Telemetry:
-    """One platform's telemetry: a tracer plus a metrics registry.
+    """One platform's telemetry: tracer, metrics, optional profiler.
 
     Pass to ``Sage(telemetry=...)``; the platform threads it through the
     accountant, the WAL writer, the snapshot store, and the fault
     registry.  ``clock`` overrides the tracer's logical tick clock (e.g.
     a scaled ``time.perf_counter`` for wall-clock traces -- at the cost
-    of run-to-run byte determinism of the exports).
+    of run-to-run byte determinism of the exports).  ``profiler``
+    attaches a :class:`WallProfiler` *alongside* the tracer: ``probe``
+    is then a :class:`Probe` teeing every emission site to both; without
+    a profiler ``probe`` is the tracer itself, so the instrumented code
+    pays nothing for the capability.
     """
 
     def __init__(
         self,
         clock: Optional[Callable[[], float]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[WallProfiler] = None,
     ) -> None:
         self.tracer = Tracer(clock=clock)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler
+        self.probe = (
+            self.tracer if profiler is None else Probe(self.tracer, profiler)
+        )

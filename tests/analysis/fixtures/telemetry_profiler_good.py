@@ -1,0 +1,26 @@
+"""Fixed profiler fixture: wall-clock emission only on the mutating drive.
+
+The commit path measures pool work into a plain local dict (no telemetry
+off the serial path) and replays it serially through ``record_span`` --
+the PR 10 pattern for per-shard attribution.
+"""
+
+
+class Accountant:
+    def can_charge(self, keys, budget):
+        return self._scan(keys, budget)
+
+    def _scan(self, keys, budget):
+        return all(self._rows(keys))
+
+    def _rows(self, keys):
+        return [True for _ in keys]
+
+    def charge_many(self, requests):
+        # Emission is fine here: charge_many IS the serial mutating drive.
+        walls = {shard: 1.0 for shard, _ in enumerate(requests)}
+        with self._probe.span("charge.batch", requests=len(requests)):
+            committed = [self._scan(keys, budget) for keys, budget in requests]
+        for shard, wall in sorted(walls.items()):
+            self._profiler.record_span("shard.validate", wall, shard=shard)
+        return committed

@@ -35,6 +35,7 @@ CASES = [
     (LockDisciplineRule, "lock_discipline", "src/repro/core/fixture_mod.py", 3),
     (TelemetryIsolationRule, "telemetry", "src/repro/core/fixture_mod.py", 3),
     (TelemetryIsolationRule, "telemetry_obs", "src/repro/obs/fixture_mod.py", 2),
+    (TelemetryIsolationRule, "telemetry_profiler", "src/repro/core/fixture_mod.py", 3),
 ]
 
 

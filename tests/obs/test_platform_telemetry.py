@@ -13,7 +13,8 @@ from repro.core import durability, faults
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.platform import Sage
 from repro.core.sharding import sharded_accountant_factory
-from repro.obs import Telemetry
+from repro.obs import Probe, Telemetry, WallProfiler
+from repro.obs.analyze import hour_coverage
 from repro.workload.oracle import CountStreamSource, OraclePipeline
 
 VARIANTS = {
@@ -217,6 +218,102 @@ class TestSpanTaxonomy:
         # discipline the tracer documents.
         closes = [s.end for s in tracer.spans]
         assert closes == sorted(closes)
+
+
+def _span_key(tracer):
+    return [
+        (s.span_id, s.parent_id, s.name, s.start, s.end, s.hour)
+        for s in tracer.spans
+    ]
+
+
+class TestProfilerParity:
+    """PR 10's acceptance gate: profiling observes, never participates.
+
+    A profiled run must stay byte-identical to a bare run, and the
+    deterministic tracer's output must not depend on whether a profiler
+    rides alongside it.
+    """
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_profiled_drive_is_byte_identical(self, variant):
+        bare = _build(variant)
+        bare_digests = _drive(bare, 6)
+        telemetry = Telemetry(profiler=WallProfiler())
+        profiled = _build(variant, telemetry=telemetry)
+        profiled_digests = _drive(profiled, 6)
+        assert profiled_digests == bare_digests
+        assert telemetry.profiler.spans, "the profiler must capture spans"
+        profiled.close()
+        bare.close()
+
+    def test_profiled_durable_wal_bytes_match_bare(self, tmp_path):
+        bare = _build("batched", wal_dir=tmp_path / "bare", snapshot_every=2)
+        bare_digests = _drive(bare, 6)
+        bare.close()
+        telemetry = Telemetry(profiler=WallProfiler())
+        profiled = _build(
+            "batched",
+            telemetry=telemetry,
+            wal_dir=tmp_path / "profiled",
+            snapshot_every=2,
+        )
+        profiled_digests = _drive(profiled, 6)
+        profiled.close()
+        assert profiled_digests == bare_digests
+        assert (tmp_path / "profiled" / "charge.wal").read_bytes() == (
+            tmp_path / "bare" / "charge.wal"
+        ).read_bytes()
+
+    def test_tracer_output_is_identical_with_and_without_a_profiler(self):
+        traced = Telemetry()
+        sage = _build("sharded", telemetry=traced)
+        _drive(sage, 4)
+        sage.close()
+        profiled = Telemetry(profiler=WallProfiler())
+        sage = _build("sharded", telemetry=profiled)
+        _drive(sage, 4)
+        sage.close()
+        assert _span_key(profiled.tracer) == _span_key(traced.tracer)
+        assert [
+            (e.event_id, e.name, e.ts, e.hour) for e in profiled.tracer.events
+        ] == [(e.event_id, e.name, e.ts, e.hour) for e in traced.tracer.events]
+
+    def test_platform_probe_tees_and_profiler_mirrors_the_taxonomy(self):
+        telemetry = Telemetry(profiler=WallProfiler())
+        sage = _build("sharded", telemetry=telemetry)
+        assert isinstance(sage._tracer, Probe)
+        _drive(sage, 4)
+        sage.close()
+        profiler = telemetry.profiler
+        # The profiler records the same span taxonomy on a wall clock...
+        assert set(profiler.span_names()) == set(
+            telemetry.tracer.span_names()
+        )
+        assert all(s.duration >= 0.0 for s in profiler.spans)
+        # ...decomposes shard validation per shard...
+        shards = {
+            s.args["shard"] for s in profiler.find_spans("shard.validate")
+        }
+        assert shards and shards <= set(range(4))
+        assert shards == {
+            s.args["shard"]
+            for s in telemetry.tracer.find_spans("shard.validate")
+        }
+        # ...and explains most of each hour through child spans.
+        assert hour_coverage(profiler) > 0.5
+
+    def test_profiler_spans_stay_out_of_the_tracer(self):
+        telemetry = Telemetry(profiler=WallProfiler())
+        sage = _build("batched", telemetry=telemetry)
+        _drive(sage, 3)
+        sage.close()
+        tracer_ids = {id(s) for s in telemetry.tracer.spans}
+        assert tracer_ids.isdisjoint(id(s) for s in telemetry.profiler.spans)
+        # Tick timestamps stay logical on the tracer half even though the
+        # profiler half runs on perf_counter.
+        ticks = [s.end for s in telemetry.tracer.spans]
+        assert all(float(t).is_integer() for t in ticks)
 
 
 class TestTracedRecovery:

@@ -1,0 +1,250 @@
+"""WallProfiler mechanics under a deterministic injected clock.
+
+Wall time itself is not replayable, so every test here swaps the
+``perf_counter`` clock for a manually stepped one -- durations become
+exact and the profiler's span mechanics (nesting, back-dated
+``record_span`` emission, aggregation, the tee probe) are assertable to
+the microsecond.
+"""
+
+import time
+
+from repro.obs import Probe, Telemetry, Tracer, WallClock, WallProfiler
+from repro.obs.profile import _percentile, render_profile
+
+
+class ManualClock:
+    """A clock the test advances by hand (microseconds, like WallClock)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _profiler():
+    clock = ManualClock()
+    return WallProfiler(clock=clock), clock
+
+
+class TestWallClock:
+    def test_reads_perf_counter_in_microseconds(self):
+        clock = WallClock()
+        before = time.perf_counter() * 1e6
+        reading = clock()
+        after = time.perf_counter() * 1e6
+        assert before <= reading <= after
+
+    def test_is_the_default_profiler_clock(self):
+        assert isinstance(WallProfiler()._clock, WallClock)
+
+
+class TestSpanMechanics:
+    def test_nested_spans_carry_exact_wall_durations(self):
+        prof, clock = _profiler()
+        prof.hour = 3
+        with prof.span("advance.hour", mode="volatile"):
+            clock.now = 100.0
+            with prof.span("advance.open"):
+                clock.now = 130.0
+            clock.now = 150.0
+            with prof.span("session.drive", session="p0"):
+                clock.now = 160.0
+            clock.now = 400.0
+        hour = prof.find_spans("advance.hour")[0]
+        assert hour.duration == 400.0
+        assert hour.hour == 3 and hour.args == {"mode": "volatile"}
+        assert prof.find_spans("advance.open")[0].duration == 30.0
+        assert prof.find_spans("session.drive")[0].duration == 10.0
+        # Children parent under the hour span; close order holds.
+        assert all(
+            s.parent_id == hour.span_id
+            for s in prof.spans
+            if s is not hour
+        )
+        assert [s.name for s in prof.spans] == [
+            "advance.open",
+            "session.drive",
+            "advance.hour",
+        ]
+
+    def test_record_span_backdates_from_the_current_reading(self):
+        prof, clock = _profiler()
+        clock.now = 50.0
+        with prof.span("charge.batch"):
+            clock.now = 80.0
+            span = prof.record_span("shard.validate", 70.0, shard=1)
+            clock.now = 90.0
+        assert span.end == 80.0 and span.start == 10.0
+        assert span.duration == 70.0
+        assert span.args == {"shard": 1}
+        parent = prof.find_spans("charge.batch")[0]
+        assert span.parent_id == parent.span_id
+        # The synthesized span is appended at record time -- before the
+        # enclosing span closes, like a live child.
+        assert prof.spans[0] is span and prof.spans[1] is parent
+
+    def test_record_span_without_an_open_span_is_a_root(self):
+        prof, clock = _profiler()
+        clock.now = 25.0
+        span = prof.record_span("orphan", 10.0)
+        assert span.parent_id is None
+        assert (span.start, span.end) == (15.0, 25.0)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.95) == 0.0
+
+    def test_single_value_is_every_percentile(self):
+        assert _percentile([7.0], 0.50) == 7.0
+        assert _percentile([7.0], 0.95) == 7.0
+
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert _percentile(values, 0.50) == 20.0  # rank ceil(2.0) = 2
+        assert _percentile(values, 0.95) == 40.0  # rank ceil(3.8) = 4
+        assert _percentile(values, 0.25) == 10.0  # rank ceil(1.0) = 1
+
+
+class TestAggregate:
+    def _drive(self, prof, clock):
+        prof.hour = 0
+        with prof.span("advance.hour"):
+            clock.now = 100.0
+            with prof.span("session.drive"):
+                clock.now = 130.0
+            clock.now = 150.0
+            with prof.span("session.drive"):
+                clock.now = 160.0
+            clock.now = 200.0
+            prof.record_span("shard.validate", 25.0, shard=0)
+            prof.record_span("shard.validate", 35.0, shard=1)
+            clock.now = 400.0
+
+    def test_per_name_stats(self):
+        prof, clock = self._setup()
+        stats = prof.aggregate()
+        drive = stats["session.drive"]
+        assert drive.count == 2
+        assert drive.total == 40.0
+        assert drive.self_time == 40.0
+        assert (drive.p50, drive.p95, drive.max) == (10.0, 30.0, 30.0)
+        hour = stats["advance.hour"]
+        assert hour.count == 1 and hour.total == 400.0
+        # self = 400 - (30 + 10 + 25 + 35) children.
+        assert hour.self_time == 300.0
+
+    def test_by_shard_decomposition(self):
+        prof, clock = self._setup()
+        shard_stats = prof.aggregate()["shard.validate"]
+        assert shard_stats.count == 2 and shard_stats.total == 60.0
+        assert sorted(shard_stats.by_shard) == [0, 1]
+        assert shard_stats.by_shard[0].total == 25.0
+        assert shard_stats.by_shard[1].total == 35.0
+        assert all(
+            sub.count == 1 for sub in shard_stats.by_shard.values()
+        )
+        # Unsharded names get no sub-rows.
+        assert prof.aggregate()["session.drive"].by_shard == {}
+
+    def test_pool_parallel_children_clamp_parent_self_time(self):
+        prof, clock = _profiler()
+        with prof.span("charge.batch"):
+            clock.now = 40.0
+            # Shards validated concurrently: their walls out-sum the
+            # serial parent.  Self time clamps at zero, never negative.
+            prof.record_span("shard.validate", 30.0, shard=0)
+            prof.record_span("shard.validate", 30.0, shard=1)
+        stats = prof.aggregate()
+        assert stats["charge.batch"].self_time == 0.0
+        assert stats["shard.validate"].total == 60.0
+
+    def test_render_profile_lists_shard_subrows_and_total(self):
+        prof, clock = self._setup()
+        text = render_profile(prof)
+        assert "advance.hour" in text
+        assert "  [shard 0]" in text and "  [shard 1]" in text
+        assert "(total self time)" in text
+        # Largest self time renders first (after the header).
+        assert text.splitlines()[1].startswith("advance.hour")
+
+    def _setup(self):
+        prof, clock = _profiler()
+        self._drive(prof, clock)
+        return prof, clock
+
+
+class TestProbe:
+    def _probe(self):
+        tracer = Tracer()
+        prof, clock = _profiler()
+        return Probe(tracer, prof), tracer, prof, clock
+
+    def test_hour_fans_out_to_both_halves(self):
+        probe, tracer, prof, _ = self._probe()
+        probe.hour = 7
+        assert tracer.hour == 7 and prof.hour == 7
+        assert probe.hour == 7
+
+    def test_span_tees_to_both_with_the_tracer_primary(self):
+        probe, tracer, prof, clock = self._probe()
+        with probe.span("wal.fsync", records=3) as tee:
+            clock.now = 500.0
+            tee.set(bytes=128)
+        assert len(tracer.spans) == 1 and len(prof.spans) == 1
+        logical, wall = tracer.spans[0], prof.spans[0]
+        # set() forwards to both halves.
+        assert logical.args == {"records": 3, "bytes": 128}
+        assert wall.args == {"records": 3, "bytes": 128}
+        # duration/args delegate to the deterministic half: the tick
+        # clock read twice (enter + exit) gives exactly 1 tick.
+        assert tee.duration == logical.duration == 1.0
+        assert wall.duration == 500.0
+        assert tee.args is logical.args
+
+    def test_event_hits_both_and_returns_the_tracer_record(self):
+        probe, tracer, prof, _ = self._probe()
+        record = probe.event("charge.granted", session="p0")
+        assert record is tracer.events[0]
+        assert len(prof.events) == 1
+        assert prof.events[0].args == {"session": "p0"}
+
+    def test_tracer_ticks_do_not_depend_on_the_profiler(self):
+        # The same emission sequence against a bare tracer and a teed
+        # probe: the deterministic records must be identical.
+        def emit(handle):
+            handle.hour = 0
+            with handle.span("advance.hour"):
+                with handle.span("session.drive"):
+                    pass
+                handle.event("charge.granted")
+
+        bare = Tracer()
+        emit(bare)
+        teed_tracer = Tracer()
+        emit(Probe(teed_tracer, WallProfiler(clock=ManualClock())))
+        key = lambda t: [
+            (s.span_id, s.parent_id, s.name, s.start, s.end, s.hour)
+            for s in t.spans
+        ]
+        assert key(bare) == key(teed_tracer)
+        assert [(e.event_id, e.ts) for e in bare.events] == [
+            (e.event_id, e.ts) for e in teed_tracer.events
+        ]
+
+
+class TestTelemetryWiring:
+    def test_probe_is_the_tracer_without_a_profiler(self):
+        telemetry = Telemetry()
+        assert telemetry.profiler is None
+        assert telemetry.probe is telemetry.tracer
+
+    def test_probe_tees_when_a_profiler_attaches(self):
+        profiler = WallProfiler()
+        telemetry = Telemetry(profiler=profiler)
+        assert telemetry.profiler is profiler
+        assert isinstance(telemetry.probe, Probe)
+        assert telemetry.probe.tracer is telemetry.tracer
+        assert telemetry.probe.profiler is profiler

@@ -187,3 +187,166 @@ class TestObservabilityCommands:
         assert "verified 1 commit digest(s)" in capsys.readouterr().out
         names = {event["name"] for event in load_trace(recover_trace)}
         assert {"recover.run", "recover.hour", "recover.report"} <= names
+
+
+class TestPerfCommands:
+    def test_profile_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.shards == 4 and args.out is None and args.flame_out is None
+
+    def test_perf_diff_requires_both_traces(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf-diff", "only-one.json"])
+
+    def test_profile_prints_breakdown_and_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        profile_path = tmp_path / "profile.json"
+        flame_path = tmp_path / "flame.folded"
+        assert (
+            main(
+                [
+                    "profile",
+                    "--hours",
+                    "2",
+                    "--pipelines",
+                    "2",
+                    "--out",
+                    str(profile_path),
+                    "--flame-out",
+                    str(flame_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profiled 2 hour(s) over 4 shard(s)" in out
+        assert "hour coverage" in out
+        assert "advance.hour" in out and "hour 0:" in out
+        # The Chrome export carries the profiler's wall-clock spans.
+        events = load_trace(profile_path)
+        assert {e["name"] for e in events} >= {"advance.hour", "wal.fsync"}
+        # The collapsed stacks are flamegraph.pl input: "stack weight".
+        lines = flame_path.read_text(encoding="utf-8").splitlines()
+        assert lines and all(l.rpartition(" ")[2].isdigit() for l in lines)
+        assert any(l.startswith("advance.hour") for l in lines)
+
+    def test_wal_demo_profile_out_rides_alongside_the_trace(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        profile_path = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "wal-demo",
+                    "--wal-dir",
+                    str(tmp_path / "wal"),
+                    "--hours",
+                    "2",
+                    "--trace-out",
+                    str(trace_path),
+                    "--profile-out",
+                    str(profile_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "profile written to" in out
+        # Same taxonomy, different clocks: the tracer's timestamps are
+        # logical ticks (integers); the profiler's are perf_counter reads.
+        trace_spans = [e for e in load_trace(trace_path) if e["ph"] == "X"]
+        profile_spans = [e for e in load_trace(profile_path) if e["ph"] == "X"]
+        assert {e["name"] for e in trace_spans} == {
+            e["name"] for e in profile_spans
+        }
+        assert all(float(e["ts"]).is_integer() for e in trace_spans)
+
+    def test_recover_profile_out(self, tmp_path, capsys):
+        assert (
+            main(["wal-demo", "--wal-dir", str(tmp_path / "wal"), "--hours", "2"])
+            == 0
+        )
+        capsys.readouterr()
+        profile_path = tmp_path / "recover-profile.json"
+        assert (
+            main(
+                [
+                    "recover",
+                    "--wal-dir",
+                    str(tmp_path / "wal"),
+                    "--profile-out",
+                    str(profile_path),
+                ]
+            )
+            == 0
+        )
+        assert "profile written to" in capsys.readouterr().out
+        names = {e["name"] for e in load_trace(profile_path)}
+        assert {"recover.run", "recover.hour"} <= names
+
+    def test_perf_diff_renders_per_phase_movement(self, tmp_path, capsys):
+        before, after = tmp_path / "before.json", tmp_path / "after.json"
+        assert main(["profile", "--hours", "1", "--out", str(before)]) == 0
+        assert main(["profile", "--hours", "2", "--out", str(after)]) == 0
+        capsys.readouterr()
+        assert main(["perf-diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert f"perf diff: {before} -> {after}" in out
+        assert "advance.hour" in out and "ratio" in out
+
+    def _write_history(self, path, speedups):
+        records = [
+            {
+                "name": "demo_case",
+                "bench": "demo",
+                "params": {},
+                "scalar_ms": 10.0,
+                "vectorized_ms": 10.0 / s,
+                "speedup": s,
+            }
+            for s in speedups
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        return path
+
+    def test_perf_report_reads_a_history_file(self, tmp_path, capsys):
+        history = self._write_history(tmp_path / "h.jsonl", [2.0, 2.2, 2.1])
+        assert main(["perf-report", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "demo_case" in out
+        assert "no regressions" in out
+
+    def test_perf_report_check_fails_on_a_collapse(self, tmp_path, capsys):
+        history = self._write_history(tmp_path / "h.jsonl", [2.0, 2.2, 0.3])
+        # Without --check the report prints but the exit stays green.
+        assert main(["perf-report", "--history", str(history)]) == 0
+        assert "<< REGRESSION" in capsys.readouterr().out
+        assert main(["perf-report", "--history", str(history), "--check"]) == 1
+        assert "fell below" in capsys.readouterr().out
+
+    def test_perf_report_check_passes_inside_the_band(self, tmp_path, capsys):
+        history = self._write_history(tmp_path / "h.jsonl", [2.0, 2.2, 2.1])
+        assert main(["perf-report", "--history", str(history), "--check"]) == 0
+        capsys.readouterr()
+
+    def test_perf_report_tolerance_overrides_the_band(self, tmp_path, capsys):
+        history = self._write_history(tmp_path / "h.jsonl", [2.0, 2.2, 1.9])
+        assert main(["perf-report", "--history", str(history), "--check"]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "perf-report",
+                "--history",
+                str(history),
+                "--check",
+                "--tolerance",
+                "0.95",
+            ]
+        )
+        assert code == 1
+        assert "<< REGRESSION" in capsys.readouterr().out
